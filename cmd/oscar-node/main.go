@@ -1,0 +1,207 @@
+// Command oscar-node runs one live Oscar peer on TCP. Start a first node,
+// then join others to it; each process serves the overlay protocol and
+// answers simple commands on stdin.
+//
+//	# terminal 1: create an overlay
+//	oscar-node -listen 127.0.0.1:7001 -key 0.10
+//
+//	# terminal 2..n: join it
+//	oscar-node -listen 127.0.0.1:7002 -key 0.55 -join 127.0.0.1:7001
+//
+// Stdin commands:
+//
+//	put <frac> <value>    store value under the key at fraction <frac>
+//	get <frac>            fetch the value
+//	range <lo> <hi>       list items with keys in [lo, hi)
+//	lookup <frac>         route to the key's owner
+//	info                  print ring pointers, links, stored items
+//	stabilize             run one maintenance round
+//	rewire                rebuild long-range links
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+	"github.com/oscar-overlay/oscar/internal/p2p"
+	"github.com/oscar-overlay/oscar/internal/transport"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oscar-node: ")
+
+	var (
+		listen   = flag.String("listen", "127.0.0.1:0", "listen address")
+		keyFrac  = flag.Float64("key", -1, "position on the circle in [0,1); -1 = time-derived")
+		join     = flag.String("join", "", "address of any overlay member to join through")
+		maxIn    = flag.Int("max-in", 16, "in-link budget (ρmax_in)")
+		maxOut   = flag.Int("max-out", 16, "out-link budget (ρmax_out)")
+		interval = flag.Duration("stabilize", 2*time.Second, "stabilisation interval (0 = manual)")
+	)
+	flag.Parse()
+
+	key := keyspace.FromFloat(*keyFrac)
+	if *keyFrac < 0 {
+		key = keyspace.Key(time.Now().UnixNano()) * 2654435761 // spread-ish
+	}
+
+	ep, err := transport.ListenTCP(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	node := p2p.NewNode(ep, p2p.Config{
+		Key: key, MaxIn: *maxIn, MaxOut: *maxOut,
+		Seed: time.Now().UnixNano(),
+	})
+	fmt.Printf("node up at %s, key %s\n", node.Self().Addr, node.Self().Key)
+
+	if *join != "" {
+		if err := node.Join(transport.Addr(*join)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("joined via %s; succ=%s pred=%s, %d long links\n",
+			*join, node.Succ().Key, node.Pred().Key, len(node.OutLinks()))
+	}
+
+	if *interval > 0 {
+		go func() {
+			for range time.Tick(*interval) {
+				node.Stabilize()
+			}
+		}()
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		if err := execute(node, strings.Fields(sc.Text())); err != nil {
+			if err == errQuit {
+				break
+			}
+			fmt.Println("error:", err)
+		}
+		fmt.Print("> ")
+	}
+	_ = node.Close()
+}
+
+var errQuit = fmt.Errorf("quit")
+
+func parseFrac(s string) (keyspace.Key, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || f < 0 || f >= 1 {
+		return 0, fmt.Errorf("want a fraction in [0,1), got %q", s)
+	}
+	return keyspace.FromFloat(f), nil
+}
+
+func execute(node *p2p.Node, args []string) error {
+	if len(args) == 0 {
+		return nil
+	}
+	switch args[0] {
+	case "quit", "exit":
+		return errQuit
+
+	case "info":
+		fmt.Printf("self  %s key=%s\n", node.Self().Addr, node.Self().Key)
+		fmt.Printf("succ  %s key=%s\n", node.Succ().Addr, node.Succ().Key)
+		fmt.Printf("pred  %s key=%s\n", node.Pred().Addr, node.Pred().Key)
+		fmt.Printf("links out=%d in=%d items=%d\n", len(node.OutLinks()), node.InDegree(), node.StoredItems())
+		return nil
+
+	case "stabilize":
+		node.Stabilize()
+		return nil
+
+	case "rewire":
+		if err := node.Rewire(); err != nil {
+			return err
+		}
+		fmt.Printf("%d long-range links\n", len(node.OutLinks()))
+		return nil
+
+	case "lookup":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: lookup <frac>")
+		}
+		k, err := parseFrac(args[1])
+		if err != nil {
+			return err
+		}
+		owner, cost, err := node.Lookup(k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("owner %s key=%s (%d messages)\n", owner.Addr, owner.Key, cost)
+		return nil
+
+	case "put":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: put <frac> <value>")
+		}
+		k, err := parseFrac(args[1])
+		if err != nil {
+			return err
+		}
+		cost, err := node.Put(k, []byte(strings.Join(args[2:], " ")))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("stored (%d messages)\n", cost)
+		return nil
+
+	case "get":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: get <frac>")
+		}
+		k, err := parseFrac(args[1])
+		if err != nil {
+			return err
+		}
+		val, found, cost, err := node.Get(k)
+		if err != nil {
+			return err
+		}
+		if !found {
+			fmt.Printf("not found (%d messages)\n", cost)
+			return nil
+		}
+		fmt.Printf("%q (%d messages)\n", val, cost)
+		return nil
+
+	case "range":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: range <lo> <hi>")
+		}
+		lo, err := parseFrac(args[1])
+		if err != nil {
+			return err
+		}
+		hi, err := parseFrac(args[2])
+		if err != nil {
+			return err
+		}
+		items, cost, err := node.RangeQuery(lo, hi, 0)
+		if err != nil {
+			return err
+		}
+		for _, it := range items {
+			fmt.Printf("  %s = %q\n", it.Key, it.Value)
+		}
+		fmt.Printf("%d items (%d messages)\n", len(items), cost)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}

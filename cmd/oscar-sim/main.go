@@ -1,0 +1,150 @@
+// Command oscar-sim runs one parameterised overlay simulation and prints a
+// per-checkpoint report: growth from scratch, periodic rewiring, average
+// search cost, degree-volume utilisation and (optionally) churn.
+//
+// Examples:
+//
+//	oscar-sim -n 10000 -keys gnutella -degrees constant
+//	oscar-sim -n 5000 -system mercury -keys gnutella
+//	oscar-sim -n 4000 -churn 0.33
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/oscar-overlay/oscar/internal/degreedist"
+	"github.com/oscar-overlay/oscar/internal/keydist"
+	"github.com/oscar-overlay/oscar/internal/metrics"
+	"github.com/oscar-overlay/oscar/internal/sim"
+	"github.com/oscar-overlay/oscar/internal/snapshot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oscar-sim: ")
+
+	var (
+		n        = flag.Int("n", 10000, "target network size")
+		seed     = flag.Int64("seed", 1, "root random seed")
+		keys     = flag.String("keys", "gnutella", "key distribution: uniform|gnutella|zipf")
+		degrees  = flag.String("degrees", "constant", "degree-cap distribution: constant|stepped|realistic")
+		mean     = flag.Float64("degree-mean", 27, "mean degree cap")
+		system   = flag.String("system", "oscar", "construction: oscar|mercury|kleinberg")
+		churnPct = flag.Float64("churn", 0, "fraction of peers to crash before the final measurement")
+		queries  = flag.Int("queries", 0, "queries per measurement (0 = network size)")
+		ckpts    = flag.String("checkpoints", "", "comma-separated sizes (default: every n/10)")
+		oracle   = flag.Bool("oracle", false, "oscar: use exact global-knowledge partitions (ablation)")
+		noP2C    = flag.Bool("no-p2c", false, "oscar: disable power-of-two-choices balancing")
+		paranoid = flag.Bool("paranoid", false, "run invariant checks at checkpoints")
+		save     = flag.String("save", "", "write a JSON snapshot of the final network to this file")
+		verbose  = flag.Bool("v", false, "log progress")
+	)
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.TargetSize = *n
+	cfg.QueriesPerMeasure = *queries
+	cfg.Paranoid = *paranoid
+
+	var err error
+	if cfg.Keys, err = keydist.ByName(*keys); err != nil {
+		log.Fatal(err)
+	}
+	if cfg.Degrees, err = degreedist.ByName(*degrees, *mean); err != nil {
+		log.Fatal(err)
+	}
+	switch *system {
+	case "oscar":
+		cfg.System = sim.SystemOscar
+	case "mercury":
+		cfg.System = sim.SystemMercury
+	case "kleinberg":
+		cfg.System = sim.SystemKleinberg
+	default:
+		log.Fatalf("unknown -system %q", *system)
+	}
+	cfg.Oscar.Oracle = *oracle
+	cfg.Oscar.PowerOfTwo = !*noP2C
+
+	if *ckpts != "" {
+		cfg.Checkpoints = nil
+		for _, part := range strings.Split(*ckpts, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				log.Fatalf("bad -checkpoints entry %q: %v", part, err)
+			}
+			cfg.Checkpoints = append(cfg.Checkpoints, v)
+		}
+	} else {
+		cfg.Checkpoints = nil
+		step := *n / 10
+		if step < 1 {
+			step = 1
+		}
+		for size := step; size <= *n; size += step {
+			cfg.Checkpoints = append(cfg.Checkpoints, size)
+		}
+	}
+
+	s, err := sim.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("# system=%s keys=%s degrees=%s n=%d seed=%d\n",
+		*system, cfg.Keys.Name(), cfg.Degrees.Name(), *n, *seed)
+
+	tab := metrics.NewTable("size", "avg_cost", "p50", "p90", "p99", "failed", "volume", "links/peer", "levels")
+	start := time.Now()
+	for _, cp := range cfg.Checkpoints {
+		s.GrowTo(cp)
+		s.RewireAll()
+		if cfg.Paranoid {
+			if err := s.CheckInvariants(); err != nil {
+				log.Fatalf("invariant violation at size %d: %v", cp, err)
+			}
+		}
+		m := s.Measure(false)
+		tab.AddRow(m.Size, m.AvgSearchCost, m.Search.P50, m.Search.P90, m.Search.P99,
+			m.Failed, m.DegreeVolume, m.AvgLinksMade, m.AvgLevels)
+		if *verbose {
+			log.Printf("size %d done (%.1fs elapsed)", cp, time.Since(start).Seconds())
+		}
+	}
+	if _, err := tab.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("%s n=%d keys=%s degrees=%s seed=%d", *system, *n, cfg.Keys.Name(), cfg.Degrees.Name(), *seed)
+		if err := snapshot.Capture(s.Net(), label).Write(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("snapshot written to %s", *save)
+	}
+
+	if *churnPct > 0 {
+		fmt.Printf("\n# churn: killing %.0f%% of peers\n", *churnPct*100)
+		s.Churn(*churnPct)
+		m := s.Measure(true)
+		ct := metrics.NewTable("size", "avg_cost", "hops", "probes", "backtracks", "p90", "failed")
+		ct.AddRow(m.Size, m.AvgSearchCost, m.AvgHops, m.AvgProbes, m.AvgBacktracks, m.Search.P90, m.Failed)
+		if _, err := ct.WriteTo(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

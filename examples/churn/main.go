@@ -1,0 +1,45 @@
+// Churn: the Figure 2 scenario — crash 10% and then 33% of the peers and
+// watch search stay correct while paying for dead-link probes and
+// backtracking ("wasted traffic").
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"log"
+
+	oscar "github.com/oscar-overlay/oscar"
+)
+
+func main() {
+	ov, err := oscar.Build(oscar.Config{Size: 2000, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(label string) {
+		m := ov.Measure()
+		fmt.Printf("%-12s peers=%-5d cost=%-6.2f hops=%-6.2f probes=%-5.2f backtracks=%-5.2f failed=%d\n",
+			label, m.Size, m.AvgSearchCost, m.AvgHops, m.AvgProbes, m.AvgBacktracks, m.Failed)
+	}
+
+	report("no faults")
+
+	killed := ov.Crash(0.10)
+	fmt.Printf("\n-- crashed %d peers (10%%); ring self-stabilises, long links go stale --\n", killed)
+	report("10% crashes")
+
+	// Top up to 33% of the original population.
+	killed = ov.Crash(0.2555)
+	fmt.Printf("\n-- crashed %d more (33%% total) --\n", killed)
+	report("33% crashes")
+
+	fmt.Println("\nthe overlay stays navigable: every query still reaches the right owner,")
+	fmt.Println("at the price of probe traffic — the paper's Figure 2 in miniature.")
+
+	// Rewiring heals: stale links are dropped and fresh ones acquired.
+	ov.RewireAll()
+	fmt.Println("\n-- after one rewiring pass --")
+	report("rewired")
+}

@@ -1,0 +1,43 @@
+// Heterogeneous: the Figure 1 scenario — the same skewed key space indexed
+// by peer populations with three different link-budget distributions
+// (constant, "realistic" spiky, stepped). Oscar's search cost and exploited
+// degree volume barely move across them.
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+
+	oscar "github.com/oscar-overlay/oscar"
+)
+
+func main() {
+	distributions := []struct {
+		name    string
+		degrees oscar.DegreeDistribution
+	}{
+		{"constant(27)", oscar.ConstantDegrees(27)},
+		{"realistic spiky (mean 27)", oscar.RealisticDegrees()},
+		{"stepped {19,23,27,39}", oscar.SteppedDegrees()},
+	}
+
+	fmt.Println("building 1500-peer overlays on Gnutella-like keys…")
+	fmt.Printf("%-28s %10s %10s %10s %8s\n", "caps", "avg_cost", "p90_cost", "volume", "links")
+	for _, d := range distributions {
+		ov, err := oscar.Build(oscar.Config{
+			Size:    1500,
+			Seed:    7,
+			Keys:    oscar.GnutellaKeys(),
+			Degrees: d.degrees,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := ov.Measure()
+		fmt.Printf("%-28s %10.2f %10.2f %9.0f%% %8.1f\n",
+			d.name, m.AvgSearchCost, m.Search.P90, 100*m.DegreeVolume, m.AvgLinksMade)
+	}
+	fmt.Println("\nheterogeneity is absorbed: the three rows nearly coincide (paper Fig 1b/1c)")
+}

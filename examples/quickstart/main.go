@@ -1,0 +1,54 @@
+// Quickstart: build an Oscar overlay, look keys up, store and fetch data.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	oscar "github.com/oscar-overlay/oscar"
+)
+
+func main() {
+	// A 2000-peer overlay on a heavy-tailed key distribution with every
+	// peer allowing 27 links — the paper's baseline setting, built from
+	// scratch in-process.
+	ov, err := oscar.Build(oscar.Config{Size: 2000, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overlay up: %d peers\n", ov.Size())
+
+	// Route to the owner of a key. Routing is greedy over each peer's ring
+	// pointers and long-range links; cost is the number of messages.
+	key := oscar.KeyFromFloat(0.42)
+	route := ov.Lookup(key)
+	fmt.Printf("lookup %v: owner node %d in %d hops\n", key, route.Owner, route.Hops)
+
+	// The overlay is an order-preserving index: store items and query them
+	// back, by key or by range.
+	for i := 0; i < 100; i++ {
+		k := oscar.KeyFromFloat(0.30 + 0.001*float64(i))
+		if _, err := ov.Put(k, []byte(fmt.Sprintf("item-%03d", i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	val, found, cost, err := ov.Get(oscar.KeyFromFloat(0.35))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("get 0.35: %q (found=%v, %d messages)\n", val, found, cost)
+
+	res, err := ov.RangeQuery(oscar.KeyFromFloat(0.32), oscar.KeyFromFloat(0.36), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range [0.32,0.36): %d items from %d peers, %d messages\n",
+		len(res.Items), res.PeersScanned, res.Cost)
+
+	// Network-wide health: the measurement the paper's figures are made of.
+	m := ov.Measure()
+	fmt.Printf("avg search cost %.2f over %d queries; degree volume %.0f%%\n",
+		m.AvgSearchCost, m.Queries, 100*m.DegreeVolume)
+}

@@ -1,0 +1,75 @@
+// Rangequery: the data-oriented use case the paper's introduction motivates.
+// An order-preserving overlay can answer non-exact (range / similarity)
+// queries because contiguous application ranges stay contiguous on the ring
+// — here, a product-price index over a skewed price distribution.
+//
+//	go run ./examples/rangequery
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	oscar "github.com/oscar-overlay/oscar"
+)
+
+// priceToKey maps a price in [0, 1000) monotonically onto the circle. Any
+// monotone mapping works; no hashing, or ranges would shatter.
+func priceToKey(price float64) oscar.Key {
+	return oscar.KeyFromFloat(price / 1000)
+}
+
+func main() {
+	// Peers position themselves according to the data distribution, so the
+	// index load spreads even though prices cluster heavily.
+	ov, err := oscar.Build(oscar.Config{
+		Size: 1000,
+		Seed: 11,
+		Keys: oscar.GnutellaKeys(), // stand-in for "where the data is"
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Index 5000 products with clustered prices (most cost 10–50).
+	rnd := rand.New(rand.NewSource(5))
+	indexed := 0
+	for i := 0; i < 5000; i++ {
+		price := 10 + rnd.ExpFloat64()*40
+		if price >= 1000 {
+			continue
+		}
+		name := fmt.Sprintf("product-%04d@%.2f", i, price)
+		if _, err := ov.Put(priceToKey(price), []byte(name)); err != nil {
+			log.Fatal(err)
+		}
+		indexed++
+	}
+	fmt.Printf("indexed %d products across %d peers\n", indexed, ov.Size())
+
+	// Range query: everything priced in [25, 30).
+	res, err := ov.RangeQuery(priceToKey(25), priceToKey(30), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nproducts priced in [25, 30): %d hits, %d messages, %d shards scanned\n",
+		len(res.Items), res.Cost, res.PeersScanned)
+	for i, it := range res.Items {
+		if i >= 5 {
+			fmt.Printf("  … and %d more\n", len(res.Items)-5)
+			break
+		}
+		fmt.Printf("  %s\n", it.Value)
+	}
+
+	// Top-k flavoured query: the 10 cheapest products above 100.
+	res, err = ov.RangeQuery(priceToKey(100), priceToKey(1000-1e-9), 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n10 cheapest products above 100:\n")
+	for _, it := range res.Items {
+		fmt.Printf("  %s\n", it.Value)
+	}
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
+
+// tinyScale keeps harness tests fast while touching every code path.
+func tinyScale() Scale {
+	return Scale{
+		Target:            300,
+		GrowthCheckpoints: []int{150, 300},
+		ChurnSizes:        []int{300},
+		Queries:           200,
+	}
+}
+
+func TestSeq(t *testing.T) {
+	got := seq(2, 8, 2)
+	want := []int{2, 4, 6, 8}
+	if len(got) != len(want) {
+		t.Fatalf("seq = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("seq = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScales(t *testing.T) {
+	p := PaperScale()
+	if p.Target != 10000 || len(p.GrowthCheckpoints) != 10 {
+		t.Errorf("paper scale: %+v", p)
+	}
+	q := QuickScale()
+	if q.Target != 3000 {
+		t.Errorf("quick scale: %+v", q)
+	}
+	for _, cp := range q.GrowthCheckpoints {
+		if cp > q.Target {
+			t.Errorf("checkpoint %d beyond target", cp)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	h := New(&bytes.Buffer{}, tinyScale(), 1, false)
+	if err := h.Run("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestAllExperimentsAtTinyScale executes every experiment end to end and
+// checks the headline claims hold even at 300 peers.
+func TestAllExperimentsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness integration test")
+	}
+	var out bytes.Buffer
+	h := New(&out, tinyScale(), 1, false)
+	for _, id := range AllExperiments {
+		if err := h.Run(id); err != nil {
+			t.Fatalf("experiment %s: %v", id, err)
+		}
+	}
+	text := out.String()
+	for _, want := range []string{
+		"Fig 1(a)", "Fig 1(b)", "Fig 1(c)", "Fig 2(a)", "Fig 2(b)",
+		"T1", "X1", "A1", "A2", "A3",
+		"cost_nofault", "degree", "volume",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	var out bytes.Buffer
+	h := New(&out, tinyScale(), 1, false)
+	files := map[string]string{}
+	h.CSVWriter = func(name string, write func(f *os.File) error) error {
+		f, err := os.CreateTemp(t.TempDir(), name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			return err
+		}
+		data, err := os.ReadFile(f.Name())
+		if err != nil {
+			return err
+		}
+		files[name] = string(data)
+		return nil
+	}
+	if err := h.Run("fig1a"); err != nil {
+		t.Fatal(err)
+	}
+	csv, ok := files["fig1a"]
+	if !ok {
+		t.Fatal("no CSV produced")
+	}
+	if !strings.HasPrefix(csv, "degree,pdf_analytic,pdf_empirical\n") {
+		t.Errorf("csv header: %q", csv[:60])
+	}
+	if strings.Count(csv, "\n") < 10 {
+		t.Error("csv too short")
+	}
+}
+
+// TestVolumeOrdering is the T1 claim at tiny scale: Oscar exploits more
+// degree volume than Mercury.
+func TestVolumeOrdering(t *testing.T) {
+	var out bytes.Buffer
+	h := New(&out, tinyScale(), 1, false)
+	if err := h.Run("volume"); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	// Parse the two volume cells crudely.
+	var oscarVol, mercVol float64
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 2 && fields[0] == "oscar" {
+			oscarVol = parseF(t, fields[1])
+		}
+		if len(fields) >= 2 && fields[0] == "mercury" {
+			mercVol = parseF(t, fields[1])
+		}
+	}
+	if oscarVol == 0 || mercVol == 0 {
+		t.Fatalf("could not parse volumes from:\n%s", text)
+	}
+	if oscarVol <= mercVol {
+		t.Errorf("oscar volume %.3f not above mercury %.3f", oscarVol, mercVol)
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmtSscan(s, &v); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,40 @@
+// Package churn injects peer failures for the robustness experiments
+// (Figure 2): a fraction of the population is "killed"; the ring is assumed
+// re-stitched by self-stabilisation (ring.Kill does this instantly), while
+// long-range links pointing at dead peers remain in their holders' link
+// tables as stale entries that routing must probe around.
+package churn
+
+import (
+	"math/rand"
+
+	"github.com/oscar-overlay/oscar/internal/graph"
+	"github.com/oscar-overlay/oscar/internal/ring"
+)
+
+// KillFraction kills ⌊fraction·alive⌋ uniformly random alive peers and
+// returns their ids. fraction outside [0,1) is clamped; the last peer is
+// never killed (an empty overlay has no behaviour to measure).
+func KillFraction(net *graph.Network, rg *ring.Ring, fraction float64, rnd *rand.Rand) []graph.NodeID {
+	if fraction <= 0 {
+		return nil
+	}
+	if fraction >= 1 {
+		fraction = 0.999
+	}
+	alive := net.AliveIDs()
+	want := int(fraction * float64(len(alive)))
+	if want >= len(alive) {
+		want = len(alive) - 1
+	}
+	// Partial Fisher–Yates: the first `want` entries become the victims.
+	for i := 0; i < want; i++ {
+		j := i + rnd.Intn(len(alive)-i)
+		alive[i], alive[j] = alive[j], alive[i]
+	}
+	victims := alive[:want]
+	for _, id := range victims {
+		rg.Kill(id)
+	}
+	return victims
+}

@@ -1,0 +1,81 @@
+package churn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/oscar-overlay/oscar/internal/graph"
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+	"github.com/oscar-overlay/oscar/internal/ring"
+)
+
+func build(n int) (*graph.Network, *ring.Ring) {
+	g := graph.New()
+	r := ring.New(g)
+	step := keyspace.MaxKey / keyspace.Key(n)
+	for i := 0; i < n; i++ {
+		node := g.Add(keyspace.Key(i)*step, 8, 8)
+		r.Insert(node.ID)
+	}
+	return g, r
+}
+
+func TestKillFractionCounts(t *testing.T) {
+	g, r := build(1000)
+	victims := KillFraction(g, r, 0.33, rand.New(rand.NewSource(1)))
+	if len(victims) != 330 {
+		t.Errorf("killed %d, want 330", len(victims))
+	}
+	if g.AliveCount() != 670 {
+		t.Errorf("alive %d, want 670", g.AliveCount())
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKillFractionZeroAndClamp(t *testing.T) {
+	g, r := build(10)
+	if v := KillFraction(g, r, 0, rand.New(rand.NewSource(2))); v != nil {
+		t.Error("zero fraction must kill nobody")
+	}
+	KillFraction(g, r, 5.0, rand.New(rand.NewSource(3)))
+	if g.AliveCount() < 1 {
+		t.Error("at least one peer must survive")
+	}
+}
+
+func TestKillFractionVictimsUnique(t *testing.T) {
+	g, r := build(500)
+	victims := KillFraction(g, r, 0.5, rand.New(rand.NewSource(4)))
+	seen := map[graph.NodeID]bool{}
+	for _, v := range victims {
+		if seen[v] {
+			t.Fatalf("victim %d killed twice", v)
+		}
+		seen[v] = true
+		if g.Node(v).Alive {
+			t.Fatalf("victim %d still alive", v)
+		}
+	}
+}
+
+func TestKillFractionRingSurvives(t *testing.T) {
+	g, r := build(200)
+	KillFraction(g, r, 0.33, rand.New(rand.NewSource(5)))
+	// The alive ring must still be a single cycle.
+	start := r.RandomAlive(rand.New(rand.NewSource(6)))
+	count := 1
+	for id := g.Node(start).Succ; id != start; id = g.Node(id).Succ {
+		if !g.Node(id).Alive {
+			t.Fatal("ring pointer leads to a dead peer")
+		}
+		count++
+		if count > g.AliveCount()+1 {
+			t.Fatal("ring walk does not close")
+		}
+	}
+	if count != g.AliveCount() {
+		t.Errorf("ring cycle covers %d of %d alive peers", count, g.AliveCount())
+	}
+}

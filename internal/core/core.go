@@ -1,0 +1,189 @@
+// Package core implements the Oscar node logic — the paper's primary
+// contribution: long-range link acquisition over median-based logarithmic
+// partitions, honouring per-peer degree budgets.
+//
+// The long-range link acquiring procedure (§2): "each peer u first chooses
+// uniformly at random one logarithmic partition Ai and then within that
+// partition uniformly at random one peer v. This peer v will become a
+// long-range neighbor of u." Uniform in-partition choice is a restricted
+// random walk (package sampling). A contacted peer accepts only while below
+// ρmax_in (§3), and because the approach is randomized the power-of-two
+// technique [Mitzenmacher et al.] balances in-degree load: draw two
+// candidates, link the one with the lower relative in-degree load.
+package core
+
+import (
+	"math/rand"
+
+	"github.com/oscar-overlay/oscar/internal/graph"
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+	"github.com/oscar-overlay/oscar/internal/partition"
+	"github.com/oscar-overlay/oscar/internal/ring"
+	"github.com/oscar-overlay/oscar/internal/sampling"
+)
+
+// Config tunes the Oscar wiring algorithm.
+type Config struct {
+	// Sample parameterises median estimation (partition discovery).
+	Sample partition.SampleParams
+	// PickSteps is the walk length used to draw a uniform peer inside a
+	// chosen partition.
+	PickSteps int
+	// PowerOfTwo enables the two-choices in-degree balancing rule.
+	PowerOfTwo bool
+	// LinkRetries is how many fresh partition+peer draws a node spends on a
+	// link slot after a refused or duplicate candidate, before giving the
+	// slot up. Unfilled slots are why degree-volume utilisation stays below
+	// 100%. The default of 0 (one power-of-two draw per slot) reproduces
+	// the paper's ≈85% exploited degree volume; raising it trades wiring
+	// traffic for fill.
+	LinkRetries int
+	// Oracle replaces sampled medians and sampled in-partition picks with
+	// exact global-knowledge versions (ablation and tests).
+	Oracle bool
+}
+
+// DefaultConfig returns the configuration used by the paper-reproduction
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		Sample:      partition.DefaultSampleParams(),
+		PickSteps:   10,
+		PowerOfTwo:  true,
+		LinkRetries: 0,
+	}
+}
+
+// WireStats reports one wiring pass.
+type WireStats struct {
+	// LinksWanted is the node's ρmax_out.
+	LinksWanted int
+	// LinksMade is how many link slots were filled.
+	LinksMade int
+	// Refusals counts candidates that declined (in-degree cap).
+	Refusals int
+	// Levels is the partition count the node discovered (≈ log₂ N).
+	Levels int
+	// SampleCost counts walk messages spent on median estimation.
+	SampleCost int
+	// PickCost counts walk messages spent drawing candidates.
+	PickCost int
+}
+
+// Add accumulates another pass's stats.
+func (s *WireStats) Add(o WireStats) {
+	s.LinksWanted += o.LinksWanted
+	s.LinksMade += o.LinksMade
+	s.Refusals += o.Refusals
+	s.Levels += o.Levels
+	s.SampleCost += o.SampleCost
+	s.PickCost += o.PickCost
+}
+
+// Wire (re)builds node u's long-range links: it drops existing out-links,
+// discovers partitions, and fills up to ρmax_out link slots. It is both the
+// join-time wiring and the periodic rewiring of §3.
+func Wire(net *graph.Network, rg *ring.Ring, w *sampling.Walker, u graph.NodeID, cfg Config, rnd *rand.Rand) WireStats {
+	node := net.Node(u)
+	stats := WireStats{LinksWanted: node.MaxOut}
+	net.DropLinks(u)
+
+	var parts *partition.Partitions
+	if cfg.Oracle {
+		parts = partition.BuildExact(net, rg, u)
+	} else {
+		parts = partition.BuildSampled(net, w, u, cfg.Sample)
+	}
+	stats.Levels = parts.Count()
+	stats.SampleCost = parts.Cost
+	if parts.Count() == 0 {
+		return stats // alone (or effectively alone) on the ring
+	}
+
+	for slot := 0; slot < node.MaxOut; slot++ {
+		if acquireLink(net, rg, w, u, parts, cfg, rnd, &stats) {
+			stats.LinksMade++
+		}
+	}
+	return stats
+}
+
+// acquireLink fills one link slot, retrying with fresh draws on refusal.
+func acquireLink(net *graph.Network, rg *ring.Ring, w *sampling.Walker, u graph.NodeID,
+	parts *partition.Partitions, cfg Config, rnd *rand.Rand, stats *WireStats) bool {
+
+	for attempt := 0; attempt <= cfg.LinkRetries; attempt++ {
+		cand := pickCandidate(net, rg, w, u, parts, cfg, rnd, stats)
+		if cand == graph.NoNode {
+			continue
+		}
+		switch err := net.AddLink(u, cand); err {
+		case nil:
+			return true
+		case graph.ErrRefused:
+			stats.Refusals++
+		default:
+			// duplicate or (transiently) dead candidate: just redraw
+		}
+	}
+	return false
+}
+
+// pickCandidate draws one candidate per the paper's procedure: a uniformly
+// random partition, then a uniformly random peer within it. With PowerOfTwo
+// enabled it draws two and keeps the one with lower relative in-degree load.
+func pickCandidate(net *graph.Network, rg *ring.Ring, w *sampling.Walker, u graph.NodeID,
+	parts *partition.Partitions, cfg Config, rnd *rand.Rand, stats *WireStats) graph.NodeID {
+
+	first := pickOne(net, rg, w, u, parts, cfg, rnd, stats)
+	if !cfg.PowerOfTwo {
+		return first
+	}
+	second := pickOne(net, rg, w, u, parts, cfg, rnd, stats)
+	switch {
+	case first == graph.NoNode:
+		return second
+	case second == graph.NoNode:
+		return first
+	case net.Node(second).InLoad() < net.Node(first).InLoad():
+		return second
+	default:
+		return first
+	}
+}
+
+// pickOne draws a single uniform peer from a uniformly chosen partition.
+func pickOne(net *graph.Network, rg *ring.Ring, w *sampling.Walker, u graph.NodeID,
+	parts *partition.Partitions, cfg Config, rnd *rand.Rand, stats *WireStats) graph.NodeID {
+
+	pr := parts.Range(rnd.Intn(parts.Count()))
+	if cfg.Oracle {
+		cand := rg.RandomAliveInRange(rnd, pr)
+		if cand == u {
+			return graph.NoNode
+		}
+		return cand
+	}
+	start := startIn(net, rg, pr)
+	if start == graph.NoNode {
+		return graph.NoNode // stale border left the partition empty
+	}
+	cand, cost, err := w.UniformInRange(start, pr, cfg.PickSteps)
+	stats.PickCost += cost
+	if err != nil || cand == u {
+		return graph.NoNode
+	}
+	return cand
+}
+
+// startIn resolves a walk entry point inside the partition: the overlay
+// routes to the partition's lower border and starts the walk at the peer
+// owning it. The simulator resolves ownership directly; the message cost of
+// that routing step is not part of the paper's search-cost metric.
+func startIn(net *graph.Network, rg *ring.Ring, pr keyspace.Range) graph.NodeID {
+	owner := rg.OwnerOf(pr.Start)
+	if !pr.Contains(net.Node(owner).Key) {
+		return graph.NoNode
+	}
+	return owner
+}

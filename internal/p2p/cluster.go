@@ -1,0 +1,103 @@
+package p2p
+
+import (
+	"fmt"
+
+	"github.com/oscar-overlay/oscar/internal/degreedist"
+	"github.com/oscar-overlay/oscar/internal/keydist"
+	"github.com/oscar-overlay/oscar/internal/rng"
+	"github.com/oscar-overlay/oscar/internal/transport"
+)
+
+// ClusterConfig parameterises NewCluster.
+type ClusterConfig struct {
+	// Size is the number of nodes (>= 1).
+	Size int
+	// Keys is the identifier distribution (default GnutellaLike).
+	Keys keydist.Distribution
+	// Degrees is the cap distribution (default Constant(16)).
+	Degrees degreedist.Distribution
+	// Seed drives key/cap draws and node randomness.
+	Seed int64
+	// StabilizeRounds after all joins (default 2).
+	StabilizeRounds int
+}
+
+// Cluster is an in-process overlay running on the in-memory fabric — the
+// integration-test and example entry point for the live runtime.
+type Cluster struct {
+	Fabric *transport.Fabric
+	Nodes  []*Node
+}
+
+// NewCluster boots a cluster: the first node creates the overlay, the rest
+// join through it, then everybody stabilises and rewires.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Size < 1 {
+		return nil, fmt.Errorf("p2p: cluster size %d", cfg.Size)
+	}
+	if cfg.Keys == nil {
+		cfg.Keys = keydist.GnutellaLike()
+	}
+	if cfg.Degrees == nil {
+		cfg.Degrees = degreedist.Constant(16)
+	}
+	if cfg.StabilizeRounds == 0 {
+		cfg.StabilizeRounds = 2
+	}
+	keyRand := rng.Derive(cfg.Seed, "cluster-keys")
+	capRand := rng.Derive(cfg.Seed, "cluster-caps")
+
+	c := &Cluster{Fabric: transport.NewFabric()}
+	for i := 0; i < cfg.Size; i++ {
+		caps := cfg.Degrees.Sample(capRand)
+		node := NewNode(c.Fabric.Endpoint(), Config{
+			Key:    cfg.Keys.Sample(keyRand),
+			MaxIn:  caps,
+			MaxOut: caps,
+			Seed:   cfg.Seed + int64(i),
+		})
+		if i > 0 {
+			if err := node.Join(c.Nodes[0].Self().Addr); err != nil {
+				return nil, fmt.Errorf("p2p: node %d join: %w", i, err)
+			}
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	for round := 0; round < cfg.StabilizeRounds; round++ {
+		c.StabilizeAll()
+	}
+	c.RewireAll()
+	return c, nil
+}
+
+// StabilizeAll runs one stabilisation round on every node.
+func (c *Cluster) StabilizeAll() {
+	for _, n := range c.Nodes {
+		if !n.isDown() {
+			n.Stabilize()
+		}
+	}
+}
+
+// RewireAll rebuilds every node's long-range links.
+func (c *Cluster) RewireAll() {
+	for _, n := range c.Nodes {
+		if !n.isDown() {
+			_ = n.Rewire()
+		}
+	}
+}
+
+// Close shuts every node down.
+func (c *Cluster) Close() {
+	for _, n := range c.Nodes {
+		_ = n.Close()
+	}
+}
+
+func (n *Node) isDown() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down
+}

@@ -1,0 +1,51 @@
+package p2p
+
+import (
+	"sync"
+	"time"
+)
+
+// Maintenance runs a node's periodic background work: ring stabilisation
+// every interval, and a full rewiring pass every rewireEvery intervals
+// (0 disables rewiring). Stop it with Stop; stopping is idempotent.
+type Maintenance struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// StartMaintenance launches the background loop for the node. It returns a
+// handle whose Stop must be called before the node is closed (a ticking
+// maintenance loop on a closed node would probe dead endpoints forever).
+func (n *Node) StartMaintenance(interval time.Duration, rewireEvery int) *Maintenance {
+	m := &Maintenance{stop: make(chan struct{})}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		ticks := 0
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-ticker.C:
+				if n.isDown() {
+					return
+				}
+				n.Stabilize()
+				ticks++
+				if rewireEvery > 0 && ticks%rewireEvery == 0 {
+					_ = n.Rewire()
+				}
+			}
+		}
+	}()
+	return m
+}
+
+// Stop terminates the loop and waits for it to exit.
+func (m *Maintenance) Stop() {
+	m.once.Do(func() { close(m.stop) })
+	m.wg.Wait()
+}

@@ -1,0 +1,75 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+	"github.com/oscar-overlay/oscar/internal/transport"
+)
+
+// TestMaintenanceHealsRing lets the background loop (rather than manual
+// Stabilize calls) repair pointers after a crash.
+func TestMaintenanceHealsRing(t *testing.T) {
+	fabric := transport.NewFabric()
+	var nodes []*Node
+	for i := 0; i < 8; i++ {
+		n := NewNode(fabric.Endpoint(), Config{
+			Key: keyspace.FromFloat(float64(i) / 8), MaxIn: 8, MaxOut: 8, Seed: int64(i),
+		})
+		if i > 0 {
+			if err := n.Join(nodes[0].Self().Addr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	var maints []*Maintenance
+	for _, n := range nodes {
+		maints = append(maints, n.StartMaintenance(5*time.Millisecond, 0))
+	}
+	defer func() {
+		for _, m := range maints {
+			m.Stop()
+		}
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+
+	// Crash a node; the loops must route around it without manual help.
+	_ = nodes[3].Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, _, err := nodes[0].Lookup(keyspace.FromFloat(0.99))
+		if err == nil {
+			// Also confirm the corpse is out of the pointer chain.
+			healed := true
+			for i, n := range nodes {
+				if i == 3 {
+					continue
+				}
+				if n.Succ().Addr == nodes[3].Self().Addr || n.Pred().Addr == nodes[3].Self().Addr {
+					healed = false
+				}
+			}
+			if healed {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("maintenance loop did not heal the ring in time")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestMaintenanceStopIdempotent(t *testing.T) {
+	fabric := transport.NewFabric()
+	n := NewNode(fabric.Endpoint(), Config{Key: 1})
+	m := n.StartMaintenance(time.Millisecond, 1)
+	time.Sleep(5 * time.Millisecond)
+	m.Stop()
+	m.Stop() // second stop must not panic or deadlock
+	_ = n.Close()
+}

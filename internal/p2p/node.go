@@ -1,0 +1,301 @@
+// Package p2p is the live (message-passing) implementation of the Oscar
+// node: the same algorithms as the sequential simulator — Chord-style ring
+// maintenance, restricted-walk median sampling, partition-based long-range
+// link acquisition with in-degree admission — expressed as RPCs over a
+// transport.Transport, so a cluster can run on in-memory channels or real
+// TCP sockets.
+//
+// The simulator (internal/sim) is the tool for 10000-peer experiments; this
+// package is the deployment path and the proof that the algorithms need
+// nothing beyond per-node local state plus the protocol ops.
+package p2p
+
+import (
+	"math/rand"
+	"sync"
+
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+	"github.com/oscar-overlay/oscar/internal/storage"
+	"github.com/oscar-overlay/oscar/internal/transport"
+)
+
+// Config parameterises one node.
+type Config struct {
+	// Key is the node's position on the identifier circle.
+	Key keyspace.Key
+	// MaxIn and MaxOut are the link budgets (ρmax).
+	MaxIn, MaxOut int
+	// Samples and WalkSteps tune median estimation (defaults 12 and 8).
+	Samples, WalkSteps int
+	// MaxLevels bounds the partition recursion (default 48).
+	MaxLevels int
+	// PickSteps is the walk length for in-partition candidate draws
+	// (default 10).
+	PickSteps int
+	// DisablePowerOfTwo turns off the two-choices in-degree balancing
+	// (enabled by default).
+	DisablePowerOfTwo bool
+	// Seed drives the node's local randomness.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxIn == 0 {
+		c.MaxIn = 27
+	}
+	if c.MaxOut == 0 {
+		c.MaxOut = 27
+	}
+	if c.Samples == 0 {
+		c.Samples = 12
+	}
+	if c.WalkSteps == 0 {
+		c.WalkSteps = 8
+	}
+	if c.MaxLevels == 0 {
+		c.MaxLevels = 48
+	}
+	if c.PickSteps == 0 {
+		c.PickSteps = 10
+	}
+}
+
+// Node is one live overlay peer.
+type Node struct {
+	cfg  Config
+	tr   transport.Transport
+	self transport.PeerRef
+
+	mu    sync.Mutex
+	succ  transport.PeerRef
+	pred  transport.PeerRef
+	out   []transport.PeerRef
+	in    map[transport.Addr]keyspace.Key
+	store storage.Store
+	rnd   *rand.Rand
+	down  bool
+}
+
+// NewNode creates a node on the given transport and starts serving its
+// protocol handler. The node starts as a one-peer ring (succ = pred = self);
+// call Join to enter an existing overlay.
+func NewNode(tr transport.Transport, cfg Config) *Node {
+	cfg.fillDefaults()
+	n := &Node{
+		cfg:  cfg,
+		tr:   tr,
+		self: transport.PeerRef{Addr: tr.Addr(), Key: cfg.Key},
+		in:   make(map[transport.Addr]keyspace.Key),
+		rnd:  rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.Key))),
+	}
+	n.succ, n.pred = n.self, n.self
+	tr.Serve(n.handle)
+	return n
+}
+
+// Self returns the node's own peer reference.
+func (n *Node) Self() transport.PeerRef { return n.self }
+
+// Succ returns the current successor pointer.
+func (n *Node) Succ() transport.PeerRef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.succ
+}
+
+// Pred returns the current predecessor pointer.
+func (n *Node) Pred() transport.PeerRef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pred
+}
+
+// OutLinks returns a snapshot of the long-range out-links.
+func (n *Node) OutLinks() []transport.PeerRef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]transport.PeerRef(nil), n.out...)
+}
+
+// InDegree returns the number of registered in-links.
+func (n *Node) InDegree() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.in)
+}
+
+// StoredItems returns the number of items in the local shard.
+func (n *Node) StoredItems() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.store.Len()
+}
+
+// Close takes the node off the network (a crash: no graceful handover).
+func (n *Node) Close() error {
+	n.mu.Lock()
+	n.down = true
+	n.mu.Unlock()
+	return n.tr.Close()
+}
+
+// handle dispatches one incoming request. It runs on transport goroutines.
+func (n *Node) handle(req *transport.Request) *transport.Response {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return &transport.Response{OK: false, Err: "node down"}
+	}
+	switch req.Op {
+	case transport.OpPing:
+		return &transport.Response{OK: true, Peer: n.self}
+
+	case transport.OpInfo:
+		return &transport.Response{
+			OK: true, Peer: n.self,
+			MaxIn: n.cfg.MaxIn, MaxOut: n.cfg.MaxOut, InDeg: len(n.in),
+		}
+
+	case transport.OpGetSucc:
+		return &transport.Response{OK: true, Peer: n.succ}
+
+	case transport.OpGetPred:
+		return &transport.Response{OK: true, Peer: n.pred}
+
+	case transport.OpNotify:
+		// A peer announces itself; adopt it as pred and/or succ if it sits
+		// between the current pointers and us (Chord notify, both sides).
+		from := req.From
+		if from.Addr != n.self.Addr {
+			if n.pred.Addr == n.self.Addr || from.Key.Between(n.pred.Key, n.self.Key) ||
+				(from.Key == n.self.Key && from.Addr != n.pred.Addr && n.pred.Addr == n.self.Addr) {
+				n.pred = from
+			}
+			if n.succ.Addr == n.self.Addr || from.Key.Between(n.self.Key, n.succ.Key) {
+				n.succ = from
+			}
+		}
+		return &transport.Response{OK: true, Peer: n.succ}
+
+	case transport.OpNeighbors:
+		return n.neighborsLocked(req.Range)
+
+	case transport.OpLink:
+		if _, dup := n.in[req.From.Addr]; dup {
+			return &transport.Response{OK: true} // idempotent
+		}
+		if len(n.in) >= n.cfg.MaxIn {
+			return &transport.Response{OK: false, Err: "refused: in-degree cap"}
+		}
+		n.in[req.From.Addr] = req.From.Key
+		return &transport.Response{OK: true}
+
+	case transport.OpUnlink:
+		delete(n.in, req.From.Addr)
+		return &transport.Response{OK: true}
+
+	case transport.OpFindOwner:
+		return n.findOwnerLocked(req.Key, req.Exclude)
+
+	case transport.OpPut:
+		n.store.Put(req.Key, req.Value)
+		return &transport.Response{OK: true}
+
+	case transport.OpGet:
+		v, found := n.store.Get(req.Key)
+		return &transport.Response{OK: true, Value: v, Found: found}
+
+	case transport.OpRangeScan:
+		var items []storage.Item
+		n.store.Scan(req.Range, func(it storage.Item) bool {
+			if req.Limit > 0 && len(items) >= req.Limit {
+				return false
+			}
+			items = append(items, it)
+			return true
+		})
+		return &transport.Response{OK: true, Items: items, Peer: n.succ}
+
+	case transport.OpMigrate:
+		// The joining predecessor takes over its arc.
+		items := n.store.ExtractRange(req.Range)
+		return &transport.Response{OK: true, Items: items}
+
+	default:
+		return &transport.Response{OK: false, Err: "unknown op"}
+	}
+}
+
+// neighborsLocked lists this node's neighbours (ring pointers, out-links,
+// in-links) whose keys lie in rg, as a multiset like the simulator's walker
+// (symmetric multiplicities keep the MH walk uniform).
+func (n *Node) neighborsLocked(rg keyspace.Range) *transport.Response {
+	var peers []transport.PeerRef
+	consider := func(ref transport.PeerRef) {
+		if ref.Addr == n.self.Addr || ref.Addr == "" {
+			return
+		}
+		if rg.Contains(ref.Key) {
+			peers = append(peers, ref)
+		}
+	}
+	consider(n.succ)
+	consider(n.pred)
+	for _, ref := range n.out {
+		consider(ref)
+	}
+	for addr, key := range n.in {
+		consider(transport.PeerRef{Addr: addr, Key: key})
+	}
+	return &transport.Response{OK: true, Peers: peers, Degree: len(peers), Peer: n.self}
+}
+
+// findOwnerLocked answers one iterative routing step: if this node owns the
+// key, Found is true; otherwise Peer is the best non-overshooting next hop
+// not in the query's exclude set. With every useful neighbour excluded it
+// reports no route (OK=false) and the querier backtracks.
+func (n *Node) findOwnerLocked(key keyspace.Key, exclude []transport.Addr) *transport.Response {
+	if key.BetweenIncl(n.pred.Key, n.self.Key) || n.succ.Addr == n.self.Addr {
+		return &transport.Response{OK: true, Found: true, Peer: n.self}
+	}
+	excluded := func(a transport.Addr) bool {
+		for _, x := range exclude {
+			if x == a {
+				return true
+			}
+		}
+		return false
+	}
+	// The successor owns the key when it lies in (self, succ].
+	if key.BetweenIncl(n.self.Key, n.succ.Key) {
+		if excluded(n.succ.Addr) {
+			return &transport.Response{OK: false, Err: "no route"}
+		}
+		return &transport.Response{OK: true, Found: false, Peer: n.succ}
+	}
+	toTarget := n.self.Key.Distance(key)
+	var best transport.PeerRef
+	bestProgress := uint64(0)
+	if !excluded(n.succ.Addr) {
+		best = n.succ
+		if d := n.self.Key.Distance(n.succ.Key); d <= toTarget {
+			bestProgress = d
+		}
+	}
+	for _, ref := range n.out {
+		if excluded(ref.Addr) {
+			continue
+		}
+		d := n.self.Key.Distance(ref.Key)
+		if d == 0 || d > toTarget {
+			continue
+		}
+		if d > bestProgress || best.Addr == "" {
+			best, bestProgress = ref, d
+		}
+	}
+	if best.Addr == "" {
+		return &transport.Response{OK: false, Err: "no route"}
+	}
+	return &transport.Response{OK: true, Found: false, Peer: best}
+}

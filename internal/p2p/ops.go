@@ -1,0 +1,429 @@
+package p2p
+
+import (
+	"fmt"
+
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+	"github.com/oscar-overlay/oscar/internal/sampling"
+	"github.com/oscar-overlay/oscar/internal/storage"
+	"github.com/oscar-overlay/oscar/internal/transport"
+)
+
+// maxRouteHops bounds an iterative lookup; only a broken ring exhausts it.
+const maxRouteHops = 4096
+
+// Join enters the overlay through any existing member: it routes to the
+// owner of the node's key (the future successor), splices itself between the
+// owner and the owner's predecessor, migrates its arc's items, and wires its
+// long-range links.
+func (n *Node) Join(introducer transport.Addr) error {
+	owner, _, err := n.lookupVia(introducer, n.self.Key)
+	if err != nil {
+		return fmt.Errorf("p2p: join: %w", err)
+	}
+	resp, err := n.tr.Call(owner.Addr, &transport.Request{Op: transport.OpGetPred})
+	if err != nil || !resp.OK {
+		return fmt.Errorf("p2p: join: owner unreachable: %v", err)
+	}
+	pred := resp.Peer
+
+	n.mu.Lock()
+	n.succ = owner
+	if pred.Addr != "" && pred.Addr != n.self.Addr {
+		n.pred = pred
+	} else {
+		n.pred = owner
+	}
+	predKey := n.pred.Key
+	n.mu.Unlock()
+
+	// Announce ourselves to both sides so their pointers splice eagerly
+	// (periodic Stabilize would get there too, just later).
+	notify := &transport.Request{Op: transport.OpNotify, From: n.self}
+	if _, err := n.tr.Call(owner.Addr, notify); err != nil {
+		return fmt.Errorf("p2p: join: notify successor: %w", err)
+	}
+	if pred.Addr != "" && pred.Addr != owner.Addr {
+		if _, err := n.tr.Call(pred.Addr, notify); err != nil {
+			return fmt.Errorf("p2p: join: notify predecessor: %w", err)
+		}
+	}
+
+	// Take over the arc (pred, self] from the successor.
+	arc := keyspace.Range{Start: predKey + 1, End: n.self.Key + 1}
+	mig, err := n.tr.Call(owner.Addr, &transport.Request{Op: transport.OpMigrate, Range: arc, From: n.self})
+	if err == nil && mig.OK && len(mig.Items) > 0 {
+		n.mu.Lock()
+		n.store.InsertBulk(mig.Items)
+		n.mu.Unlock()
+	}
+
+	return n.Rewire()
+}
+
+// Stabilize runs one round of Chord stabilisation: verify the successor,
+// adopt a closer one if it appeared, re-notify, and drop a dead predecessor.
+// Call it periodically (or after failures) to heal the ring.
+func (n *Node) Stabilize() {
+	succ := n.Succ()
+	if succ.Addr == n.self.Addr {
+		return
+	}
+	resp, err := n.tr.Call(succ.Addr, &transport.Request{Op: transport.OpGetPred})
+	if err != nil || !resp.OK {
+		// Successor is dead: fall back to the nearest alive out-link
+		// clockwise (poor man's successor list) and let notify repair.
+		n.adoptNextSuccessor()
+		return
+	}
+	x := resp.Peer
+	if x.Addr != "" && x.Addr != n.self.Addr && x.Key.Between(n.self.Key, succ.Key) {
+		if _, err := n.tr.Call(x.Addr, &transport.Request{Op: transport.OpPing}); err == nil {
+			n.mu.Lock()
+			n.succ = x
+			n.mu.Unlock()
+		}
+	}
+	_, _ = n.tr.Call(n.Succ().Addr, &transport.Request{Op: transport.OpNotify, From: n.self})
+
+	// Probe the predecessor; clear it if dead so a live candidate can claim
+	// the slot at the next notify.
+	pred := n.Pred()
+	if pred.Addr != n.self.Addr {
+		if _, err := n.tr.Call(pred.Addr, &transport.Request{Op: transport.OpPing}); err != nil {
+			n.mu.Lock()
+			n.pred = n.self
+			n.mu.Unlock()
+		}
+	}
+}
+
+// adoptNextSuccessor replaces a dead successor with the closest alive peer
+// clockwise among the node's links.
+func (n *Node) adoptNextSuccessor() {
+	n.mu.Lock()
+	cands := append([]transport.PeerRef(nil), n.out...)
+	for addr, key := range n.in {
+		cands = append(cands, transport.PeerRef{Addr: addr, Key: key})
+	}
+	n.mu.Unlock()
+	var best transport.PeerRef
+	bestDist := ^uint64(0)
+	for _, c := range cands {
+		if c.Addr == n.self.Addr {
+			continue
+		}
+		if _, err := n.tr.Call(c.Addr, &transport.Request{Op: transport.OpPing}); err != nil {
+			continue
+		}
+		if d := n.self.Key.Distance(c.Key); d > 0 && d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	if best.Addr != "" {
+		n.mu.Lock()
+		n.succ = best
+		n.mu.Unlock()
+		_, _ = n.tr.Call(best.Addr, &transport.Request{Op: transport.OpNotify, From: n.self})
+	}
+}
+
+// Lookup routes from this node to the owner of key. It returns the owner and
+// the message cost (routing steps plus dead-peer probes).
+func (n *Node) Lookup(key keyspace.Key) (transport.PeerRef, int, error) {
+	return n.lookupVia(n.self.Addr, key)
+}
+
+// lookupVia iteratively routes starting at a given peer. The query carries
+// the knowledge it gathers: peers discovered dead (or routeless for this
+// key) go into an exclude set that visited peers honour, and the walk
+// backtracks when its current peer is exhausted — the live analogue of the
+// simulator's backtracking router.
+func (n *Node) lookupVia(start transport.Addr, key keyspace.Key) (transport.PeerRef, int, error) {
+	cur := start
+	cost := 0
+	var bad []transport.Addr   // dead or routeless peers
+	var stack []transport.Addr // peers to backtrack to
+	for hop := 0; hop < maxRouteHops; hop++ {
+		resp, err := n.tr.Call(cur, &transport.Request{Op: transport.OpFindOwner, Key: key, Exclude: bad})
+		if err != nil || !resp.OK {
+			cost++ // wasted message (dead probe) or exhausted peer
+			bad = append(bad, cur)
+			if len(stack) == 0 {
+				return transport.PeerRef{}, cost, fmt.Errorf("p2p: lookup: no route to %v", key)
+			}
+			cur = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		if resp.Found {
+			return resp.Peer, cost, nil
+		}
+		stack = append(stack, cur)
+		cur = resp.Peer.Addr
+		cost++
+	}
+	return transport.PeerRef{}, cost, fmt.Errorf("p2p: lookup: hop budget exhausted")
+}
+
+// Put stores value under key at the key's owner.
+func (n *Node) Put(key keyspace.Key, value []byte) (int, error) {
+	owner, cost, err := n.Lookup(key)
+	if err != nil {
+		return cost, err
+	}
+	resp, err := n.tr.Call(owner.Addr, &transport.Request{Op: transport.OpPut, Key: key, Value: value, From: n.self})
+	if err != nil || !resp.OK {
+		return cost + 1, fmt.Errorf("p2p: put: owner rejected: %v", err)
+	}
+	return cost + 1, nil
+}
+
+// Get fetches the value under key from the key's owner.
+func (n *Node) Get(key keyspace.Key) (value []byte, found bool, cost int, err error) {
+	owner, cost, err := n.Lookup(key)
+	if err != nil {
+		return nil, false, cost, err
+	}
+	resp, err := n.tr.Call(owner.Addr, &transport.Request{Op: transport.OpGet, Key: key, From: n.self})
+	if err != nil || !resp.OK {
+		return nil, false, cost + 1, fmt.Errorf("p2p: get: owner unreachable: %v", err)
+	}
+	return resp.Value, resp.Found, cost + 1, nil
+}
+
+// RangeQuery collects up to limit items with keys in [start, end), walking
+// shards clockwise from the owner of start. limit <= 0 means unlimited.
+func (n *Node) RangeQuery(start, end keyspace.Key, limit int) ([]storage.Item, int, error) {
+	rg := keyspace.Range{Start: start, End: end}
+	owner, cost, err := n.Lookup(start)
+	if err != nil {
+		return nil, cost, err
+	}
+	var items []storage.Item
+	cur := owner
+	for hop := 0; hop < maxRouteHops; hop++ {
+		want := 0
+		if limit > 0 {
+			want = limit - len(items)
+		}
+		resp, err := n.tr.Call(cur.Addr, &transport.Request{Op: transport.OpRangeScan, Range: rg, Limit: want, From: n.self})
+		cost++
+		if err != nil || !resp.OK {
+			return items, cost, fmt.Errorf("p2p: range: shard %s unreachable: %v", cur.Addr, err)
+		}
+		items = append(items, resp.Items...)
+		if limit > 0 && len(items) >= limit {
+			return items, cost, nil
+		}
+		if !rg.Contains(cur.Key) || resp.Peer.Addr == cur.Addr {
+			// This shard's arc extends past the range end: done.
+			return items, cost, nil
+		}
+		cur = resp.Peer // successor, as reported by the scan
+	}
+	return items, cost, fmt.Errorf("p2p: range: did not terminate")
+}
+
+// Rewire rebuilds the node's long-range links: release current ones,
+// estimate partitions by remote restricted walks, then acquire up to MaxOut
+// links with the admission + power-of-two rules. It returns the number of
+// links established.
+func (n *Node) Rewire() error {
+	n.mu.Lock()
+	old := n.out
+	n.out = nil
+	n.mu.Unlock()
+	for _, ref := range old {
+		_, _ = n.tr.Call(ref.Addr, &transport.Request{Op: transport.OpUnlink, From: n.self})
+	}
+
+	borders := n.discoverPartitions()
+	if len(borders) == 0 {
+		return nil
+	}
+	var out []transport.PeerRef
+	for slot := 0; slot < n.cfg.MaxOut; slot++ {
+		cand := n.pickCandidate(borders, out)
+		if cand.Addr == "" {
+			continue
+		}
+		resp, err := n.tr.Call(cand.Addr, &transport.Request{Op: transport.OpLink, From: n.self})
+		if err != nil || !resp.OK {
+			continue // refused or dead: the slot stays open until next rewire
+		}
+		out = append(out, cand)
+	}
+	n.mu.Lock()
+	n.out = out
+	n.mu.Unlock()
+	return nil
+}
+
+// discoverPartitions estimates the logarithmic partition borders via remote
+// walks, mirroring partition.BuildSampled.
+func (n *Node) discoverPartitions() []keyspace.Key {
+	succ := n.Succ()
+	if succ.Addr == n.self.Addr {
+		return nil
+	}
+	var borders []keyspace.Key
+	prev := n.self.Key
+	for level := 0; level < n.cfg.MaxLevels; level++ {
+		remaining := keyspace.Range{Start: n.self.Key, End: prev}
+		keys := n.sampleKeys(remaining, n.cfg.Samples, n.cfg.WalkSteps)
+		// Drop our own samples; see partition.BuildSampled.
+		filtered := keys[:0]
+		for _, k := range keys {
+			if k != n.self.Key {
+				filtered = append(filtered, k)
+			}
+		}
+		if len(filtered) == 0 {
+			break
+		}
+		m := sampling.MedianFrom(n.self.Key, filtered)
+		if m == n.self.Key {
+			break
+		}
+		if level > 0 && !remaining.Contains(m) {
+			break
+		}
+		borders = append(borders, m)
+		prev = m
+		if m == succ.Key {
+			break
+		}
+	}
+	if len(borders) > 0 && borders[len(borders)-1] != succ.Key {
+		last := keyspace.Range{Start: n.self.Key, End: borders[len(borders)-1]}
+		if last.Contains(succ.Key) {
+			borders = append(borders, succ.Key)
+		}
+	}
+	return borders
+}
+
+// sampleKeys draws approximately-uniform peer keys from rg with a chained
+// remote Metropolis–Hastings walk (client-driven: the node fetches each
+// position's neighbour list and steps itself).
+func (n *Node) sampleKeys(rg keyspace.Range, count, steps int) []keyspace.Key {
+	n.mu.Lock()
+	cur := n.self
+	curNbrs := n.neighborsLocked(rg).Peers
+	rnd := n.rnd
+	n.mu.Unlock()
+
+	var out []keyspace.Key
+	moves := 0
+	for len(out) < count {
+		// One lazy MH step (mirrors sampling.Walker).
+		if moves++; moves > count*steps*4 {
+			break // walk wedged (tiny or partitioned range): return what we have
+		}
+		if rnd.Float64() < 1.0/3 {
+			// lazy: stay
+		} else if len(curNbrs) > 0 {
+			next := curNbrs[rnd.Intn(len(curNbrs))]
+			resp, err := n.tr.Call(next.Addr, &transport.Request{Op: transport.OpNeighbors, Range: rg})
+			if err == nil && resp.OK && resp.Degree > 0 {
+				dv, du := len(curNbrs), resp.Degree
+				if du <= dv || rnd.Float64() < float64(dv)/float64(du) {
+					cur, curNbrs = next, resp.Peers
+				}
+			}
+		}
+		if moves%steps == 0 {
+			out = append(out, cur.Key)
+		}
+	}
+	return out
+}
+
+// pickCandidate draws a link candidate: uniform partition, uniform peer
+// inside it (remote walk), with the power-of-two choice across two draws.
+func (n *Node) pickCandidate(borders []keyspace.Key, existing []transport.PeerRef) transport.PeerRef {
+	first := n.pickOne(borders, existing)
+	if n.cfg.DisablePowerOfTwo {
+		return first
+	}
+	second := n.pickOne(borders, existing)
+	switch {
+	case first.Addr == "":
+		return second
+	case second.Addr == "" || second.Addr == first.Addr:
+		return first
+	default:
+		lf, okf := n.relativeLoad(first)
+		ls, oks := n.relativeLoad(second)
+		if oks && (!okf || ls < lf) {
+			return second
+		}
+		return first
+	}
+}
+
+// relativeLoad fetches InDeg/MaxIn of a candidate.
+func (n *Node) relativeLoad(ref transport.PeerRef) (float64, bool) {
+	resp, err := n.tr.Call(ref.Addr, &transport.Request{Op: transport.OpInfo})
+	if err != nil || !resp.OK || resp.MaxIn <= 0 {
+		return 1, false
+	}
+	return float64(resp.InDeg) / float64(resp.MaxIn), true
+}
+
+// pickOne draws one candidate from a uniformly chosen partition.
+func (n *Node) pickOne(borders []keyspace.Key, existing []transport.PeerRef) transport.PeerRef {
+	n.mu.Lock()
+	i := n.rnd.Intn(len(borders))
+	n.mu.Unlock()
+	var rg keyspace.Range
+	if i == 0 {
+		rg = keyspace.Range{Start: borders[0], End: n.self.Key}
+	} else {
+		rg = keyspace.Range{Start: borders[i], End: borders[i-1]}
+	}
+	// Enter the partition by routing to its lower border, then walk.
+	entry, _, err := n.Lookup(rg.Start)
+	if err != nil || !rg.Contains(entry.Key) {
+		return transport.PeerRef{}
+	}
+	cand := n.walkOnce(entry, rg, n.cfg.PickSteps)
+	if cand.Addr == n.self.Addr {
+		return transport.PeerRef{}
+	}
+	for _, ex := range existing {
+		if ex.Addr == cand.Addr {
+			return transport.PeerRef{}
+		}
+	}
+	return cand
+}
+
+// walkOnce performs one bounded remote walk from entry within rg.
+func (n *Node) walkOnce(entry transport.PeerRef, rg keyspace.Range, steps int) transport.PeerRef {
+	cur := entry
+	resp, err := n.tr.Call(cur.Addr, &transport.Request{Op: transport.OpNeighbors, Range: rg})
+	if err != nil || !resp.OK {
+		return transport.PeerRef{}
+	}
+	nbrs := resp.Peers
+	n.mu.Lock()
+	rnd := n.rnd
+	n.mu.Unlock()
+	for s := 0; s < steps; s++ {
+		if rnd.Float64() < 1.0/3 || len(nbrs) == 0 {
+			continue
+		}
+		next := nbrs[rnd.Intn(len(nbrs))]
+		r2, err := n.tr.Call(next.Addr, &transport.Request{Op: transport.OpNeighbors, Range: rg})
+		if err != nil || !r2.OK || r2.Degree == 0 {
+			continue
+		}
+		dv, du := len(nbrs), r2.Degree
+		if du <= dv || rnd.Float64() < float64(dv)/float64(du) {
+			cur, nbrs = next, r2.Peers
+		}
+	}
+	return cur
+}

@@ -1,0 +1,286 @@
+package p2p
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+	"github.com/oscar-overlay/oscar/internal/transport"
+)
+
+// expectedOwner computes the true owner of key among the given nodes.
+func expectedOwner(nodes []*Node, key keyspace.Key) transport.PeerRef {
+	type ref struct {
+		key  keyspace.Key
+		addr transport.Addr
+	}
+	var alive []ref
+	for _, n := range nodes {
+		if !n.isDown() {
+			alive = append(alive, ref{n.Self().Key, n.Self().Addr})
+		}
+	}
+	sort.Slice(alive, func(i, j int) bool { return alive[i].key < alive[j].key })
+	for _, r := range alive {
+		if r.key >= key {
+			return transport.PeerRef{Addr: r.addr, Key: r.key}
+		}
+	}
+	return transport.PeerRef{Addr: alive[0].addr, Key: alive[0].key} // wrap
+}
+
+func newTestCluster(t *testing.T, size int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{Size: size, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestSingleNode(t *testing.T) {
+	c := newTestCluster(t, 1)
+	n := c.Nodes[0]
+	if n.Succ().Addr != n.Self().Addr || n.Pred().Addr != n.Self().Addr {
+		t.Error("singleton must point at itself")
+	}
+	owner, cost, err := n.Lookup(12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner.Addr != n.Self().Addr || cost != 0 {
+		t.Errorf("owner=%v cost=%d", owner, cost)
+	}
+}
+
+func TestRingFormation(t *testing.T) {
+	c := newTestCluster(t, 24)
+	// Walk successors from node 0: must visit all 24 nodes in key order.
+	start := c.Nodes[0].Self()
+	visited := map[transport.Addr]bool{start.Addr: true}
+	cur := c.Nodes[0].Succ()
+	var keys []keyspace.Key
+	for cur.Addr != start.Addr {
+		if visited[cur.Addr] {
+			t.Fatalf("ring short-circuits at %s after %d nodes", cur.Addr, len(visited))
+		}
+		visited[cur.Addr] = true
+		keys = append(keys, cur.Key)
+		resp, err := c.Nodes[0].tr.Call(cur.Addr, &transport.Request{Op: transport.OpGetSucc})
+		if err != nil || !resp.OK {
+			t.Fatalf("get_succ %s: %v", cur.Addr, err)
+		}
+		cur = resp.Peer
+	}
+	if len(visited) != 24 {
+		t.Fatalf("ring covers %d of 24 nodes", len(visited))
+	}
+	// Keys along the walk from start wrap exactly once: the sequence of
+	// clockwise distances from start must be increasing.
+	for i := 1; i < len(keys); i++ {
+		if start.Key.Distance(keys[i-1]) >= start.Key.Distance(keys[i]) {
+			t.Fatal("ring order broken")
+		}
+	}
+}
+
+func TestLookupCorrectness(t *testing.T) {
+	c := newTestCluster(t, 32)
+	for i := 0; i < 100; i++ {
+		key := keyspace.FromFloat(float64(i) / 100)
+		want := expectedOwner(c.Nodes, key)
+		got, _, err := c.Nodes[i%len(c.Nodes)].Lookup(key)
+		if err != nil {
+			t.Fatalf("lookup %v: %v", key, err)
+		}
+		if got.Addr != want.Addr {
+			t.Errorf("lookup %v: owner %s (key %v), want %s (key %v)",
+				key, got.Addr, got.Key, want.Addr, want.Key)
+		}
+	}
+}
+
+func TestRewireEstablishesLinks(t *testing.T) {
+	c := newTestCluster(t, 40)
+	total := 0
+	for _, n := range c.Nodes {
+		links := n.OutLinks()
+		total += len(links)
+		for _, ref := range links {
+			if ref.Addr == n.Self().Addr {
+				t.Error("self-link")
+			}
+		}
+	}
+	if total < 40*4 {
+		t.Errorf("only %d long-range links across the cluster", total)
+	}
+	// In-degree caps respected.
+	for _, n := range c.Nodes {
+		if n.InDegree() > n.cfg.MaxIn {
+			t.Errorf("node exceeds in-cap: %d > %d", n.InDegree(), n.cfg.MaxIn)
+		}
+	}
+}
+
+func TestPutGetAcrossCluster(t *testing.T) {
+	c := newTestCluster(t, 24)
+	for i := 0; i < 50; i++ {
+		key := keyspace.FromFloat(float64(i) / 50)
+		val := []byte(fmt.Sprintf("v%d", i))
+		if _, err := c.Nodes[i%24].Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+		got, found, _, err := c.Nodes[(i+7)%24].Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found || !bytes.Equal(got, val) {
+			t.Fatalf("get %v from another node = %q, %v", key, got, found)
+		}
+	}
+}
+
+func TestRangeQueryAcrossShards(t *testing.T) {
+	c := newTestCluster(t, 16)
+	for i := 0; i < 40; i++ {
+		if _, err := c.Nodes[0].Put(keyspace.FromFloat(float64(i)/40), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items, _, err := c.Nodes[5].RangeQuery(keyspace.FromFloat(0.25), keyspace.FromFloat(0.75), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 20 { // fractions 10/40 .. 29/40
+		t.Fatalf("range returned %d items, want 20", len(items))
+	}
+	for i := 1; i < len(items); i++ {
+		if items[i-1].Key >= items[i].Key {
+			t.Fatal("range results out of order")
+		}
+	}
+}
+
+func TestJoinMigratesItems(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Size: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var keys []keyspace.Key
+	for i := 0; i < 60; i++ {
+		k := keyspace.FromFloat(float64(i) / 60)
+		keys = append(keys, k)
+		if _, err := c.Nodes[0].Put(k, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A new node joins; items in its arc must move to it and stay readable.
+	newbie := NewNode(c.Fabric.Endpoint(), Config{Key: keyspace.FromFloat(0.5), MaxIn: 16, MaxOut: 16, Seed: 99})
+	if err := newbie.Join(c.Nodes[0].Self().Addr); err != nil {
+		t.Fatal(err)
+	}
+	c.Nodes = append(c.Nodes, newbie)
+	c.StabilizeAll()
+	for i, k := range keys {
+		got, found, _, err := c.Nodes[2].Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found || got[0] != byte(i) {
+			t.Fatalf("item %d lost after join", i)
+		}
+	}
+	if newbie.StoredItems() == 0 {
+		t.Error("joining node received no items despite owning an arc")
+	}
+}
+
+func TestCrashAndHeal(t *testing.T) {
+	c := newTestCluster(t, 24)
+	// Kill a third of the nodes (not node 0, our query entry point).
+	killed := 0
+	for i := 1; i < len(c.Nodes) && killed < 8; i += 3 {
+		_ = c.Nodes[i].Close()
+		killed++
+	}
+	// A few stabilisation rounds heal the ring.
+	for round := 0; round < 6; round++ {
+		c.StabilizeAll()
+	}
+	for i := 0; i < 50; i++ {
+		key := keyspace.FromFloat(float64(i) / 50)
+		want := expectedOwner(c.Nodes, key)
+		got, _, err := c.Nodes[0].Lookup(key)
+		if err != nil {
+			t.Fatalf("lookup %v after churn: %v", key, err)
+		}
+		if got.Addr != want.Addr {
+			t.Errorf("lookup %v: owner %s, want %s", key, got.Addr, want.Addr)
+		}
+	}
+}
+
+func TestClusterOverTCP(t *testing.T) {
+	// A small live cluster on loopback sockets: overlay formation, data
+	// operations and a crash, all over real TCP.
+	const size = 8
+	var nodes []*Node
+	for i := 0; i < size; i++ {
+		ep, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := NewNode(ep, Config{
+			Key:    keyspace.FromFloat(float64(i)/size + 0.01),
+			MaxIn:  8,
+			MaxOut: 8,
+			Seed:   int64(i),
+		})
+		if i > 0 {
+			if err := n.Join(nodes[0].Self().Addr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+	for round := 0; round < 2; round++ {
+		for _, n := range nodes {
+			n.Stabilize()
+		}
+	}
+	for _, n := range nodes {
+		if err := n.Rewire(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	key := keyspace.FromFloat(0.42)
+	if _, err := nodes[3].Put(key, []byte("over-tcp")); err != nil {
+		t.Fatal(err)
+	}
+	got, found, _, err := nodes[6].Get(key)
+	if err != nil || !found || string(got) != "over-tcp" {
+		t.Fatalf("tcp get = %q %v %v", got, found, err)
+	}
+	// Crash one node; the ring heals and lookups still succeed.
+	_ = nodes[5].Close()
+	for round := 0; round < 4; round++ {
+		for _, n := range nodes {
+			if !n.isDown() {
+				n.Stabilize()
+			}
+		}
+	}
+	if _, _, err := nodes[1].Lookup(keyspace.FromFloat(0.9)); err != nil {
+		t.Fatalf("lookup after tcp crash: %v", err)
+	}
+}

@@ -1,0 +1,308 @@
+// Package ring maintains the ordered ring underlying the overlay: peers
+// sorted by identifier, successor/predecessor pointers over alive peers,
+// and key-ownership lookups.
+//
+// The paper assumes "the ring structure was preserved by the devised
+// self-stabilizing techniques (e.g. Chord ring maintenance algorithms)" and
+// evaluates only the long-range-link layer under churn. This package is that
+// assumption made executable: Kill re-stitches the alive ring immediately. A
+// message-driven stabiliser for live deployments lives in internal/p2p.
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/oscar-overlay/oscar/internal/graph"
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+)
+
+// Ring keeps the peers of a Network in identifier order.
+type Ring struct {
+	net *graph.Network
+	// order lists all peers (alive and dead) sorted by (key, id); dead
+	// peers are skipped during lookups. Ties on key are broken by id so the
+	// order is total, and a peer's index can be recovered by binary search.
+	order []graph.NodeID
+}
+
+// New creates a ring over an (initially empty) network.
+func New(net *graph.Network) *Ring {
+	return &Ring{net: net}
+}
+
+// indexOf returns the position of id in the order via binary search on
+// (key, id). It panics if the peer was never inserted.
+func (r *Ring) indexOf(id graph.NodeID) int {
+	i := sort.Search(len(r.order), func(i int) bool { return !r.less(r.order[i], id) })
+	if i == len(r.order) || r.order[i] != id {
+		panic(fmt.Sprintf("ring: node %d not on the ring", id))
+	}
+	return i
+}
+
+// less orders peers by (key, id).
+func (r *Ring) less(a, b graph.NodeID) bool {
+	na, nb := r.net.Node(a), r.net.Node(b)
+	if na.Key != nb.Key {
+		return na.Key < nb.Key
+	}
+	return na.ID < nb.ID
+}
+
+// Insert adds an alive peer to the ring and splices the successor and
+// predecessor pointers of its neighbours.
+func (r *Ring) Insert(id graph.NodeID) {
+	n := r.net.Node(id)
+	if !n.Alive {
+		panic("ring: inserting dead peer")
+	}
+	i := sort.Search(len(r.order), func(i int) bool { return !r.less(r.order[i], id) })
+	r.order = append(r.order, graph.NoNode)
+	copy(r.order[i+1:], r.order[i:])
+	r.order[i] = id
+	// Splice pointers: find alive neighbours around position i.
+	if r.aliveLen() == 1 {
+		n.Succ, n.Pred = id, id // single-peer ring points at itself
+		return
+	}
+	succ := r.nextAliveFrom(i + 1)
+	pred := r.prevAliveFrom(i - 1)
+	n.Succ, n.Pred = succ, pred
+	r.net.Node(succ).Pred = id
+	r.net.Node(pred).Succ = id
+}
+
+// aliveLen returns the number of alive peers on the ring.
+func (r *Ring) aliveLen() int { return r.net.AliveCount() }
+
+// nextAliveFrom scans clockwise starting at index i (wrapping) and returns
+// the first alive peer. It panics if no peer is alive.
+func (r *Ring) nextAliveFrom(i int) graph.NodeID {
+	n := len(r.order)
+	for k := 0; k < n; k++ {
+		id := r.order[((i+k)%n+n)%n]
+		if r.net.Node(id).Alive {
+			return id
+		}
+	}
+	panic("ring: no alive peers")
+}
+
+// prevAliveFrom scans counterclockwise starting at index i (wrapping) and
+// returns the first alive peer.
+func (r *Ring) prevAliveFrom(i int) graph.NodeID {
+	n := len(r.order)
+	for k := 0; k < n; k++ {
+		id := r.order[((i-k)%n+n)%n]
+		if r.net.Node(id).Alive {
+			return id
+		}
+	}
+	panic("ring: no alive peers")
+}
+
+// Kill marks the peer dead in the network and re-stitches its alive ring
+// neighbours around it, modelling instantaneous self-stabilisation.
+func (r *Ring) Kill(id graph.NodeID) {
+	n := r.net.Node(id)
+	if !n.Alive {
+		return
+	}
+	r.net.Kill(id)
+	if r.aliveLen() == 0 {
+		return
+	}
+	i := r.indexOf(id)
+	succ := r.nextAliveFrom(i + 1)
+	pred := r.prevAliveFrom(i - 1)
+	r.net.Node(pred).Succ = succ
+	r.net.Node(succ).Pred = pred
+}
+
+// OwnerOf returns the peer owning key k under the successor convention: the
+// first alive peer at or clockwise-after k. It panics on an empty ring.
+func (r *Ring) OwnerOf(k keyspace.Key) graph.NodeID {
+	if len(r.order) == 0 || r.aliveLen() == 0 {
+		panic("ring: OwnerOf on empty ring")
+	}
+	i := sort.Search(len(r.order), func(i int) bool {
+		return r.net.Node(r.order[i]).Key >= k
+	})
+	return r.nextAliveFrom(i) // wraps to the smallest key when k > all keys
+}
+
+// Successor returns the alive peer clockwise-after the given peer (which may
+// itself be dead: the lookup starts from its ring position).
+func (r *Ring) Successor(id graph.NodeID) graph.NodeID {
+	return r.nextAliveFrom(r.indexOf(id) + 1)
+}
+
+// Predecessor returns the alive peer counterclockwise-before the given peer.
+func (r *Ring) Predecessor(id graph.NodeID) graph.NodeID {
+	return r.prevAliveFrom(r.indexOf(id) - 1)
+}
+
+// RandomAlive returns a uniformly random alive peer.
+func (r *Ring) RandomAlive(rng *rand.Rand) graph.NodeID {
+	if r.aliveLen() == 0 {
+		panic("ring: RandomAlive on empty ring")
+	}
+	for {
+		id := r.order[rng.Intn(len(r.order))]
+		if r.net.Node(id).Alive {
+			return id
+		}
+	}
+}
+
+// RandomAliveInRange returns a uniformly random alive peer with key in rg,
+// or graph.NoNode when the range holds none. Used by oracle-mode wiring.
+func (r *Ring) RandomAliveInRange(rng *rand.Rand, rg keyspace.Range) graph.NodeID {
+	if len(r.order) == 0 {
+		return graph.NoNode
+	}
+	if rg.IsFull() {
+		if r.aliveLen() == 0 {
+			return graph.NoNode
+		}
+		return r.RandomAlive(rng)
+	}
+	// The order slice is sorted by key, so the range occupies a contiguous
+	// (possibly wrapping) index window.
+	n := len(r.order)
+	lo := sort.Search(n, func(i int) bool { return r.net.Node(r.order[i]).Key >= rg.Start })
+	hi := sort.Search(n, func(i int) bool { return r.net.Node(r.order[i]).Key >= rg.End })
+	window := hi - lo
+	if window <= 0 {
+		window += n
+	}
+	if window == 0 {
+		return graph.NoNode
+	}
+	// Rejection-sample alive peers from the window; fall back to a scan if
+	// the window looks devoid of alive peers.
+	for attempt := 0; attempt < 3*window+8; attempt++ {
+		id := r.order[(lo+rng.Intn(window))%n]
+		node := r.net.Node(id)
+		if node.Alive && rg.Contains(node.Key) {
+			return id
+		}
+	}
+	ids := r.AliveInRange(rg)
+	if len(ids) == 0 {
+		return graph.NoNode
+	}
+	return ids[rng.Intn(len(ids))]
+}
+
+// AliveInRange returns the alive peers whose keys lie in rg, ordered
+// clockwise starting from rg.Start.
+func (r *Ring) AliveInRange(rg keyspace.Range) []graph.NodeID {
+	var out []graph.NodeID
+	r.ScanRange(rg, func(id graph.NodeID) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// CountAliveInRange counts alive peers with keys in rg.
+func (r *Ring) CountAliveInRange(rg keyspace.Range) int {
+	count := 0
+	r.ScanRange(rg, func(graph.NodeID) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// ScanRange visits alive peers with keys in rg in clockwise order from
+// rg.Start; fn returning false stops the scan.
+func (r *Ring) ScanRange(rg keyspace.Range, fn func(graph.NodeID) bool) {
+	if len(r.order) == 0 {
+		return
+	}
+	start := sort.Search(len(r.order), func(i int) bool {
+		return r.net.Node(r.order[i]).Key >= rg.Start
+	})
+	n := len(r.order)
+	for k := 0; k < n; k++ {
+		id := r.order[(start+k)%n]
+		node := r.net.Node(id)
+		if !node.Alive {
+			continue
+		}
+		if !rg.Contains(node.Key) {
+			// Peers are visited in clockwise key order from rg.Start, so
+			// the first key outside the arc ends it — unless the range is
+			// full, which Contains already reports as inside.
+			return
+		}
+		if !fn(id) {
+			return
+		}
+	}
+}
+
+// AliveOrdered returns all alive peers in ascending key order.
+func (r *Ring) AliveOrdered() []graph.NodeID {
+	out := make([]graph.NodeID, 0, r.aliveLen())
+	for _, id := range r.order {
+		if r.net.Node(id).Alive {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Stabilize recomputes every alive peer's successor and predecessor from the
+// global order. Insert and Kill keep pointers correct incrementally; this is
+// the recovery path after bulk operations and a test oracle.
+func (r *Ring) Stabilize() {
+	alive := make([]graph.NodeID, 0, r.aliveLen())
+	for _, id := range r.order {
+		if r.net.Node(id).Alive {
+			alive = append(alive, id)
+		}
+	}
+	for i, id := range alive {
+		n := r.net.Node(id)
+		n.Succ = alive[(i+1)%len(alive)]
+		n.Pred = alive[(i-1+len(alive))%len(alive)]
+	}
+}
+
+// CheckInvariants verifies ring consistency: order sorted, positions match,
+// pointers form the alive cycle.
+func (r *Ring) CheckInvariants() error {
+	for i := 1; i < len(r.order); i++ {
+		if !r.less(r.order[i-1], r.order[i]) {
+			return fmt.Errorf("ring: order not sorted at %d", i)
+		}
+	}
+	for i, id := range r.order {
+		if r.indexOf(id) != i {
+			return fmt.Errorf("ring: indexOf(%d)=%d, want %d", id, r.indexOf(id), i)
+		}
+	}
+	var alive []graph.NodeID
+	for _, id := range r.order {
+		if r.net.Node(id).Alive {
+			alive = append(alive, id)
+		}
+	}
+	for i, id := range alive {
+		n := r.net.Node(id)
+		wantSucc := alive[(i+1)%len(alive)]
+		wantPred := alive[(i-1+len(alive))%len(alive)]
+		if n.Succ != wantSucc {
+			return fmt.Errorf("ring: node %d succ=%d, want %d", id, n.Succ, wantSucc)
+		}
+		if n.Pred != wantPred {
+			return fmt.Errorf("ring: node %d pred=%d, want %d", id, n.Pred, wantPred)
+		}
+	}
+	return nil
+}

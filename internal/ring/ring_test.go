@@ -1,0 +1,226 @@
+package ring
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/oscar-overlay/oscar/internal/graph"
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+)
+
+// build creates a network+ring with the given keys; caps are generous.
+func build(keys ...keyspace.Key) (*graph.Network, *Ring) {
+	g := graph.New()
+	r := New(g)
+	for _, k := range keys {
+		n := g.Add(k, 100, 100)
+		r.Insert(n.ID)
+	}
+	return g, r
+}
+
+func TestInsertMaintainsPointers(t *testing.T) {
+	g, r := build(50, 10, 30, 90, 70)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Walk the ring from the smallest key; must visit keys in order.
+	start := r.OwnerOf(0)
+	keys := []keyspace.Key{g.Node(start).Key}
+	for id := g.Node(start).Succ; id != start; id = g.Node(id).Succ {
+		keys = append(keys, g.Node(id).Key)
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Errorf("ring walk out of order: %v", keys)
+	}
+	if len(keys) != 5 {
+		t.Errorf("walk visited %d peers", len(keys))
+	}
+}
+
+func TestSingleNodeRing(t *testing.T) {
+	g, r := build(42)
+	id := r.OwnerOf(7)
+	n := g.Node(id)
+	if n.Succ != id || n.Pred != id {
+		t.Error("single peer must point at itself")
+	}
+	if r.OwnerOf(10000) != id {
+		t.Error("single peer owns everything")
+	}
+}
+
+func TestOwnerOf(t *testing.T) {
+	_, r := build(100, 200, 300)
+	cases := map[keyspace.Key]keyspace.Key{
+		100: 100, 150: 200, 200: 200, 250: 300, 300: 300,
+		301: 100, // wraps
+		0:   100,
+	}
+	for k, wantKey := range cases {
+		got := r.net.Node(r.OwnerOf(k)).Key
+		if got != wantKey {
+			t.Errorf("OwnerOf(%d) has key %d, want %d", k, got, wantKey)
+		}
+	}
+}
+
+func TestKillRestitches(t *testing.T) {
+	g, r := build(10, 20, 30, 40)
+	mid := r.OwnerOf(20)
+	r.Kill(mid)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// 20's neighbours must now bypass it.
+	n10 := g.Node(r.OwnerOf(10))
+	if g.Node(n10.Succ).Key != 30 {
+		t.Errorf("succ of 10 is %d, want 30", g.Node(n10.Succ).Key)
+	}
+	if r.net.Node(r.OwnerOf(15)).Key != 30 {
+		t.Error("ownership must skip dead peers")
+	}
+	r.Kill(mid) // idempotent
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuccessorPredecessorAroundDead(t *testing.T) {
+	g, r := build(10, 20, 30)
+	id20 := r.OwnerOf(20)
+	r.Kill(id20)
+	// Successor from the dead peer's position still works.
+	if g.Node(r.Successor(id20)).Key != 30 {
+		t.Error("Successor from dead position wrong")
+	}
+	if g.Node(r.Predecessor(id20)).Key != 10 {
+		t.Error("Predecessor from dead position wrong")
+	}
+}
+
+func TestDuplicateKeysOrderedByID(t *testing.T) {
+	g, r := build(50, 50, 50)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// All three must be on the ring and reachable.
+	start := r.OwnerOf(0)
+	count := 1
+	for id := g.Node(start).Succ; id != start; id = g.Node(id).Succ {
+		count++
+	}
+	if count != 3 {
+		t.Errorf("ring cycle has %d peers, want 3", count)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	g, r := build(10, 20, 30, 40, 50)
+	got := keysOf(g, r.AliveInRange(keyspace.Range{Start: 15, End: 45}))
+	want := []keyspace.Key{20, 30, 40}
+	if !equalKeys(got, want) {
+		t.Errorf("AliveInRange = %v, want %v", got, want)
+	}
+	// Wrapping range.
+	got = keysOf(g, r.AliveInRange(keyspace.Range{Start: 45, End: 15}))
+	want = []keyspace.Key{50, 10}
+	if !equalKeys(got, want) {
+		t.Errorf("wrapping AliveInRange = %v, want %v", got, want)
+	}
+	// Full range.
+	if n := r.CountAliveInRange(keyspace.FullRange()); n != 5 {
+		t.Errorf("full-range count = %d", n)
+	}
+	// Early stop.
+	visits := 0
+	r.ScanRange(keyspace.FullRange(), func(graph.NodeID) bool {
+		visits++
+		return visits < 2
+	})
+	if visits != 2 {
+		t.Errorf("early stop visited %d", visits)
+	}
+}
+
+func TestScanRangeSkipsDead(t *testing.T) {
+	g, r := build(10, 20, 30)
+	r.Kill(r.OwnerOf(20))
+	got := keysOf(g, r.AliveInRange(keyspace.Range{Start: 5, End: 35}))
+	if !equalKeys(got, []keyspace.Key{10, 30}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestRandomAliveOnlyReturnsAlive(t *testing.T) {
+	g, r := build(1, 2, 3, 4, 5, 6, 7, 8)
+	r.Kill(r.OwnerOf(2))
+	r.Kill(r.OwnerOf(5))
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		if !g.Node(r.RandomAlive(rng)).Alive {
+			t.Fatal("RandomAlive returned a dead peer")
+		}
+	}
+}
+
+func TestStabilizeMatchesIncremental(t *testing.T) {
+	g, r := build(5, 15, 25, 35, 45, 55)
+	r.Kill(r.OwnerOf(25))
+	r.Kill(r.OwnerOf(55))
+	// Capture incremental pointers, recompute, compare via invariants.
+	type ptrs struct{ s, p graph.NodeID }
+	before := map[graph.NodeID]ptrs{}
+	g.ForEachAlive(func(n *graph.Node) { before[n.ID] = ptrs{n.Succ, n.Pred} })
+	r.Stabilize()
+	g.ForEachAlive(func(n *graph.Node) {
+		if b := before[n.ID]; b.s != n.Succ || b.p != n.Pred {
+			t.Errorf("node %d: incremental (%d,%d) vs stabilized (%d,%d)", n.ID, b.s, b.p, n.Succ, n.Pred)
+		}
+	})
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedChurnInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.New()
+	r := New(g)
+	var ids []graph.NodeID
+	for i := 0; i < 300; i++ {
+		n := g.Add(keyspace.Key(rng.Uint64()), 10, 10)
+		r.Insert(n.ID)
+		ids = append(ids, n.ID)
+		if i%10 == 0 && len(ids) > 5 {
+			r.Kill(ids[rng.Intn(len(ids))])
+		}
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func keysOf(g *graph.Network, ids []graph.NodeID) []keyspace.Key {
+	out := make([]keyspace.Key, len(ids))
+	for i, id := range ids {
+		out[i] = g.Node(id).Key
+	}
+	return out
+}
+
+func equalKeys(a, b []keyspace.Key) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,112 @@
+package routing
+
+import (
+	"github.com/oscar-overlay/oscar/internal/graph"
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+	"github.com/oscar-overlay/oscar/internal/ring"
+)
+
+// GreedyBidirectional routes by shrinking the *circular* (shorter-arc)
+// distance to the target, using ring pointers in both directions plus
+// long-range links in either role (out-links and in-links are both usable:
+// connections are bidirectional once established).
+//
+// Unlike the clockwise router, bidirectional greedy can genuinely dead-end:
+// a peer may have no unvisited alive neighbour closer to the target, at
+// which point the query backtracks (the mechanism of the paper's §3). It is
+// provided as an ablation: on healthy networks it shortens paths slightly;
+// under churn its backtracking cost quantifies what the clockwise router's
+// monotone progress buys.
+func GreedyBidirectional(net *graph.Network, rg *ring.Ring, from graph.NodeID, target keyspace.Key) Result {
+	res := Result{Owner: rg.OwnerOf(target), Path: []graph.NodeID{from}}
+	budget := maxHopsFor(net.AliveCount())
+
+	ownerKey := net.Node(res.Owner).Key
+	visited := map[graph.NodeID]bool{from: true}
+	knownDead := map[graph.NodeID]bool{}
+	var stack []graph.NodeID
+	cur := from
+
+	for cur != res.Owner {
+		if res.Cost() >= budget {
+			return res
+		}
+		next, probes := closestUnvisited(net, cur, ownerKey, visited, knownDead)
+		res.Probes += probes
+		if next == graph.NoNode {
+			if len(stack) == 0 {
+				return res // wedged at the source (cannot happen on a stitched ring)
+			}
+			cur = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			res.Backtracks++
+			res.Path = append(res.Path, cur)
+			continue
+		}
+		visited[next] = true
+		stack = append(stack, cur)
+		cur = next
+		res.Hops++
+		res.Path = append(res.Path, cur)
+	}
+	res.Found = true
+	return res
+}
+
+// closestUnvisited returns the unvisited alive neighbour circularly closest
+// to the owner's key, probing stale entries on the way; NoNode when every
+// strictly-closer neighbour is exhausted.
+func closestUnvisited(net *graph.Network, cur graph.NodeID, ownerKey keyspace.Key,
+	visited, knownDead map[graph.NodeID]bool) (graph.NodeID, int) {
+
+	n := net.Node(cur)
+	curDist := n.Key.CircularDistance(ownerKey)
+
+	type cand struct {
+		id   graph.NodeID
+		dist uint64
+	}
+	var cands []cand
+	addCand := func(t graph.NodeID) {
+		if t == graph.NoNode || t == cur || visited[t] || knownDead[t] {
+			return
+		}
+		d := net.Node(t).Key.CircularDistance(ownerKey)
+		// Only the ring successor may tie or regress: it guarantees
+		// eventual progress along the stitched ring. Everything else must
+		// strictly improve, or the walk could orbit.
+		if d >= curDist && t != n.Succ {
+			return
+		}
+		for _, c := range cands {
+			if c.id == t {
+				return
+			}
+		}
+		cands = append(cands, cand{t, d})
+	}
+	for _, t := range n.Out {
+		addCand(t)
+	}
+	for _, t := range n.In {
+		addCand(t)
+	}
+	addCand(n.Succ)
+	addCand(n.Pred)
+
+	// Sort ascending by distance (insertion sort over a degree-sized list).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].dist < cands[j-1].dist; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	probes := 0
+	for _, c := range cands {
+		if net.Node(c.id).Alive {
+			return c.id, probes
+		}
+		probes++
+		knownDead[c.id] = true
+	}
+	return graph.NoNode, probes
+}

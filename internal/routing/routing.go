@@ -1,0 +1,230 @@
+// Package routing implements greedy key lookup over the overlay, in two
+// flavours:
+//
+//   - Greedy: the fault-free clockwise greedy of Chord/Symphony-style rings —
+//     forward to the neighbour closest to the target without overshooting.
+//     With Oscar's harmonic links the expected cost is O(log N) and the
+//     worst case O(log² N), as the paper states.
+//
+//   - GreedyBacktrack: the paper's §3 modification for faulty networks. A
+//     peer does not know remotely whether a neighbour is alive; trying a
+//     dead one costs a probe message ("wasted traffic"), and when every
+//     useful neighbour of the current peer is dead or already visited, the
+//     query backtracks to the previous peer and continues from its next-best
+//     option.
+//
+// Search cost is counted in messages: forward moves plus dead probes plus
+// backtrack moves, which is the metric behind Figures 1(c) and 2.
+package routing
+
+import (
+	"fmt"
+
+	"github.com/oscar-overlay/oscar/internal/graph"
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+	"github.com/oscar-overlay/oscar/internal/ring"
+)
+
+// Result reports one lookup.
+type Result struct {
+	// Found is false only when the hop budget ran out.
+	Found bool
+	// Owner is the peer responsible for the target key.
+	Owner graph.NodeID
+	// Hops counts successful forward moves.
+	Hops int
+	// Probes counts messages sent to dead neighbours (churn only).
+	Probes int
+	// Backtracks counts moves back to a previous peer (churn only).
+	Backtracks int
+	// Path lists the peers visited, starting with the source.
+	Path []graph.NodeID
+}
+
+// Cost returns the total message count: hops + probes + backtracks.
+func (r Result) Cost() int { return r.Hops + r.Probes + r.Backtracks }
+
+// maxHopsFor bounds a lookup: generous enough that only a broken topology
+// hits it (the ring alone resolves any lookup in aliveCount hops).
+func maxHopsFor(aliveCount int) int { return 4*aliveCount + 16 }
+
+// Greedy routes from the source peer towards the owner of target using
+// clockwise non-overshooting greedy forwarding over ring successors and
+// long-range links. All links are assumed alive (fault-free networks).
+func Greedy(net *graph.Network, rg *ring.Ring, from graph.NodeID, target keyspace.Key) Result {
+	res := Result{Owner: rg.OwnerOf(target), Path: []graph.NodeID{from}}
+	cur := from
+	budget := maxHopsFor(net.AliveCount())
+	for cur != res.Owner {
+		if res.Hops >= budget {
+			return res // Found stays false: topology is broken
+		}
+		next := bestGreedyHop(net, cur, target)
+		cur = next
+		res.Hops++
+		res.Path = append(res.Path, cur)
+	}
+	res.Found = true
+	return res
+}
+
+// bestGreedyHop picks the neighbour with the largest clockwise progress that
+// does not overshoot the target. The successor is always a candidate, and
+// when nothing else qualifies it is the fallback: in that case no alive peer
+// lies between cur and target, so the successor is the owner.
+func bestGreedyHop(net *graph.Network, cur graph.NodeID, target keyspace.Key) graph.NodeID {
+	n := net.Node(cur)
+	toTarget := n.Key.Distance(target)
+	best := n.Succ
+	bestProgress := uint64(0)
+	if d := n.Key.Distance(net.Node(n.Succ).Key); d <= toTarget {
+		bestProgress = d
+	}
+	for _, t := range n.Out {
+		tn := net.Node(t)
+		if !tn.Alive {
+			continue
+		}
+		d := n.Key.Distance(tn.Key)
+		if d == 0 || d > toTarget {
+			continue // no progress, or overshoots the target
+		}
+		if d > bestProgress {
+			best, bestProgress = t, d
+		}
+	}
+	return best
+}
+
+// GreedyBacktrack routes under churn. Liveness of long-range neighbours is
+// unknown until probed; the query carries the knowledge it gathers (visited
+// peers, discovered-dead peers) and depth-first-searches the overlay in
+// greedy preference order. Ring pointers always lead to alive peers (the
+// self-stabilised ring), so the search always terminates at the owner given
+// enough budget.
+func GreedyBacktrack(net *graph.Network, rg *ring.Ring, from graph.NodeID, target keyspace.Key) Result {
+	res := Result{Owner: rg.OwnerOf(target), Path: []graph.NodeID{from}}
+	budget := maxHopsFor(net.AliveCount())
+
+	visited := map[graph.NodeID]bool{from: true}
+	knownDead := map[graph.NodeID]bool{}
+	var stack []graph.NodeID // peers we can backtrack to
+	cur := from
+
+	for cur != res.Owner {
+		if res.Cost() >= budget {
+			return res
+		}
+		next, probes := nextAliveCandidate(net, cur, target, visited, knownDead)
+		res.Probes += probes
+		if next == graph.NoNode {
+			// Dead end: every useful neighbour is dead or visited.
+			if len(stack) == 0 {
+				// The source itself is exhausted; the lookup fails only if
+				// the budget runs out first — keep trying via the ring by
+				// walking to the successor even if visited.
+				succ := net.Node(cur).Succ
+				if visited[succ] {
+					return res // fully wedged (cannot happen on a stitched ring)
+				}
+				visited[succ] = true
+				cur = succ
+				res.Hops++
+				res.Path = append(res.Path, cur)
+				continue
+			}
+			cur = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			res.Backtracks++
+			res.Path = append(res.Path, cur)
+			continue
+		}
+		visited[next] = true
+		stack = append(stack, cur)
+		cur = next
+		res.Hops++
+		res.Path = append(res.Path, cur)
+	}
+	res.Found = true
+	return res
+}
+
+// nextAliveCandidate returns the best unvisited alive neighbour of cur in
+// greedy preference order (largest non-overshooting clockwise progress
+// first), probing stale links along the way. It returns the number of dead
+// probes spent; NoNode means cur is exhausted.
+func nextAliveCandidate(net *graph.Network, cur graph.NodeID, target keyspace.Key,
+	visited, knownDead map[graph.NodeID]bool) (graph.NodeID, int) {
+
+	n := net.Node(cur)
+	toTarget := n.Key.Distance(target)
+
+	type cand struct {
+		id       graph.NodeID
+		progress uint64
+	}
+	var cands []cand
+	addCand := func(t graph.NodeID) {
+		if t == graph.NoNode || t == cur || visited[t] || knownDead[t] {
+			return
+		}
+		d := n.Key.Distance(net.Node(t).Key)
+		if d == 0 || d > toTarget {
+			return
+		}
+		for _, c := range cands {
+			if c.id == t {
+				return
+			}
+		}
+		cands = append(cands, cand{t, d})
+	}
+	for _, t := range n.Out {
+		addCand(t)
+	}
+	addCand(n.Succ) // the ring is part of the candidate set
+	// The successor is special: if the target lies between cur and succ,
+	// succ is the owner; allow it even though it "overshoots".
+	succ := n.Succ
+	if !visited[succ] && target.BetweenIncl(n.Key, net.Node(succ).Key) {
+		found := false
+		for _, c := range cands {
+			if c.id == succ {
+				found = true
+				break
+			}
+		}
+		if !found {
+			cands = append(cands, cand{succ, 0})
+		}
+	}
+
+	// Try candidates in descending progress order (insertion sort: the list
+	// is at most a node's degree).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].progress > cands[j-1].progress; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	probes := 0
+	for _, c := range cands {
+		if net.Node(c.id).Alive {
+			return c.id, probes
+		}
+		probes++
+		knownDead[c.id] = true
+	}
+	return graph.NoNode, probes
+}
+
+// Validate checks that a Result path is a connected walk over the network —
+// a self-check used by tests and the simulator's paranoid mode.
+func Validate(net *graph.Network, res Result) error {
+	if len(res.Path) == 0 {
+		return fmt.Errorf("routing: empty path")
+	}
+	if res.Found && res.Path[len(res.Path)-1] != res.Owner {
+		return fmt.Errorf("routing: found lookup does not end at owner")
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/oscar-overlay/oscar/internal/graph"
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+	"github.com/oscar-overlay/oscar/internal/ring"
+	"github.com/oscar-overlay/oscar/internal/smallworld"
+)
+
+// buildRing creates n evenly spaced peers; withLinks adds harmonic long
+// links via the smallworld reference so greedy has shortcuts.
+func buildRing(t *testing.T, n int, withLinks bool, seed int64) (*graph.Network, *ring.Ring) {
+	t.Helper()
+	g := graph.New()
+	r := ring.New(g)
+	step := keyspace.MaxKey / keyspace.Key(n)
+	for i := 0; i < n; i++ {
+		node := g.Add(keyspace.Key(i)*step, 16, 16)
+		r.Insert(node.ID)
+	}
+	if withLinks {
+		smallworld.WireAll(g, r, 2, rand.New(rand.NewSource(seed)))
+	}
+	return g, r
+}
+
+func TestGreedyReachesOwner(t *testing.T) {
+	g, r := buildRing(t, 256, true, 1)
+	rnd := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		from := r.RandomAlive(rnd)
+		target := keyspace.Key(rnd.Uint64())
+		res := Greedy(g, r, from, target)
+		if !res.Found {
+			t.Fatalf("lookup failed from %d to %v", from, target)
+		}
+		if res.Path[len(res.Path)-1] != res.Owner {
+			t.Fatal("path does not end at owner")
+		}
+		owner := g.Node(res.Owner)
+		pred := g.Node(owner.Pred)
+		if !target.BetweenIncl(pred.Key, owner.Key) {
+			t.Fatalf("owner %d does not own target %v", res.Owner, target)
+		}
+		if err := Validate(g, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGreedySelfLookup(t *testing.T) {
+	g, r := buildRing(t, 64, true, 3)
+	// Looking up your own key terminates with zero hops.
+	id := r.OwnerOf(0)
+	res := Greedy(g, r, id, g.Node(id).Key)
+	if !res.Found || res.Hops != 0 {
+		t.Errorf("self lookup: found=%v hops=%d", res.Found, res.Hops)
+	}
+}
+
+func TestGreedyRingOnlyFollowsSuccessors(t *testing.T) {
+	g, r := buildRing(t, 32, false, 0)
+	// Without long links, cost from peer 0 to the key of peer 20 is 20 hops.
+	from := r.OwnerOf(0)
+	target := g.Node(r.OwnerOf(keyspace.MaxKey / 32 * 20)).Key
+	res := Greedy(g, r, from, target)
+	if !res.Found {
+		t.Fatal("ring-only lookup failed")
+	}
+	if res.Hops != 20 {
+		t.Errorf("ring-only hops = %d, want 20", res.Hops)
+	}
+}
+
+func TestGreedyShortcutsHelp(t *testing.T) {
+	gPlain, rPlain := buildRing(t, 512, false, 4)
+	gLinked, rLinked := buildRing(t, 512, true, 4)
+	rnd := rand.New(rand.NewSource(5))
+	var plain, linked int
+	for trial := 0; trial < 200; trial++ {
+		target := keyspace.Key(rnd.Uint64())
+		from := graph.NodeID(rnd.Intn(512))
+		plain += Greedy(gPlain, rPlain, from, target).Hops
+		linked += Greedy(gLinked, rLinked, from, target).Hops
+	}
+	if linked*4 > plain {
+		t.Errorf("long links should cut cost ≥4x: plain=%d linked=%d", plain, linked)
+	}
+}
+
+func TestGreedyNeverOvershootsExceptFinalHop(t *testing.T) {
+	g, r := buildRing(t, 256, true, 6)
+	rnd := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		from := r.RandomAlive(rnd)
+		target := keyspace.Key(rnd.Uint64())
+		res := Greedy(g, r, from, target)
+		for i := 1; i < len(res.Path); i++ {
+			prev := g.Node(res.Path[i-1])
+			cur := g.Node(res.Path[i])
+			moved := prev.Key.Distance(cur.Key)
+			toTarget := prev.Key.Distance(target)
+			if moved > toTarget && res.Path[i] != res.Owner {
+				t.Fatalf("hop %d overshot mid-route", i)
+			}
+		}
+	}
+}
+
+func TestGreedyBacktrackEqualsGreedyWhenHealthy(t *testing.T) {
+	g, r := buildRing(t, 256, true, 8)
+	rnd := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		from := r.RandomAlive(rnd)
+		target := keyspace.Key(rnd.Uint64())
+		a := Greedy(g, r, from, target)
+		b := GreedyBacktrack(g, r, from, target)
+		if !b.Found {
+			t.Fatal("backtracking lookup failed on a healthy network")
+		}
+		if b.Probes != 0 || b.Backtracks != 0 {
+			t.Fatalf("healthy network produced probes=%d backtracks=%d", b.Probes, b.Backtracks)
+		}
+		if a.Owner != b.Owner {
+			t.Fatal("routers disagree on owner")
+		}
+	}
+}
+
+func TestGreedyBacktrackSurvivesChurn(t *testing.T) {
+	for _, frac := range []float64{0.10, 0.33} {
+		g, r := buildRing(t, 600, true, 10)
+		rnd := rand.New(rand.NewSource(11))
+		// Kill peers; ring restitches, long links go stale.
+		victims := int(frac * 600)
+		for i := 0; i < victims; i++ {
+			r.Kill(r.RandomAlive(rnd))
+		}
+		var totalCost, totalProbes int
+		for trial := 0; trial < 300; trial++ {
+			from := r.RandomAlive(rnd)
+			target := g.Node(r.RandomAlive(rnd)).Key
+			res := GreedyBacktrack(g, r, from, target)
+			if !res.Found {
+				t.Fatalf("lookup failed at %.0f%% churn", frac*100)
+			}
+			if cur := res.Path[len(res.Path)-1]; cur != res.Owner {
+				t.Fatal("path does not end at owner")
+			}
+			totalCost += res.Cost()
+			totalProbes += res.Probes
+		}
+		if totalProbes == 0 {
+			t.Errorf("at %.0f%% churn no dead links were probed — stale-link model broken", frac*100)
+		}
+		t.Logf("churn %.0f%%: avg cost %.2f, avg probes %.2f", frac*100,
+			float64(totalCost)/300, float64(totalProbes)/300)
+	}
+}
+
+func TestGreedyBacktrackNeverVisitsDead(t *testing.T) {
+	g, r := buildRing(t, 300, true, 12)
+	rnd := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		r.Kill(r.RandomAlive(rnd))
+	}
+	for trial := 0; trial < 100; trial++ {
+		from := r.RandomAlive(rnd)
+		target := g.Node(r.RandomAlive(rnd)).Key
+		res := GreedyBacktrack(g, r, from, target)
+		for _, id := range res.Path {
+			if !g.Node(id).Alive {
+				t.Fatal("query visited a dead peer")
+			}
+		}
+	}
+}
+
+// TestGreedyBacktrackPopsOnStalePointers exercises the DFS stack
+// deterministically: the ring is *not yet* stabilised, so one peer's
+// successor pointer still references a corpse, producing a genuine dead end
+// that the query must back out of. (With instant stabilisation — the
+// default churn model — dead ends cannot occur; see the bidirectional test.)
+func TestGreedyBacktrackPopsOnStalePointers(t *testing.T) {
+	g := graph.New()
+	r := ring.New(g)
+	// Alive peers on the ring: A=10, B=20, L=40, E=50.
+	a := g.Add(10, 8, 8)
+	b := g.Add(20, 8, 8)
+	l := g.Add(40, 8, 8)
+	e := g.Add(50, 8, 8)
+	for _, n := range []graph.NodeID{a.ID, b.ID, l.ID, e.ID} {
+		r.Insert(n)
+	}
+	// The corpse never joins the ring index (it died earlier) but L's
+	// successor pointer is still stale and references it.
+	c := g.Add(45, 8, 8)
+	g.Kill(c.ID)
+	l.Succ = c.ID
+	// A prefers its long link to L (progress 30) over its successor B
+	// (progress 10); B holds the only working route to E.
+	if err := g.AddLink(a.ID, l.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddLink(b.ID, e.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Route A → key 50 (owner E): greedy goes A→L, probes L's dead
+	// successor, dead-ends, backtracks to A, proceeds A→B→E.
+	res := GreedyBacktrack(g, r, a.ID, 50)
+	if !res.Found || res.Owner != e.ID {
+		t.Fatalf("lookup failed: %+v", res)
+	}
+	if res.Backtracks == 0 {
+		t.Errorf("expected at least one backtrack, got %+v", res)
+	}
+	if res.Probes == 0 {
+		t.Errorf("expected a dead probe, got %+v", res)
+	}
+	for _, id := range res.Path {
+		if !g.Node(id).Alive {
+			t.Error("query visited the corpse")
+		}
+	}
+}
+
+func TestCostDecomposition(t *testing.T) {
+	res := Result{Hops: 5, Probes: 3, Backtracks: 2}
+	if res.Cost() != 10 {
+		t.Errorf("Cost = %d", res.Cost())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g, r := buildRing(t, 16, false, 0)
+	res := Greedy(g, r, r.OwnerOf(0), 12345)
+	if err := Validate(g, res); err != nil {
+		t.Error(err)
+	}
+	if err := Validate(g, Result{}); err == nil {
+		t.Error("empty path must be invalid")
+	}
+	bad := Result{Found: true, Owner: 3, Path: []graph.NodeID{1, 2}}
+	if err := Validate(g, bad); err == nil {
+		t.Error("found-but-wrong-endpoint must be invalid")
+	}
+}

@@ -1,0 +1,191 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/oscar-overlay/oscar/internal/graph"
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+	"github.com/oscar-overlay/oscar/internal/ring"
+)
+
+// buildLine creates n peers with keys i*step on a stitched ring, plus a few
+// random long-range links so walks can mix.
+func buildLine(t *testing.T, n int, links int, seed int64) (*graph.Network, *ring.Ring) {
+	t.Helper()
+	g := graph.New()
+	r := ring.New(g)
+	step := keyspace.MaxKey / keyspace.Key(n)
+	for i := 0; i < n; i++ {
+		node := g.Add(keyspace.Key(i)*step, 64, 64)
+		r.Insert(node.ID)
+	}
+	rnd := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		for l := 0; l < links; l++ {
+			to := graph.NodeID(rnd.Intn(n))
+			_ = g.AddLink(graph.NodeID(i), to) // self/dup errors are fine here
+		}
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return g, r
+}
+
+func TestWalkStaysInRange(t *testing.T) {
+	g, _ := buildLine(t, 200, 4, 1)
+	w := NewWalker(g, rand.New(rand.NewSource(2)))
+	// Range covering keys of peers 50..149.
+	step := keyspace.MaxKey / 200
+	rg := keyspace.Range{Start: 50 * step, End: 150 * step}
+	start := graph.NodeID(70)
+	for trial := 0; trial < 50; trial++ {
+		end, err := w.Walk(start, rg, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rg.Contains(g.Node(end).Key) {
+			t.Fatalf("walk escaped the range: landed on key %v", g.Node(end).Key)
+		}
+	}
+}
+
+func TestWalkRejectsBadStart(t *testing.T) {
+	g, _ := buildLine(t, 50, 2, 1)
+	w := NewWalker(g, rand.New(rand.NewSource(2)))
+	step := keyspace.MaxKey / 50
+	rg := keyspace.Range{Start: 10 * step, End: 20 * step}
+	if _, err := w.Walk(graph.NodeID(30), rg, 5); err != ErrEmptyRange {
+		t.Errorf("out-of-range start: err = %v", err)
+	}
+	g.Kill(graph.NodeID(12))
+	if _, err := w.Walk(graph.NodeID(12), rg, 5); err != ErrEmptyRange {
+		t.Errorf("dead start: err = %v", err)
+	}
+}
+
+func TestWalkSkipsDeadPeers(t *testing.T) {
+	g, r := buildLine(t, 100, 3, 3)
+	rnd := rand.New(rand.NewSource(4))
+	for i := 0; i < 30; i++ {
+		r.Kill(graph.NodeID(rnd.Intn(100)))
+	}
+	w := NewWalker(g, rnd)
+	alive := g.AliveIDs()
+	start := alive[0]
+	for trial := 0; trial < 100; trial++ {
+		end, err := w.Walk(start, keyspace.FullRange(), 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Node(end).Alive {
+			t.Fatal("walk landed on a dead peer")
+		}
+	}
+}
+
+// TestMHUniformity is the statistical heart of the walker: on a ring with
+// heterogeneous degrees, visit frequencies after mixing must be near-uniform
+// rather than proportional to degree.
+func TestMHUniformity(t *testing.T) {
+	const n = 40
+	g := graph.New()
+	r := ring.New(g)
+	step := keyspace.MaxKey / n
+	for i := 0; i < n; i++ {
+		node := g.Add(keyspace.Key(i)*step, 64, 64)
+		r.Insert(node.ID)
+	}
+	// Heterogeneous: a hub (peer 0) linked to many peers; others sparse.
+	for i := 1; i <= 20; i++ {
+		if err := g.AddLink(0, graph.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := NewWalker(g, rand.New(rand.NewSource(5)))
+	counts := make([]int, n)
+	const trials = 30000
+	for trial := 0; trial < trials; trial++ {
+		end, err := w.Walk(graph.NodeID(trial%n), keyspace.FullRange(), 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[end]++
+	}
+	want := float64(trials) / n
+	// The hub must not be oversampled by more than ~35%; a plain (non-MH)
+	// walk would oversample it by a factor of ~(22/2) ≈ 10.
+	if float64(counts[0]) > want*1.35 {
+		t.Errorf("hub visited %d times, uniform expectation %.0f: MH correction failing", counts[0], want)
+	}
+	// Chi-square-ish sanity: no peer wildly off.
+	for i, c := range counts {
+		if float64(c) < want*0.5 || float64(c) > want*1.6 {
+			t.Errorf("peer %d visited %d times vs expectation %.0f", i, c, want)
+		}
+	}
+}
+
+func TestSampleChainCountAndCost(t *testing.T) {
+	g, _ := buildLine(t, 100, 3, 6)
+	w := NewWalker(g, rand.New(rand.NewSource(7)))
+	samples, cost, err := w.SampleChain(0, keyspace.FullRange(), 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 10 {
+		t.Errorf("got %d samples", len(samples))
+	}
+	if cost != 55 { // burn-in 5 + 10 gaps of 5
+		t.Errorf("cost = %d, want 55", cost)
+	}
+}
+
+func TestEstimateMedianOnUniformLine(t *testing.T) {
+	g, _ := buildLine(t, 400, 6, 8)
+	w := NewWalker(g, rand.New(rand.NewSource(9)))
+	m, _, err := w.EstimateMedian(0, keyspace.FullRange(), 40, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True median from peer 0 over a uniform line is near the antipode.
+	got := m.Float()
+	if math.Abs(got-0.5) > 0.2 {
+		t.Errorf("estimated median at fraction %.3f, want ≈0.5", got)
+	}
+}
+
+func TestMedianFrom(t *testing.T) {
+	// Keys clockwise from origin 0: 10, 20, 30, 40.
+	keys := []keyspace.Key{30, 10, 40, 20}
+	if m := MedianFrom(0, keys); m != 30 {
+		t.Errorf("median = %v, want 30 (upper middle)", m)
+	}
+	if m := MedianFrom(0, []keyspace.Key{7}); m != 7 {
+		t.Errorf("singleton median = %v", m)
+	}
+	if m := MedianFrom(5, nil); m != 5 {
+		t.Errorf("empty median should fall back to origin, got %v", m)
+	}
+	// Wrapping: origin 100, keys at 150, 200, 50 (50 is farthest clockwise).
+	if m := MedianFrom(100, []keyspace.Key{150, 200, 50}); m != 200 {
+		t.Errorf("wrapped median = %v, want 200", m)
+	}
+}
+
+func TestSingleNodeWalk(t *testing.T) {
+	g := graph.New()
+	r := ring.New(g)
+	n := g.Add(5, 4, 4)
+	r.Insert(n.ID)
+	w := NewWalker(g, rand.New(rand.NewSource(1)))
+	end, err := w.Walk(n.ID, keyspace.FullRange(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != n.ID {
+		t.Error("walk on a singleton must stay put")
+	}
+}

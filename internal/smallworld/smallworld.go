@@ -1,0 +1,87 @@
+// Package smallworld provides the idealised Kleinberg reference
+// construction: rank-harmonic long-range links drawn with full global
+// knowledge of the peer population.
+//
+// It is the upper bound both Oscar and Mercury approximate — Oscar through
+// nested median sampling, Mercury through a histogram. The simulator uses it
+// as a calibration baseline and the ablation harness compares how close each
+// approximation gets.
+package smallworld
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/oscar-overlay/oscar/internal/graph"
+	"github.com/oscar-overlay/oscar/internal/ring"
+)
+
+// WireStats reports one wiring pass over the whole network.
+type WireStats struct {
+	LinksWanted int
+	LinksMade   int
+	Refusals    int
+}
+
+// WireAll rebuilds every alive peer's long-range links with exact
+// rank-harmonic draws: for each link, rank r is drawn from pdf(r) ∝ 1/r over
+// [1, n-1] and the peer r positions clockwise becomes the candidate. The
+// same in-degree admission rule applies; retries mirror the Oscar defaults.
+func WireAll(net *graph.Network, rg *ring.Ring, retries int, rnd *rand.Rand) WireStats {
+	var stats WireStats
+	// Snapshot the alive population in clockwise order once; positions stay
+	// valid for the whole pass because wiring changes no keys or liveness.
+	alive := rg.AliveOrdered()
+	n := len(alive)
+	pos := make(map[graph.NodeID]int, n)
+	for i, id := range alive {
+		pos[id] = i
+	}
+	if n < 2 {
+		return stats
+	}
+	for _, u := range alive {
+		node := net.Node(u)
+		stats.LinksWanted += node.MaxOut
+		net.DropLinks(u)
+		for slot := 0; slot < node.MaxOut; slot++ {
+			if wireOne(net, alive, pos[u], retries, rnd, &stats) {
+				stats.LinksMade++
+			}
+		}
+	}
+	return stats
+}
+
+func wireOne(net *graph.Network, alive []graph.NodeID, upos, retries int, rnd *rand.Rand, stats *WireStats) bool {
+	n := len(alive)
+	for attempt := 0; attempt <= retries; attempt++ {
+		r := HarmonicRank(rnd, n-1)
+		cand := alive[(upos+r)%n]
+		switch err := net.AddLink(alive[upos], cand); err {
+		case nil:
+			return true
+		case graph.ErrRefused:
+			stats.Refusals++
+		default:
+			// duplicate: redraw
+		}
+	}
+	return false
+}
+
+// HarmonicRank draws a rank in [1, max] with pdf(r) ∝ 1/r via inverse
+// transform on the continuous relaxation (Symphony's draw).
+func HarmonicRank(rnd *rand.Rand, max int) int {
+	if max <= 1 {
+		return 1
+	}
+	r := int(math.Exp(rnd.Float64() * math.Log(float64(max))))
+	if r < 1 {
+		r = 1
+	}
+	if r > max {
+		r = max
+	}
+	return r
+}

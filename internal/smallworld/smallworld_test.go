@@ -1,0 +1,92 @@
+package smallworld
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/oscar-overlay/oscar/internal/graph"
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+	"github.com/oscar-overlay/oscar/internal/ring"
+)
+
+func buildRing(n, caps int) (*graph.Network, *ring.Ring) {
+	g := graph.New()
+	r := ring.New(g)
+	step := keyspace.MaxKey / keyspace.Key(n)
+	for i := 0; i < n; i++ {
+		node := g.Add(keyspace.Key(i)*step, caps, caps)
+		r.Insert(node.ID)
+	}
+	return g, r
+}
+
+func TestHarmonicRankBounds(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		r := HarmonicRank(rnd, 1000)
+		if r < 1 || r > 1000 {
+			t.Fatalf("rank %d out of bounds", r)
+		}
+	}
+	if HarmonicRank(rnd, 1) != 1 {
+		t.Error("max=1 must return 1")
+	}
+	if HarmonicRank(rnd, 0) != 1 {
+		t.Error("degenerate max must return 1")
+	}
+}
+
+func TestHarmonicRankDistribution(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	const n = 4096
+	var sumLog float64
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		sumLog += math.Log(float64(HarmonicRank(rnd, n)))
+	}
+	mean := sumLog / trials
+	want := math.Log(n) / 2 // log of a harmonic draw is ≈ uniform on [0, ln n]
+	if math.Abs(mean-want) > 0.15 {
+		t.Errorf("mean log rank %.3f, want ≈%.3f", mean, want)
+	}
+}
+
+func TestWireAllFillsAndRespects(t *testing.T) {
+	g, r := buildRing(512, 16)
+	stats := WireAll(g, r, 2, rand.New(rand.NewSource(3)))
+	if float64(stats.LinksMade) < 0.7*float64(stats.LinksWanted) {
+		t.Errorf("filled %d/%d", stats.LinksMade, stats.LinksWanted)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireAllTiny(t *testing.T) {
+	g, r := buildRing(1, 4)
+	if stats := WireAll(g, r, 2, rand.New(rand.NewSource(4))); stats.LinksMade != 0 {
+		t.Error("singleton cannot link")
+	}
+	g2, r2 := buildRing(2, 4)
+	stats := WireAll(g2, r2, 2, rand.New(rand.NewSource(5)))
+	if stats.LinksMade == 0 {
+		t.Error("pair should link")
+	}
+}
+
+func TestWireAllSkipsDead(t *testing.T) {
+	g, r := buildRing(64, 8)
+	rnd := rand.New(rand.NewSource(6))
+	for i := 0; i < 20; i++ {
+		r.Kill(r.RandomAlive(rnd))
+	}
+	WireAll(g, r, 2, rnd)
+	g.ForEachAlive(func(n *graph.Node) {
+		for _, tgt := range n.Out {
+			if !g.Node(tgt).Alive {
+				t.Errorf("alive node %d wired to dead %d", n.ID, tgt)
+			}
+		}
+	})
+}

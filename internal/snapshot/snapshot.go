@@ -1,0 +1,123 @@
+// Package snapshot serialises a built overlay to JSON and back: experiment
+// runs are expensive (minutes for 10 000 peers), so the harness can save a
+// constructed topology once and analyses can reload it instantly. Snapshots
+// also freeze a network for regression comparison across code versions.
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/oscar-overlay/oscar/internal/graph"
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+	"github.com/oscar-overlay/oscar/internal/ring"
+)
+
+// FormatVersion identifies the snapshot schema.
+const FormatVersion = 1
+
+// NodeRecord is one peer's serialised state.
+type NodeRecord struct {
+	ID     graph.NodeID   `json:"id"`
+	Key    keyspace.Key   `json:"key"`
+	MaxIn  int            `json:"max_in"`
+	MaxOut int            `json:"max_out"`
+	Out    []graph.NodeID `json:"out,omitempty"`
+	Alive  bool           `json:"alive"`
+}
+
+// Snapshot is a serialised overlay.
+type Snapshot struct {
+	Version int          `json:"version"`
+	Label   string       `json:"label,omitempty"`
+	Nodes   []NodeRecord `json:"nodes"`
+}
+
+// Capture serialises the network. Ring pointers are not stored: they are
+// derivable (and re-derived on Restore via stabilisation).
+func Capture(net *graph.Network, label string) *Snapshot {
+	s := &Snapshot{Version: FormatVersion, Label: label}
+	for id := 0; id < net.Len(); id++ {
+		n := net.Node(graph.NodeID(id))
+		rec := NodeRecord{
+			ID: n.ID, Key: n.Key, MaxIn: n.MaxIn, MaxOut: n.MaxOut, Alive: n.Alive,
+		}
+		if n.Alive {
+			rec.Out = append(rec.Out, n.Out...)
+		}
+		s.Nodes = append(s.Nodes, rec)
+	}
+	return s
+}
+
+// Write encodes the snapshot as JSON.
+func (s *Snapshot) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// Read decodes a snapshot from JSON.
+func Read(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("snapshot: decode: %w", err)
+	}
+	if s.Version != FormatVersion {
+		return nil, fmt.Errorf("snapshot: unsupported version %d (want %d)", s.Version, FormatVersion)
+	}
+	return &s, nil
+}
+
+// Restore rebuilds a network and its ring from a snapshot. Node ids are
+// preserved (records must be dense and id-ordered, as Capture produces).
+func Restore(s *Snapshot) (*graph.Network, *ring.Ring, error) {
+	net := graph.New()
+	rg := ring.New(net)
+	// Pass 1: create peers in id order so ids line up.
+	for i, rec := range s.Nodes {
+		if int(rec.ID) != i {
+			return nil, nil, fmt.Errorf("snapshot: non-dense node ids (record %d has id %d)", i, rec.ID)
+		}
+		n := net.Add(rec.Key, rec.MaxIn, rec.MaxOut)
+		rg.Insert(n.ID)
+	}
+	// Pass 2: links between alive peers (links to dead peers are recreated
+	// afterwards so admission control does not see them).
+	for _, rec := range s.Nodes {
+		if !rec.Alive {
+			continue
+		}
+		for _, t := range rec.Out {
+			if !s.Nodes[t].Alive {
+				continue
+			}
+			if err := net.AddLink(rec.ID, t); err != nil {
+				return nil, nil, fmt.Errorf("snapshot: restore link %d->%d: %w", rec.ID, t, err)
+			}
+		}
+	}
+	// Pass 3: deaths, then stale links into the corpses.
+	for _, rec := range s.Nodes {
+		if !rec.Alive {
+			rg.Kill(rec.ID)
+		}
+	}
+	for _, rec := range s.Nodes {
+		if !rec.Alive {
+			continue
+		}
+		for _, t := range rec.Out {
+			if s.Nodes[t].Alive {
+				continue
+			}
+			// Re-insert the stale entry directly: AddLink refuses dead
+			// targets by design. The corpse's in-list mirrors the entry,
+			// matching the live accounting convention (a dead peer's
+			// in-list keeps naming its sources).
+			net.Node(rec.ID).Out = append(net.Node(rec.ID).Out, t)
+			net.Node(t).In = append(net.Node(t).In, rec.ID)
+		}
+	}
+	return net, rg, nil
+}

@@ -1,0 +1,129 @@
+package snapshot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/oscar-overlay/oscar/internal/degreedist"
+	"github.com/oscar-overlay/oscar/internal/graph"
+	"github.com/oscar-overlay/oscar/internal/keydist"
+	"github.com/oscar-overlay/oscar/internal/rng"
+	"github.com/oscar-overlay/oscar/internal/routing"
+	"github.com/oscar-overlay/oscar/internal/sim"
+)
+
+// buildNetwork grows a small overlay with some churn for realistic state.
+func buildNetwork(t *testing.T) *sim.Sim {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.TargetSize = 300
+	cfg.Checkpoints = []int{300}
+	cfg.Keys = keydist.GnutellaLike()
+	cfg.Degrees = degreedist.PaperStepped()
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.GrowTo(300)
+	s.RewireAll()
+	s.Churn(0.1) // leaves stale links in the snapshot
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := buildNetwork(t)
+	snap := Capture(s.Net(), "test")
+
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Label != "test" || len(loaded.Nodes) != s.Net().Len() {
+		t.Fatalf("loaded %d nodes, label %q", len(loaded.Nodes), loaded.Label)
+	}
+
+	net, rg, err := Restore(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.AliveCount() != s.Net().AliveCount() {
+		t.Errorf("alive %d, want %d", net.AliveCount(), s.Net().AliveCount())
+	}
+	if err := net.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Topology identical: every alive peer's key, caps and out-links match.
+	for id := 0; id < s.Net().Len(); id++ {
+		orig := s.Net().Node(graph.NodeID(id))
+		rest := net.Node(graph.NodeID(id))
+		if orig.Key != rest.Key || orig.Alive != rest.Alive || orig.MaxIn != rest.MaxIn {
+			t.Fatalf("node %d differs after restore", id)
+		}
+		if orig.Alive && len(orig.Out) != len(rest.Out) {
+			t.Fatalf("node %d out-degree %d vs %d", id, len(orig.Out), len(rest.Out))
+		}
+	}
+}
+
+func TestRestoredNetworkRoutes(t *testing.T) {
+	s := buildNetwork(t)
+	var buf bytes.Buffer
+	if err := Capture(s.Net(), "").Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, rg, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr := rng.Derive(5, "snapshot-queries")
+	for i := 0; i < 100; i++ {
+		from := rg.RandomAlive(qr)
+		target := net.Node(rg.RandomAlive(qr)).Key
+		res := routing.GreedyBacktrack(net, rg, from, target)
+		if !res.Found {
+			t.Fatal("restored network cannot route")
+		}
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"version": 99, "nodes": []}`)); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestRestoreRejectsNonDenseIDs(t *testing.T) {
+	snap := &Snapshot{Version: FormatVersion, Nodes: []NodeRecord{{ID: 5, Alive: true}}}
+	if _, _, err := Restore(snap); err == nil {
+		t.Error("non-dense ids accepted")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	s := buildNetwork(t)
+	var a, b bytes.Buffer
+	if err := Capture(s.Net(), "x").Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Capture(s.Net(), "x").Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("capturing the same network twice differs")
+	}
+}

@@ -1,0 +1,137 @@
+// Package storage is the per-peer ordered key-value store of the data
+// layer. The overlay is order-preserving precisely so that stores can be
+// range-partitioned: peer p holds every item whose key falls in the arc
+// (pred(p), p], and range queries scan consecutive peers' stores.
+//
+// Items are kept in a sorted slice: stores hold one peer's shard (thousands
+// of items, not millions), where binary search plus contiguous memory beats
+// pointer-chasing tree structures.
+package storage
+
+import (
+	"sort"
+
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+)
+
+// Item is one stored record.
+type Item struct {
+	Key   keyspace.Key
+	Value []byte
+}
+
+// Store is one peer's shard, ordered by key. The zero value is an empty
+// store ready to use.
+type Store struct {
+	items []Item // sorted by Key ascending
+}
+
+// Len returns the number of items.
+func (s *Store) Len() int { return len(s.items) }
+
+// search returns the index of the first item with key >= k.
+func (s *Store) search(k keyspace.Key) int {
+	return sort.Search(len(s.items), func(i int) bool { return s.items[i].Key >= k })
+}
+
+// Put inserts or replaces the value for k and reports whether an existing
+// item was replaced. The value slice is stored as-is (callers own it).
+func (s *Store) Put(k keyspace.Key, v []byte) (replaced bool) {
+	i := s.search(k)
+	if i < len(s.items) && s.items[i].Key == k {
+		s.items[i].Value = v
+		return true
+	}
+	s.items = append(s.items, Item{})
+	copy(s.items[i+1:], s.items[i:])
+	s.items[i] = Item{Key: k, Value: v}
+	return false
+}
+
+// Get returns the value for k.
+func (s *Store) Get(k keyspace.Key) ([]byte, bool) {
+	i := s.search(k)
+	if i < len(s.items) && s.items[i].Key == k {
+		return s.items[i].Value, true
+	}
+	return nil, false
+}
+
+// Delete removes the item with key k and reports whether it existed.
+func (s *Store) Delete(k keyspace.Key) bool {
+	i := s.search(k)
+	if i == len(s.items) || s.items[i].Key != k {
+		return false
+	}
+	s.items = append(s.items[:i], s.items[i+1:]...)
+	return true
+}
+
+// Scan visits items whose keys lie in the clockwise arc rg, in clockwise
+// order starting from rg.Start; fn returning false stops the scan. Wrapping
+// arcs are handled (the scan may start near the top of the key space and
+// continue from the bottom).
+func (s *Store) Scan(rg keyspace.Range, fn func(Item) bool) {
+	if len(s.items) == 0 {
+		return
+	}
+	if rg.IsFull() {
+		// Clockwise from rg.Start over the whole circle.
+		start := s.search(rg.Start)
+		for i := 0; i < len(s.items); i++ {
+			if !fn(s.items[(start+i)%len(s.items)]) {
+				return
+			}
+		}
+		return
+	}
+	if rg.Start < rg.End {
+		for i := s.search(rg.Start); i < len(s.items) && s.items[i].Key < rg.End; i++ {
+			if !fn(s.items[i]) {
+				return
+			}
+		}
+		return
+	}
+	// Wrapping arc: [Start, MaxKey] then [0, End).
+	for i := s.search(rg.Start); i < len(s.items); i++ {
+		if !fn(s.items[i]) {
+			return
+		}
+	}
+	for i := 0; i < len(s.items) && s.items[i].Key < rg.End; i++ {
+		if !fn(s.items[i]) {
+			return
+		}
+	}
+}
+
+// Items returns all items in key order (a copy of the slice headers; values
+// are shared).
+func (s *Store) Items() []Item {
+	return append([]Item(nil), s.items...)
+}
+
+// ExtractRange removes and returns the items whose keys lie in rg — the
+// migration primitive used when a joining peer takes over part of its
+// successor's arc.
+func (s *Store) ExtractRange(rg keyspace.Range) []Item {
+	var out []Item
+	kept := s.items[:0]
+	for _, it := range s.items {
+		if rg.Contains(it.Key) {
+			out = append(out, it)
+		} else {
+			kept = append(kept, it)
+		}
+	}
+	s.items = kept
+	return out
+}
+
+// InsertBulk merges items (each keyed uniquely) into the store.
+func (s *Store) InsertBulk(items []Item) {
+	for _, it := range items {
+		s.Put(it.Key, it.Value)
+	}
+}

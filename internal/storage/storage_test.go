@@ -1,0 +1,190 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	var s Store
+	if replaced := s.Put(10, []byte("a")); replaced {
+		t.Error("first put cannot replace")
+	}
+	if replaced := s.Put(10, []byte("b")); !replaced {
+		t.Error("second put must replace")
+	}
+	v, ok := s.Get(10)
+	if !ok || !bytes.Equal(v, []byte("b")) {
+		t.Errorf("Get = %q, %v", v, ok)
+	}
+	if _, ok := s.Get(11); ok {
+		t.Error("missing key found")
+	}
+	if !s.Delete(10) {
+		t.Error("delete failed")
+	}
+	if s.Delete(10) {
+		t.Error("double delete succeeded")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestItemsSorted(t *testing.T) {
+	var s Store
+	for _, k := range []keyspace.Key{50, 10, 30, 20, 40} {
+		s.Put(k, nil)
+	}
+	items := s.Items()
+	if !sort.SliceIsSorted(items, func(i, j int) bool { return items[i].Key < items[j].Key }) {
+		t.Errorf("items out of order: %v", items)
+	}
+	if len(items) != 5 {
+		t.Errorf("len = %d", len(items))
+	}
+}
+
+func TestPutSortedProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		var s Store
+		uniq := map[uint64]bool{}
+		for _, k := range keys {
+			s.Put(keyspace.Key(k), nil)
+			uniq[k] = true
+		}
+		items := s.Items()
+		if len(items) != len(uniq) {
+			return false
+		}
+		for i := 1; i < len(items); i++ {
+			if items[i-1].Key >= items[i].Key {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanPlainRange(t *testing.T) {
+	var s Store
+	for k := keyspace.Key(0); k < 100; k += 10 {
+		s.Put(k, nil)
+	}
+	var got []keyspace.Key
+	s.Scan(keyspace.Range{Start: 25, End: 65}, func(it Item) bool {
+		got = append(got, it.Key)
+		return true
+	})
+	want := []keyspace.Key{30, 40, 50, 60}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScanWrappingRange(t *testing.T) {
+	var s Store
+	for _, k := range []keyspace.Key{5, 50, keyspace.MaxKey - 5} {
+		s.Put(k, nil)
+	}
+	var got []keyspace.Key
+	s.Scan(keyspace.Range{Start: keyspace.MaxKey - 10, End: 10}, func(it Item) bool {
+		got = append(got, it.Key)
+		return true
+	})
+	if len(got) != 2 || got[0] != keyspace.MaxKey-5 || got[1] != 5 {
+		t.Errorf("wrapping scan = %v", got)
+	}
+}
+
+func TestScanFullRangeAndEarlyStop(t *testing.T) {
+	var s Store
+	for k := keyspace.Key(0); k < 50; k += 10 {
+		s.Put(k, nil)
+	}
+	count := 0
+	s.Scan(keyspace.FullRange(), func(Item) bool {
+		count++
+		return true
+	})
+	if count != 5 {
+		t.Errorf("full scan visited %d", count)
+	}
+	count = 0
+	s.Scan(keyspace.FullRange(), func(Item) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestScanEmptyStore(t *testing.T) {
+	var s Store
+	s.Scan(keyspace.FullRange(), func(Item) bool {
+		t.Fatal("empty store scanned something")
+		return false
+	})
+}
+
+func TestExtractRange(t *testing.T) {
+	var s Store
+	for k := keyspace.Key(0); k < 100; k += 10 {
+		s.Put(k, []byte{byte(k)})
+	}
+	moved := s.ExtractRange(keyspace.Range{Start: 30, End: 60})
+	if len(moved) != 3 { // 30, 40, 50
+		t.Fatalf("moved %d items", len(moved))
+	}
+	if s.Len() != 7 {
+		t.Errorf("kept %d items", s.Len())
+	}
+	if _, ok := s.Get(40); ok {
+		t.Error("extracted item still present")
+	}
+	var dst Store
+	dst.InsertBulk(moved)
+	if v, ok := dst.Get(40); !ok || !bytes.Equal(v, []byte{40}) {
+		t.Error("migration lost data")
+	}
+}
+
+func TestExtractInsertRoundTripProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var s Store
+		n := 1 + rnd.Intn(100)
+		for i := 0; i < n; i++ {
+			s.Put(keyspace.Key(rnd.Uint64()), nil)
+		}
+		before := s.Len()
+		rg := keyspace.Range{Start: keyspace.Key(rnd.Uint64()), End: keyspace.Key(rnd.Uint64())}
+		if rg.Start == rg.End {
+			continue
+		}
+		var dst Store
+		dst.InsertBulk(s.ExtractRange(rg))
+		if s.Len()+dst.Len() != before {
+			t.Fatalf("items lost in migration: %d + %d != %d", s.Len(), dst.Len(), before)
+		}
+		// Nothing left in the source belongs to the range.
+		s.Scan(rg, func(it Item) bool {
+			t.Fatalf("item %v left behind in extracted range", it.Key)
+			return false
+		})
+	}
+}

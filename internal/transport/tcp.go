@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxFrame bounds a wire frame; anything larger is a protocol violation.
+const maxFrame = 16 << 20
+
+// callTimeout bounds one RPC round trip; a peer that cannot answer within
+// it is treated as dead (the probe semantics routing relies on).
+const callTimeout = 5 * time.Second
+
+// TCPEndpoint is a Transport over real sockets: length-prefixed JSON frames,
+// one request/response exchange per connection. Dial-per-call keeps the
+// implementation obviously correct; for loopback demo clusters the cost is
+// negligible.
+type TCPEndpoint struct {
+	ln net.Listener
+
+	mu      sync.RWMutex
+	handler Handler
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// ListenTCP opens an endpoint on the given address ("127.0.0.1:0" picks a
+// free port).
+func ListenTCP(bind string) (*TCPEndpoint, error) {
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", bind, err)
+	}
+	e := &TCPEndpoint{ln: ln}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr implements Transport.
+func (e *TCPEndpoint) Addr() Addr { return Addr(e.ln.Addr().String()) }
+
+// Serve implements Transport.
+func (e *TCPEndpoint) Serve(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer conn.Close()
+			e.serveConn(conn)
+		}()
+	}
+}
+
+func (e *TCPEndpoint) serveConn(conn net.Conn) {
+	_ = conn.SetDeadline(time.Now().Add(callTimeout))
+	var req Request
+	if err := readFrame(conn, &req); err != nil {
+		return
+	}
+	e.mu.RLock()
+	h := e.handler
+	closed := e.closed
+	e.mu.RUnlock()
+	if h == nil || closed {
+		return
+	}
+	resp := h(&req)
+	_ = writeFrame(conn, resp)
+}
+
+// Call implements Transport.
+func (e *TCPEndpoint) Call(addr Addr, req *Request) (*Response, error) {
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return nil, ErrUnreachable
+	}
+	conn, err := net.DialTimeout("tcp", string(addr), callTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(callTimeout))
+	if err := writeFrame(conn, req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	var resp Response
+	if err := readFrame(conn, &resp); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	return &resp, nil
+}
+
+// Close implements Transport.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	err := e.ln.Close()
+	e.wg.Wait()
+	return err
+}
+
+// writeFrame sends one length-prefixed JSON value.
+func writeFrame(conn net.Conn, v interface{}) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	}
+	w := bufio.NewWriter(conn)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readFrame receives one length-prefixed JSON value.
+func readFrame(conn net.Conn, v interface{}) error {
+	var hdr [4]byte
+	if _, err := readFull(conn, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := readFull(conn, buf); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf, v)
+}
+
+func readFull(conn net.Conn, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := conn.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

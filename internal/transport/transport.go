@@ -1,0 +1,97 @@
+// Package transport provides the message fabric for the live (non-simulated)
+// overlay runtime in internal/p2p: a blocking request/response Call
+// abstraction with two implementations — an in-memory channel fabric for
+// tests and single-process clusters, and a TCP fabric (length-prefixed JSON)
+// for real deployments.
+package transport
+
+import (
+	"errors"
+
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+	"github.com/oscar-overlay/oscar/internal/storage"
+)
+
+// Addr addresses one node endpoint. For the TCP fabric it is "host:port";
+// for the in-memory fabric an arbitrary unique string.
+type Addr string
+
+// PeerRef pairs a peer's address with its identifier — the unit of routing
+// tables and neighbour lists.
+type PeerRef struct {
+	Addr Addr
+	Key  keyspace.Key
+}
+
+// Op enumerates the RPC operations of the overlay protocol.
+type Op string
+
+// The overlay protocol operations.
+const (
+	OpPing      Op = "ping"       // liveness probe
+	OpInfo      Op = "info"       // peer's key, caps, degrees
+	OpGetSucc   Op = "get_succ"   // successor pointer
+	OpGetPred   Op = "get_pred"   // predecessor pointer
+	OpNotify    Op = "notify"     // Chord notify: candidate predecessor
+	OpNeighbors Op = "neighbors"  // neighbour refs within a range + degree
+	OpLink      Op = "link"       // request a long-range in-link
+	OpUnlink    Op = "unlink"     // release a long-range in-link
+	OpFindOwner Op = "find_owner" // iterative routing step: best next hop
+	OpPut       Op = "put"        // store an item (owner only)
+	OpGet       Op = "get"        // fetch an item (owner only)
+	OpRangeScan Op = "range_scan" // scan the local shard
+	OpMigrate   Op = "migrate"    // hand over items in a range (join)
+)
+
+// Request is the wire request. One struct covers all ops; unused fields are
+// zero (JSON-omitted).
+type Request struct {
+	Op   Op      `json:"op"`
+	From PeerRef `json:"from,omitempty"`
+
+	Key   keyspace.Key   `json:"key,omitempty"`
+	Range keyspace.Range `json:"range,omitempty"`
+	Value []byte         `json:"value,omitempty"`
+	Limit int            `json:"limit,omitempty"`
+	// Exclude lists peers the query has discovered dead (or routeless);
+	// find_owner skips them — the live analogue of the simulator's
+	// per-query known-dead set.
+	Exclude []Addr `json:"exclude,omitempty"`
+}
+
+// Response is the wire response.
+type Response struct {
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+
+	Peer   PeerRef        `json:"peer,omitempty"`
+	Peers  []PeerRef      `json:"peers,omitempty"`
+	Degree int            `json:"degree,omitempty"`
+	Value  []byte         `json:"value,omitempty"`
+	Found  bool           `json:"found,omitempty"`
+	Items  []storage.Item `json:"items,omitempty"`
+	MaxIn  int            `json:"max_in,omitempty"`
+	MaxOut int            `json:"max_out,omitempty"`
+	InDeg  int            `json:"in_deg,omitempty"`
+}
+
+// Handler processes one incoming request.
+type Handler func(*Request) *Response
+
+// Transport is one node's endpoint on the fabric.
+type Transport interface {
+	// Addr returns the endpoint's address.
+	Addr() Addr
+	// Call sends a request to a remote endpoint and waits for its response.
+	// A transport-level failure (dead peer, closed endpoint) returns an
+	// error — the live-network analogue of probing a stale link.
+	Call(addr Addr, req *Request) (*Response, error)
+	// Serve installs the handler for incoming requests. It must be called
+	// exactly once before the first Call arrives.
+	Serve(h Handler)
+	// Close tears the endpoint down; subsequent calls to it fail.
+	Close() error
+}
+
+// ErrUnreachable reports a dead or unknown endpoint.
+var ErrUnreachable = errors.New("transport: peer unreachable")

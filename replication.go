@@ -1,0 +1,73 @@
+package oscar
+
+import "fmt"
+
+// Replication: the paper's data layer is an index, so a crashed peer takes
+// its shard with it. PutReplicated stores copies on the owner's ring
+// successors, and GetReplicated falls back along the same chain — the
+// standard successor-list replication of ring overlays, provided as the
+// bundled extension for crash-tolerant reads.
+//
+// Replication is per-write: copies are placed at write time and re-placed
+// on rewrite. A membership change between write and read shifts the
+// successor chain by at most the number of joins/crashes in between, which
+// the read-side fallback absorbs as long as fewer than `replicas`
+// consecutive chain members are lost.
+
+// PutReplicated stores value under key at the key's owner and on the next
+// replicas-1 alive ring successors. replicas < 1 is treated as 1.
+func (o *Overlay) PutReplicated(key Key, value []byte, replicas int) (PutResult, error) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	route := o.Lookup(key)
+	if !route.Found {
+		return PutResult{}, fmt.Errorf("oscar: put %v: routing failed", key)
+	}
+	res := PutResult{Owner: route.Owner, Cost: route.Cost()}
+	cur := route.Owner
+	for i := 0; i < replicas; i++ {
+		replaced := o.storeFor(cur).Put(key, value)
+		if i == 0 {
+			res.Replaced = replaced
+		} else {
+			res.Cost++ // one hop along the successor chain per copy
+		}
+		next := o.sim.Net().Node(cur).Succ
+		if next == cur || next == route.Owner {
+			break // wrapped around a tiny overlay
+		}
+		cur = next
+	}
+	return res, nil
+}
+
+// GetReplicated fetches the value for key, falling back along up to
+// replicas-1 ring successors of the owner when the primary misses (for
+// example because the peer holding it crashed and a stale-arc neighbour now
+// owns the key).
+func (o *Overlay) GetReplicated(key Key, replicas int) (value []byte, found bool, cost int, err error) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	route := o.Lookup(key)
+	if !route.Found {
+		return nil, false, route.Cost(), fmt.Errorf("oscar: get %v: routing failed", key)
+	}
+	cost = route.Cost()
+	cur := route.Owner
+	for i := 0; i < replicas; i++ {
+		if st := o.stores[cur]; st != nil {
+			if v, ok := st.Get(key); ok {
+				return v, true, cost, nil
+			}
+		}
+		next := o.sim.Net().Node(cur).Succ
+		if next == cur || next == route.Owner {
+			break
+		}
+		cur = next
+		cost++
+	}
+	return nil, false, cost, nil
+}

@@ -1,0 +1,100 @@
+package oscar
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestReplicatedRoundTrip(t *testing.T) {
+	ov := buildSmall(t, Config{Size: 300})
+	key := KeyFromFloat(0.4)
+	if _, err := ov.PutReplicated(key, []byte("r3"), 3); err != nil {
+		t.Fatal(err)
+	}
+	v, found, _, err := ov.GetReplicated(key, 3)
+	if err != nil || !found || !bytes.Equal(v, []byte("r3")) {
+		t.Fatalf("get = %q %v %v", v, found, err)
+	}
+	// The plain Get also sees it (primary copy is at the owner).
+	v, found, _, err = ov.Get(key)
+	if err != nil || !found || !bytes.Equal(v, []byte("r3")) {
+		t.Fatalf("plain get = %q %v %v", v, found, err)
+	}
+}
+
+func TestReplicationPlacesCopiesOnSuccessors(t *testing.T) {
+	ov := buildSmall(t, Config{Size: 200})
+	key := KeyFromFloat(0.6)
+	res, err := ov.PutReplicated(key, []byte("x"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Owner and its two successors each hold a copy.
+	cur := res.Owner
+	for i := 0; i < 3; i++ {
+		info := ov.Info(cur)
+		if info.StoredItems != 1 {
+			t.Errorf("replica %d (node %d) holds %d items", i, cur, info.StoredItems)
+		}
+		cur = info.Successor
+	}
+	if ov.Info(cur).StoredItems != 0 {
+		t.Error("a fourth copy exists")
+	}
+}
+
+func TestReplicationSurvivesCrashes(t *testing.T) {
+	const n, items, replicas = 600, 200, 3
+	ov := buildSmall(t, Config{Size: n, Seed: 5})
+	var keys []Key
+	for i := 0; i < items; i++ {
+		k := KeyFromFloat(float64(i) / items)
+		keys = append(keys, k)
+		if _, err := ov.PutReplicated(k, []byte(fmt.Sprint(i)), replicas); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ov.Crash(0.25)
+
+	// Unreplicated expectation: ~25% of items lost. With 3 replicas an item
+	// needs its whole chain neighbourhood gone; only a few percent may
+	// disappear (chain shifts at crash boundaries).
+	foundReplicated := 0
+	for _, k := range keys {
+		if _, ok, _, err := ov.GetReplicated(k, replicas); err == nil && ok {
+			foundReplicated++
+		}
+	}
+	if foundReplicated < items*90/100 {
+		t.Errorf("only %d/%d items survive 25%% crashes with %d replicas", foundReplicated, items, replicas)
+	}
+	t.Logf("survived: %d/%d", foundReplicated, items)
+}
+
+func TestReplicationDegenerateArgs(t *testing.T) {
+	ov := buildSmall(t, Config{Size: 100})
+	key := KeyFromFloat(0.1)
+	if _, err := ov.PutReplicated(key, []byte("a"), 0); err != nil {
+		t.Fatal(err) // replicas<1 behaves like 1
+	}
+	v, found, _, err := ov.GetReplicated(key, -5)
+	if err != nil || !found || string(v) != "a" {
+		t.Fatalf("degenerate replicas: %q %v %v", v, found, err)
+	}
+}
+
+func TestReplicationTinyOverlayWraps(t *testing.T) {
+	ov, err := Build(Config{Size: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyFromFloat(0.5)
+	if _, err := ov.PutReplicated(key, []byte("tiny"), 5); err != nil {
+		t.Fatal(err) // replicas > overlay size must not loop forever
+	}
+	v, found, _, err := ov.GetReplicated(key, 5)
+	if err != nil || !found || string(v) != "tiny" {
+		t.Fatalf("tiny overlay: %q %v %v", v, found, err)
+	}
+}
