@@ -1,0 +1,36 @@
+# Mirrors .github/workflows/ci.yml so local runs and CI are identical.
+
+GO ?= go
+
+# Packages with concurrency-sensitive code; the race job scopes to these
+# to keep CI fast (the full suite still runs race-free in `test`).
+RACE_PKGS = ./internal/transport/... ./internal/p2p/...
+
+.PHONY: all build test race bench fmt fmt-check vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Bench smoke: compile and run every benchmark once (shape check, not a
+# measurement). Full measurements: `go test -bench=. -benchtime=2s ./...`.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./... | tee bench.txt
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt-check vet build test race bench

@@ -9,6 +9,7 @@ package oscar
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/oscar-overlay/oscar/internal/degreedist"
@@ -16,10 +17,12 @@ import (
 	"github.com/oscar-overlay/oscar/internal/keydist"
 	"github.com/oscar-overlay/oscar/internal/keyspace"
 	"github.com/oscar-overlay/oscar/internal/mercury"
+	"github.com/oscar-overlay/oscar/internal/p2p"
 	"github.com/oscar-overlay/oscar/internal/rng"
 	"github.com/oscar-overlay/oscar/internal/routing"
 	"github.com/oscar-overlay/oscar/internal/sampling"
 	"github.com/oscar-overlay/oscar/internal/sim"
+	"github.com/oscar-overlay/oscar/internal/transport"
 )
 
 // benchSize keeps figure benchmarks quick while preserving shapes; the full
@@ -293,6 +296,87 @@ func BenchmarkOverlayPutGet(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- live-runtime benchmarks (internal/p2p over the transport fabric) ---
+
+// BenchmarkLiveClusterLookup times concurrent lookups through a live
+// 48-node cluster: every iteration is a full iterative routing walk of
+// find_owner RPCs, issued from many goroutines at once — the workload the
+// multiplexed transport exists for.
+func BenchmarkLiveClusterLookup(b *testing.B) {
+	c, err := p2p.NewCluster(p2p.ClusterConfig{Size: 48, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			node := c.Nodes[int(i)%len(c.Nodes)]
+			key := keyspace.Key(i * 0x9e3779b97f4a7c15) // golden-ratio spread
+			if _, _, err := node.Lookup(key); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkLiveClusterPutGetTCP times put+get round trips through a live
+// loopback-TCP cluster: real sockets, pooled multiplexed connections,
+// multi-hop routing per operation.
+func BenchmarkLiveClusterPutGetTCP(b *testing.B) {
+	const size = 8
+	var nodes []*p2p.Node
+	for i := 0; i < size; i++ {
+		ep, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := p2p.NewNode(ep, p2p.Config{
+			Key:    keyspace.FromFloat(float64(i)/size + 0.01),
+			MaxIn:  8,
+			MaxOut: 8,
+			Seed:   int64(i),
+		})
+		if i > 0 {
+			if err := n.Join(nodes[0].Self().Addr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+	for round := 0; round < 2; round++ {
+		for _, n := range nodes {
+			n.Stabilize()
+		}
+	}
+	val := []byte("live-bench")
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			node := nodes[int(i)%size]
+			key := keyspace.Key(i * 0x9e3779b97f4a7c15)
+			if _, err := node.Put(key, val); err != nil {
+				b.Error(err)
+				return
+			}
+			if _, _, _, err := node.Get(key); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkOverlayRangeQuery times a 1%-of-circle range query.

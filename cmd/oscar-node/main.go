@@ -40,12 +40,16 @@ func main() {
 	log.SetPrefix("oscar-node: ")
 
 	var (
-		listen   = flag.String("listen", "127.0.0.1:0", "listen address")
-		keyFrac  = flag.Float64("key", -1, "position on the circle in [0,1); -1 = time-derived")
-		join     = flag.String("join", "", "address of any overlay member to join through")
-		maxIn    = flag.Int("max-in", 16, "in-link budget (ρmax_in)")
-		maxOut   = flag.Int("max-out", 16, "out-link budget (ρmax_out)")
-		interval = flag.Duration("stabilize", 2*time.Second, "stabilisation interval (0 = manual)")
+		listen      = flag.String("listen", "127.0.0.1:0", "listen address")
+		keyFrac     = flag.Float64("key", -1, "position on the circle in [0,1); -1 = time-derived")
+		join        = flag.String("join", "", "address of any overlay member to join through")
+		maxIn       = flag.Int("max-in", 16, "in-link budget (ρmax_in)")
+		maxOut      = flag.Int("max-out", 16, "out-link budget (ρmax_out)")
+		interval    = flag.Duration("stabilize", 2*time.Second, "stabilisation interval (0 = manual)")
+		rewireEvery = flag.Int("rewire-every", 5, "rebuild long links every N stabilisations (0 = manual)")
+		poolSize    = flag.Int("pool", 2, "persistent connections per peer")
+		callTimeout = flag.Duration("call-timeout", 5*time.Second, "per-RPC timeout")
+		idleTimeout = flag.Duration("idle-timeout", 60*time.Second, "reap pooled connections idle this long")
 	)
 	flag.Parse()
 
@@ -54,7 +58,11 @@ func main() {
 		key = keyspace.Key(time.Now().UnixNano()) * 2654435761 // spread-ish
 	}
 
-	ep, err := transport.ListenTCP(*listen)
+	ep, err := transport.ListenTCP(*listen,
+		transport.WithPoolSize(*poolSize),
+		transport.WithCallTimeout(*callTimeout),
+		transport.WithIdleTimeout(*idleTimeout),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,11 +81,8 @@ func main() {
 	}
 
 	if *interval > 0 {
-		go func() {
-			for range time.Tick(*interval) {
-				node.Stabilize()
-			}
-		}()
+		m := node.StartMaintenance(*interval, *rewireEvery)
+		defer m.Stop()
 	}
 
 	sc := bufio.NewScanner(os.Stdin)

@@ -1,15 +1,20 @@
 // Tcpcluster: a live Oscar cluster on loopback TCP sockets — real listeners,
-// length-prefixed JSON frames, Chord-style stabilisation, walk-based
-// partition discovery and link acquisition, puts/gets/range queries, and a
-// crash that the ring heals around. This is the deployment path; the
-// sequential simulator is only for 10000-peer experiments.
+// pooled persistent connections multiplexing concurrent RPCs, Chord-style
+// stabilisation, walk-based partition discovery and link acquisition,
+// puts/gets/range queries, a concurrent workload burst, and a crash that
+// the ring heals around. This is the deployment path; the sequential
+// simulator is only for 10000-peer experiments.
 //
 //	go run ./examples/tcpcluster
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/oscar-overlay/oscar/internal/keyspace"
 	"github.com/oscar-overlay/oscar/internal/p2p"
@@ -68,6 +73,38 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("get through node 9: %q (found=%v, %d messages)\n", val, found, cost)
+
+	// A concurrent burst: every worker multiplexes its RPCs over the same
+	// pooled connections instead of dialing per call.
+	const workers, opsPer = 16, 25
+	fmt.Printf("\nconcurrent workload: %d workers x %d put+get…\n", workers, opsPer)
+	start := time.Now()
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			node := nodes[w%len(nodes)]
+			for j := 0; j < opsPer; j++ {
+				k := keyspace.FromFloat(float64(w*opsPer+j) / (workers * opsPer))
+				v := []byte(fmt.Sprintf("w%d-%d", w, j))
+				if _, err := node.Put(k, v); err != nil {
+					failed.Add(1)
+					continue
+				}
+				got, ok, _, err := nodes[(w+3)%len(nodes)].Get(k)
+				if err != nil || !ok || !bytes.Equal(got, v) {
+					failed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	total := workers * opsPer * 2
+	fmt.Printf("%d ops in %v (%.0f ops/s), %d failures\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), failed.Load())
 
 	fmt.Println("\ncrashing node 5…")
 	_ = nodes[5].Close()

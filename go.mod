@@ -1,0 +1,3 @@
+module github.com/oscar-overlay/oscar
+
+go 1.24

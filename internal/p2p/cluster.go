@@ -2,6 +2,7 @@ package p2p
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/oscar-overlay/oscar/internal/degreedist"
 	"github.com/oscar-overlay/oscar/internal/keydist"
@@ -71,22 +72,32 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
-// StabilizeAll runs one stabilisation round on every node.
+// StabilizeAll runs one stabilisation round across the cluster, all nodes
+// in parallel — the live topology has no global scheduler, and Chord
+// stabilisation tolerates (is designed for) concurrent rounds.
 func (c *Cluster) StabilizeAll() {
-	for _, n := range c.Nodes {
-		if !n.isDown() {
-			n.Stabilize()
-		}
-	}
+	c.forAllAlive(func(n *Node) { n.Stabilize() })
 }
 
-// RewireAll rebuilds every node's long-range links.
+// RewireAll rebuilds every node's long-range links, all nodes in parallel.
 func (c *Cluster) RewireAll() {
+	c.forAllAlive(func(n *Node) { _ = n.Rewire() })
+}
+
+// forAllAlive applies fn to every alive node concurrently and waits.
+func (c *Cluster) forAllAlive(fn func(*Node)) {
+	var wg sync.WaitGroup
 	for _, n := range c.Nodes {
-		if !n.isDown() {
-			_ = n.Rewire()
+		if n.isDown() {
+			continue
 		}
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			fn(n)
+		}(n)
 	}
+	wg.Wait()
 }
 
 // Close shuts every node down.

@@ -60,6 +60,26 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// lockedRand guards a rand.Rand so the maintenance loop, parallel RPC
+// fanouts, and user-facing calls can draw concurrently (rand.Rand itself is
+// not goroutine-safe).
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func (l *lockedRand) Float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Float64()
+}
+
+func (l *lockedRand) Intn(n int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Intn(n)
+}
+
 // Node is one live overlay peer.
 type Node struct {
 	cfg  Config
@@ -72,8 +92,9 @@ type Node struct {
 	out   []transport.PeerRef
 	in    map[transport.Addr]keyspace.Key
 	store storage.Store
-	rnd   *rand.Rand
 	down  bool
+
+	rnd *lockedRand
 }
 
 // NewNode creates a node on the given transport and starts serving its
@@ -86,7 +107,7 @@ func NewNode(tr transport.Transport, cfg Config) *Node {
 		tr:   tr,
 		self: transport.PeerRef{Addr: tr.Addr(), Key: cfg.Key},
 		in:   make(map[transport.Addr]keyspace.Key),
-		rnd:  rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.Key))),
+		rnd:  &lockedRand{r: rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.Key)))},
 	}
 	n.succ, n.pred = n.self, n.self
 	tr.Serve(n.handle)

@@ -1,7 +1,9 @@
 package p2p
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"github.com/oscar-overlay/oscar/internal/keyspace"
 	"github.com/oscar-overlay/oscar/internal/sampling"
@@ -11,6 +13,11 @@ import (
 
 // maxRouteHops bounds an iterative lookup; only a broken ring exhausts it.
 const maxRouteHops = 4096
+
+// backtrackFan is how many backtrack candidates a lookup probes for
+// liveness in parallel after a hop fails: consecutive dead peers cost one
+// overlapped timeout instead of one timeout each.
+const backtrackFan = 4
 
 // Join enters the overlay through any existing member: it routes to the
 // owner of the node's key (the future successor), splices itself between the
@@ -37,15 +44,16 @@ func (n *Node) Join(introducer transport.Addr) error {
 	predKey := n.pred.Key
 	n.mu.Unlock()
 
-	// Announce ourselves to both sides so their pointers splice eagerly
-	// (periodic Stabilize would get there too, just later).
+	// Announce ourselves to both sides in parallel so their pointers splice
+	// eagerly (periodic Stabilize would get there too, just later).
 	notify := &transport.Request{Op: transport.OpNotify, From: n.self}
-	if _, err := n.tr.Call(owner.Addr, notify); err != nil {
-		return fmt.Errorf("p2p: join: notify successor: %w", err)
-	}
+	targets := []transport.Addr{owner.Addr}
 	if pred.Addr != "" && pred.Addr != owner.Addr {
-		if _, err := n.tr.Call(pred.Addr, notify); err != nil {
-			return fmt.Errorf("p2p: join: notify predecessor: %w", err)
+		targets = append(targets, pred.Addr)
+	}
+	for _, r := range transport.Fanout(context.Background(), n.tr, targets, notify) {
+		if r.Err != nil {
+			return fmt.Errorf("p2p: join: notify %s: %w", r.Addr, r.Err)
 		}
 	}
 
@@ -69,14 +77,51 @@ func (n *Node) Stabilize() {
 	if succ.Addr == n.self.Addr {
 		return
 	}
-	resp, err := n.tr.Call(succ.Addr, &transport.Request{Op: transport.OpGetPred})
-	if err != nil || !resp.OK {
+
+	// The successor check and the predecessor liveness probe are
+	// independent: overlap them so one dead peer's timeout does not delay
+	// probing the other.
+	pred := n.Pred()
+	var (
+		wg       sync.WaitGroup
+		succResp *transport.Response
+		succErr  error
+		predDead bool
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		succResp, succErr = n.tr.Call(succ.Addr, &transport.Request{Op: transport.OpGetPred})
+	}()
+	if pred.Addr != n.self.Addr {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := n.tr.Call(pred.Addr, &transport.Request{Op: transport.OpPing}); err != nil {
+				predDead = true
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Clear a dead predecessor so a live candidate can claim the slot at
+	// the next notify — but only if it is still the peer we probed; a
+	// notify may have installed a live predecessor during the probe.
+	if predDead {
+		n.mu.Lock()
+		if n.pred.Addr == pred.Addr {
+			n.pred = n.self
+		}
+		n.mu.Unlock()
+	}
+
+	if succErr != nil || !succResp.OK {
 		// Successor is dead: fall back to the nearest alive out-link
 		// clockwise (poor man's successor list) and let notify repair.
 		n.adoptNextSuccessor()
 		return
 	}
-	x := resp.Peer
+	x := succResp.Peer
 	if x.Addr != "" && x.Addr != n.self.Addr && x.Key.Between(n.self.Key, succ.Key) {
 		if _, err := n.tr.Call(x.Addr, &transport.Request{Op: transport.OpPing}); err == nil {
 			n.mu.Lock()
@@ -85,21 +130,12 @@ func (n *Node) Stabilize() {
 		}
 	}
 	_, _ = n.tr.Call(n.Succ().Addr, &transport.Request{Op: transport.OpNotify, From: n.self})
-
-	// Probe the predecessor; clear it if dead so a live candidate can claim
-	// the slot at the next notify.
-	pred := n.Pred()
-	if pred.Addr != n.self.Addr {
-		if _, err := n.tr.Call(pred.Addr, &transport.Request{Op: transport.OpPing}); err != nil {
-			n.mu.Lock()
-			n.pred = n.self
-			n.mu.Unlock()
-		}
-	}
 }
 
 // adoptNextSuccessor replaces a dead successor with the closest alive peer
-// clockwise among the node's links.
+// clockwise among the node's links. All candidates are pinged in one
+// parallel sweep, so recovery pays a single probe timeout even when many
+// links died with the successor.
 func (n *Node) adoptNextSuccessor() {
 	n.mu.Lock()
 	cands := append([]transport.PeerRef(nil), n.out...)
@@ -107,13 +143,23 @@ func (n *Node) adoptNextSuccessor() {
 		cands = append(cands, transport.PeerRef{Addr: addr, Key: key})
 	}
 	n.mu.Unlock()
+
+	filtered := cands[:0]
+	for _, c := range cands {
+		if c.Addr != n.self.Addr {
+			filtered = append(filtered, c)
+		}
+	}
+	addrs := make([]transport.Addr, len(filtered))
+	for i, c := range filtered {
+		addrs[i] = c.Addr
+	}
+	results := transport.Fanout(context.Background(), n.tr, addrs, &transport.Request{Op: transport.OpPing})
+
 	var best transport.PeerRef
 	bestDist := ^uint64(0)
-	for _, c := range cands {
-		if c.Addr == n.self.Addr {
-			continue
-		}
-		if _, err := n.tr.Call(c.Addr, &transport.Request{Op: transport.OpPing}); err != nil {
+	for i, c := range filtered {
+		if !results[i].OK() {
 			continue
 		}
 		if d := n.self.Key.Distance(c.Key); d > 0 && d < bestDist {
@@ -138,7 +184,9 @@ func (n *Node) Lookup(key keyspace.Key) (transport.PeerRef, int, error) {
 // the knowledge it gathers: peers discovered dead (or routeless for this
 // key) go into an exclude set that visited peers honour, and the walk
 // backtracks when its current peer is exhausted — the live analogue of the
-// simulator's backtracking router.
+// simulator's backtracking router. Backtrack candidates are liveness-probed
+// in parallel, so a run of dead peers costs one overlapped timeout instead
+// of a serial timeout each.
 func (n *Node) lookupVia(start transport.Addr, key keyspace.Key) (transport.PeerRef, int, error) {
 	cur := start
 	cost := 0
@@ -149,11 +197,12 @@ func (n *Node) lookupVia(start transport.Addr, key keyspace.Key) (transport.Peer
 		if err != nil || !resp.OK {
 			cost++ // wasted message (dead probe) or exhausted peer
 			bad = append(bad, cur)
-			if len(stack) == 0 {
+			next, probeCost := n.backtrack(&stack, &bad)
+			cost += probeCost
+			if next == "" {
 				return transport.PeerRef{}, cost, fmt.Errorf("p2p: lookup: no route to %v", key)
 			}
-			cur = stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
+			cur = next
 			continue
 		}
 		if resp.Found {
@@ -164,6 +213,45 @@ func (n *Node) lookupVia(start transport.Addr, key keyspace.Key) (transport.Peer
 		cost++
 	}
 	return transport.PeerRef{}, cost, fmt.Errorf("p2p: lookup: hop budget exhausted")
+}
+
+// backtrack returns the deepest live peer on the stack, probing up to
+// backtrackFan candidates per round with a parallel ping fanout. Peers
+// found dead move to the query's exclude set; live-but-shallower peers go
+// back on the stack for later rounds. It returns "" when the stack is
+// exhausted, plus the number of probe messages spent.
+func (n *Node) backtrack(stack *[]transport.Addr, bad *[]transport.Addr) (transport.Addr, int) {
+	cost := 0
+	for len(*stack) > 0 {
+		k := backtrackFan
+		if k > len(*stack) {
+			k = len(*stack)
+		}
+		cands := append([]transport.Addr(nil), (*stack)[len(*stack)-k:]...)
+		*stack = (*stack)[:len(*stack)-k]
+		results := transport.Fanout(context.Background(), n.tr, cands, &transport.Request{Op: transport.OpPing})
+		cost += k
+		chosen := -1
+		for i := k - 1; i >= 0; i-- { // deepest (most recently pushed) first
+			if results[i].OK() {
+				chosen = i
+				break
+			}
+		}
+		for i := 0; i < k; i++ {
+			switch {
+			case i == chosen:
+			case results[i].OK():
+				*stack = append(*stack, cands[i]) // alive: keep as a fallback
+			default:
+				*bad = append(*bad, cands[i])
+			}
+		}
+		if chosen >= 0 {
+			return cands[chosen], cost
+		}
+	}
+	return "", cost
 }
 
 // Put stores value under key at the key's owner.
@@ -234,8 +322,13 @@ func (n *Node) Rewire() error {
 	old := n.out
 	n.out = nil
 	n.mu.Unlock()
-	for _, ref := range old {
-		_, _ = n.tr.Call(ref.Addr, &transport.Request{Op: transport.OpUnlink, From: n.self})
+	if len(old) > 0 {
+		addrs := make([]transport.Addr, len(old))
+		for i, ref := range old {
+			addrs[i] = ref.Addr
+		}
+		// Releases are fire-and-forget: broadcast them in parallel.
+		transport.Broadcast(context.Background(), n.tr, addrs, &transport.Request{Op: transport.OpUnlink, From: n.self})
 	}
 
 	borders := n.discoverPartitions()
@@ -342,20 +435,42 @@ func (n *Node) sampleKeys(rg keyspace.Range, count, steps int) []keyspace.Key {
 
 // pickCandidate draws a link candidate: uniform partition, uniform peer
 // inside it (remote walk), with the power-of-two choice across two draws.
+// The two draws — and the two load probes deciding between them — are
+// independent multi-RPC chains, so they run in parallel.
 func (n *Node) pickCandidate(borders []keyspace.Key, existing []transport.PeerRef) transport.PeerRef {
-	first := n.pickOne(borders, existing)
 	if n.cfg.DisablePowerOfTwo {
-		return first
+		return n.pickOne(borders, existing)
 	}
-	second := n.pickOne(borders, existing)
+	var first, second transport.PeerRef
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		first = n.pickOne(borders, existing)
+	}()
+	go func() {
+		defer wg.Done()
+		second = n.pickOne(borders, existing)
+	}()
+	wg.Wait()
 	switch {
 	case first.Addr == "":
 		return second
 	case second.Addr == "" || second.Addr == first.Addr:
 		return first
 	default:
-		lf, okf := n.relativeLoad(first)
-		ls, oks := n.relativeLoad(second)
+		var lf, ls float64
+		var okf, oks bool
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			lf, okf = n.relativeLoad(first)
+		}()
+		go func() {
+			defer wg.Done()
+			ls, oks = n.relativeLoad(second)
+		}()
+		wg.Wait()
 		if oks && (!okf || ls < lf) {
 			return second
 		}
@@ -374,9 +489,7 @@ func (n *Node) relativeLoad(ref transport.PeerRef) (float64, bool) {
 
 // pickOne draws one candidate from a uniformly chosen partition.
 func (n *Node) pickOne(borders []keyspace.Key, existing []transport.PeerRef) transport.PeerRef {
-	n.mu.Lock()
 	i := n.rnd.Intn(len(borders))
-	n.mu.Unlock()
 	var rg keyspace.Range
 	if i == 0 {
 		rg = keyspace.Range{Start: borders[0], End: n.self.Key}
@@ -408,9 +521,7 @@ func (n *Node) walkOnce(entry transport.PeerRef, rg keyspace.Range, steps int) t
 		return transport.PeerRef{}
 	}
 	nbrs := resp.Peers
-	n.mu.Lock()
 	rnd := n.rnd
-	n.mu.Unlock()
 	for s := 0; s < steps; s++ {
 		if rnd.Float64() < 1.0/3 || len(nbrs) == 0 {
 			continue

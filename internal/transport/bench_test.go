@@ -1,0 +1,113 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+)
+
+// benchInflights are the concurrency levels the transport benchmarks
+// sweep: a single caller, a moderate fanout, and a heavy fanout.
+var benchInflights = []int{1, 8, 64}
+
+// dialPerCall is the old transport discipline reproduced as a baseline:
+// a fresh TCP dial, one framed exchange, a teardown — per call.
+func dialPerCall(addr Addr, req *Request) (*Response, error) {
+	conn, err := net.Dial("tcp", string(addr))
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := writeMuxFrame(conn, 1, req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if _, err := readMuxFrame(bufio.NewReader(conn), &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// benchCalls drives b.N calls through fn from `inflight` workers and
+// reports aggregate throughput.
+func benchCalls(b *testing.B, inflight int, fn func(*Request) (*Response, error)) {
+	b.Helper()
+	var wg sync.WaitGroup
+	calls := make(chan int, inflight)
+	b.ResetTimer()
+	for w := 0; w < inflight; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range calls {
+				resp, err := fn(&Request{Op: OpPing, Key: keyspace.Key(i)})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if resp.Peer.Key != keyspace.Key(i) {
+					b.Errorf("cross-talk at call %d", i)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < b.N; i++ {
+		calls <- i
+	}
+	close(calls)
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+}
+
+// BenchmarkDialPerCall measures the pre-pool baseline: every RPC pays
+// dial + exchange + close.
+func BenchmarkDialPerCall(b *testing.B) {
+	server, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer server.Close()
+	server.Serve(echoHandler)
+
+	for _, inflight := range benchInflights {
+		b.Run(fmt.Sprintf("inflight-%d", inflight), func(b *testing.B) {
+			benchCalls(b, inflight, func(req *Request) (*Response, error) {
+				return dialPerCall(server.Addr(), req)
+			})
+		})
+	}
+}
+
+// BenchmarkPooledMux measures the pooled, multiplexed transport: calls
+// share persistent connections and demux by request id.
+func BenchmarkPooledMux(b *testing.B) {
+	server, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer server.Close()
+	server.Serve(echoHandler)
+
+	for _, inflight := range benchInflights {
+		b.Run(fmt.Sprintf("inflight-%d", inflight), func(b *testing.B) {
+			client, err := ListenTCP("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+			// Warm the pool so dials happen outside the timed region.
+			if _, err := client.Call(server.Addr(), &Request{Op: OpPing}); err != nil {
+				b.Fatal(err)
+			}
+			benchCalls(b, inflight, func(req *Request) (*Response, error) {
+				return client.Call(server.Addr(), req)
+			})
+		})
+	}
+}

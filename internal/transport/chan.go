@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -69,6 +70,15 @@ func (e *chanEndpoint) Serve(h Handler) {
 // in-memory "messages" are synchronous function calls, which preserves the
 // request/response semantics while avoiding per-call goroutines.
 func (e *chanEndpoint) Call(addr Addr, req *Request) (*Response, error) {
+	return e.CallCtx(context.Background(), addr, req)
+}
+
+// CallCtx implements Transport. Cancellation is honoured at entry only:
+// the in-memory handler runs synchronously and cannot be interrupted.
+func (e *chanEndpoint) CallCtx(ctx context.Context, addr Addr, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	e.mu.RLock()
 	closed := e.closed
 	e.mu.RUnlock()

@@ -1,0 +1,339 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// maxFrame bounds a wire payload; anything larger is a protocol violation
+// and kills the connection.
+const maxFrame = 16 << 20
+
+// frameHeaderSize is [4-byte payload length][8-byte request id].
+const frameHeaderSize = 12
+
+// encodeFrame builds one frame: header (payload length + request id)
+// followed by the JSON payload. Encoding failures (unserializable value,
+// oversized payload) happen before anything touches the wire, so they
+// never corrupt the connection's frame stream.
+func encodeFrame(id uint64, v interface{}) ([]byte, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	}
+	buf := make([]byte, frameHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint64(buf[4:12], id)
+	copy(buf[frameHeaderSize:], payload)
+	return buf, nil
+}
+
+// writeMuxFrame encodes and sends one frame with a single Write — the
+// unshared (one frame per connection) discipline used by tests and the
+// dial-per-call baseline.
+func writeMuxFrame(w io.Writer, id uint64, v interface{}) error {
+	frame, err := encodeFrame(id, v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}
+
+// connWriter owns one connection's write half: callers enqueue encoded
+// frames and a dedicated goroutine drains everything queued before each
+// flush, so under high in-flight counts many frames leave per syscall
+// while a lone frame still flushes immediately. The first write error
+// fires onErr (once) and stops the writer — frame state past an error is
+// unknown, so the connection must die with it.
+type connWriter struct {
+	conn    net.Conn
+	timeout time.Duration
+	onErr   func(error)
+
+	frames chan []byte
+	stop   chan struct{}
+	once   sync.Once
+}
+
+func startConnWriter(conn net.Conn, timeout time.Duration, onErr func(error)) *connWriter {
+	w := &connWriter{
+		conn:    conn,
+		timeout: timeout,
+		onErr:   onErr,
+		frames:  make(chan []byte, 256),
+		stop:    make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+var errWriterClosed = errors.New("transport: connection writer closed")
+
+// enqueue hands one frame to the writer goroutine, blocking only if the
+// queue is full (backpressure against a stalled peer). The caller's
+// context bounds the wait so a slow-draining connection cannot hold a
+// call past its deadline.
+func (w *connWriter) enqueue(ctx context.Context, frame []byte) error {
+	select {
+	case w.frames <- frame:
+		return nil
+	case <-w.stop:
+		return errWriterClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// close stops the writer goroutine; queued frames are dropped (the
+// connection is dying anyway). Idempotent.
+func (w *connWriter) close() {
+	w.once.Do(func() { close(w.stop) })
+}
+
+func (w *connWriter) loop() {
+	bw := bufio.NewWriter(w.conn)
+	for {
+		select {
+		case <-w.stop:
+			return
+		case frame := <-w.frames:
+			_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+			_, err := bw.Write(frame)
+			// Yield once before draining: concurrent callers get a chance
+			// to enqueue, so a burst leaves in one flush instead of many.
+			runtime.Gosched()
+			for err == nil {
+				select {
+				case next := <-w.frames:
+					_, err = bw.Write(next)
+					continue
+				default:
+				}
+				err = bw.Flush()
+				break
+			}
+			if err != nil {
+				w.onErr(err)
+				w.close()
+				return
+			}
+		}
+	}
+}
+
+// readMuxFrame receives one frame and unmarshals its payload into v,
+// returning the frame's request id. A length over maxFrame or a payload
+// that is not valid JSON is a protocol violation: the caller must close
+// the connection.
+func readMuxFrame(r *bufio.Reader, v interface{}) (uint64, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	id := binary.BigEndian.Uint64(hdr[4:12])
+	if n > maxFrame {
+		return 0, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, err
+	}
+	if err := json.Unmarshal(buf, v); err != nil {
+		return 0, fmt.Errorf("transport: bad frame payload: %w", err)
+	}
+	return id, nil
+}
+
+// errConnBroken marks a connection-level failure (as opposed to a per-call
+// timeout): the pooled connection is unusable and must be evicted. sent
+// distinguishes whether the request may have reached the peer — only
+// unsent requests are safe to retry on a fresh connection (a sent request
+// could otherwise execute twice, which non-idempotent ops like migrate
+// cannot tolerate).
+type errConnBroken struct {
+	cause error
+	sent  bool
+}
+
+func (e errConnBroken) Error() string {
+	return fmt.Sprintf("transport: connection broken: %v", e.cause)
+}
+func (e errConnBroken) Unwrap() error { return e.cause }
+
+// muxConn is one client-side persistent connection: many concurrent calls
+// share it, each tagged with a request id; a demux read loop routes
+// response frames to the waiting caller's channel. The first I/O error
+// breaks the connection: all in-flight calls fail, and the pool evicts it.
+type muxConn struct {
+	conn net.Conn
+	wr   *connWriter
+
+	mu       sync.Mutex
+	pending  map[uint64]chan *Response
+	nextID   uint64
+	broken   bool
+	cause    error
+	lastUsed time.Time
+
+	dead chan struct{} // closed when the read loop exits
+}
+
+// newMuxConn wraps a dialed connection and starts its demux loop.
+func newMuxConn(conn net.Conn, writeTimeout time.Duration) *muxConn {
+	c := &muxConn{
+		conn:     conn,
+		pending:  make(map[uint64]chan *Response),
+		lastUsed: time.Now(),
+		dead:     make(chan struct{}),
+	}
+	c.wr = startConnWriter(conn, writeTimeout, c.fail)
+	go c.readLoop()
+	return c
+}
+
+// readLoop demultiplexes response frames to their callers until the
+// connection dies.
+func (c *muxConn) readLoop() {
+	br := bufio.NewReader(c.conn)
+	for {
+		var resp Response
+		id, err := readMuxFrame(br, &resp)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		if ok {
+			delete(c.pending, id)
+		}
+		c.lastUsed = time.Now()
+		c.mu.Unlock()
+		if ok {
+			ch <- &resp // buffered: never blocks the loop
+		}
+		// An unknown id is a response whose caller already timed out and
+		// abandoned the slot: drop it, the connection stays healthy.
+	}
+}
+
+// fail marks the connection broken, closes it, and wakes every in-flight
+// caller. Idempotent; only the first cause is kept.
+func (c *muxConn) fail(cause error) {
+	c.mu.Lock()
+	if c.broken {
+		c.mu.Unlock()
+		return
+	}
+	c.broken = true
+	c.cause = cause
+	c.pending = make(map[uint64]chan *Response)
+	c.mu.Unlock()
+	c.wr.close()
+	_ = c.conn.Close()
+	close(c.dead)
+}
+
+// isBroken reports whether the connection has failed.
+func (c *muxConn) isBroken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
+// inflight returns the number of calls awaiting a response.
+func (c *muxConn) inflight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// idleSince returns the last moment the connection did useful work, or the
+// zero time if calls are still in flight.
+func (c *muxConn) idleSince() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.pending) > 0 {
+		return time.Time{}
+	}
+	return c.lastUsed
+}
+
+// call sends one request over the shared connection and waits for its
+// response, the context deadline, or connection failure. A context expiry
+// abandons the response slot without harming the connection; a write
+// failure breaks the connection (frame state is unknown past it).
+func (c *muxConn) call(ctx context.Context, req *Request) (*Response, error) {
+	c.mu.Lock()
+	if c.broken {
+		cause := c.cause
+		c.mu.Unlock()
+		return nil, errConnBroken{cause: cause}
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *Response, 1)
+	c.pending[id] = ch
+	c.lastUsed = time.Now()
+	c.mu.Unlock()
+
+	frame, err := encodeFrame(id, req)
+	if err != nil {
+		// The request itself is unsendable; the connection is untouched.
+		c.forget(id)
+		return nil, err
+	}
+	if err := c.wr.enqueue(ctx, frame); err != nil {
+		c.forget(id)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr // deadline while queueing; nothing was sent
+		}
+		c.mu.Lock()
+		if c.cause != nil {
+			err = c.cause
+		}
+		c.mu.Unlock()
+		return nil, errConnBroken{cause: err}
+	}
+
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-c.dead:
+		c.forget(id)
+		c.mu.Lock()
+		cause := c.cause
+		c.mu.Unlock()
+		// The frame was queued and possibly delivered: not retryable.
+		return nil, errConnBroken{cause: cause, sent: true}
+	case <-ctx.Done():
+		c.forget(id)
+		return nil, ctx.Err()
+	}
+}
+
+// forget abandons a pending call's response slot.
+func (c *muxConn) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// close tears the connection down, failing any in-flight calls.
+func (c *muxConn) close() {
+	c.fail(errors.New("transport: connection closed"))
+}

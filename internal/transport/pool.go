@@ -1,0 +1,203 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+)
+
+// pool keeps the persistent client connections of one TCP endpoint: a small
+// set per peer, dialed lazily on first use, shared by concurrent calls,
+// evicted when broken, and reaped when idle.
+type pool struct {
+	dialTimeout  time.Duration
+	writeTimeout time.Duration
+	perPeer      int // connection cap per peer
+
+	mu     sync.Mutex
+	peers  map[Addr]*peerConns
+	closed bool
+}
+
+// peerConns is one peer's connection set; per-peer state keeps a slow dial
+// to one peer from stalling calls to every other peer. dialing counts
+// in-flight dials so the pool opens at most perPeer connections without
+// ever holding the lock across a dial; dialed signals each dial's
+// completion so callers that found every slot mid-dial wait for a result
+// instead of dialing redundantly.
+type peerConns struct {
+	mu      sync.Mutex
+	dialed  *sync.Cond // signalled under mu whenever a dial completes
+	conns   []*muxConn
+	dialing int
+}
+
+func newPeerConns() *peerConns {
+	pc := &peerConns{}
+	pc.dialed = sync.NewCond(&pc.mu)
+	return pc
+}
+
+// pruneLocked drops broken connections; callers hold pc.mu.
+func (pc *peerConns) pruneLocked() {
+	live := pc.conns[:0]
+	for _, c := range pc.conns {
+		if !c.isBroken() {
+			live = append(live, c)
+		}
+	}
+	pc.conns = live
+}
+
+// leastLoadedLocked returns the live connection with the fewest in-flight
+// calls (nil if none); callers hold pc.mu.
+func (pc *peerConns) leastLoadedLocked() (*muxConn, int) {
+	var best *muxConn
+	bestLoad := -1
+	for _, c := range pc.conns {
+		if load := c.inflight(); best == nil || load < bestLoad {
+			best, bestLoad = c, load
+		}
+	}
+	return best, bestLoad
+}
+
+func newPool(perPeer int, dialTimeout, writeTimeout time.Duration) *pool {
+	return &pool{
+		dialTimeout:  dialTimeout,
+		writeTimeout: writeTimeout,
+		perPeer:      perPeer,
+		peers:        make(map[Addr]*peerConns),
+	}
+}
+
+// get returns a live connection to addr, dialing lazily. Under concurrent
+// load it spreads calls across up to perPeer connections: an existing idle
+// connection is reused immediately, and a new one is dialed only while all
+// existing ones are busy and the cap has room. Dials happen outside the
+// peer lock and are bounded by the caller's context, so concurrent calls
+// to a dead peer time out in parallel, not serially.
+func (p *pool) get(ctx context.Context, addr Addr) (*muxConn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrUnreachable
+	}
+	pc, ok := p.peers[addr]
+	if !ok {
+		pc = newPeerConns()
+		p.peers[addr] = pc
+	}
+	p.mu.Unlock()
+
+	pc.mu.Lock()
+	for {
+		pc.pruneLocked()
+		best, bestLoad := pc.leastLoadedLocked()
+		if best != nil && (bestLoad == 0 || len(pc.conns)+pc.dialing >= p.perPeer) {
+			pc.mu.Unlock()
+			return best, nil
+		}
+		if len(pc.conns)+pc.dialing < p.perPeer {
+			pc.dialing++
+			break
+		}
+		// Every cap slot is an in-flight dial: wait for one to land
+		// rather than dialing redundantly. The wait is bounded — a dial
+		// always completes (success or its own timeout) and signals.
+		pc.dialed.Wait()
+	}
+	pc.mu.Unlock()
+
+	dialer := net.Dialer{Timeout: p.dialTimeout}
+	conn, err := dialer.DialContext(ctx, "tcp", string(addr))
+
+	pc.mu.Lock()
+	pc.dialing--
+	pc.dialed.Broadcast()
+	if err != nil {
+		pc.pruneLocked()
+		fallback, _ := pc.leastLoadedLocked()
+		pc.mu.Unlock()
+		if fallback != nil {
+			return fallback, nil // the peer may still answer on a busy conn
+		}
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	mc := newMuxConn(conn, p.writeTimeout)
+	pc.pruneLocked()
+	// The reserved dialing slot guarantees room under the cap.
+	pc.conns = append(pc.conns, mc)
+	pc.mu.Unlock()
+	return mc, nil
+}
+
+// evict removes a broken connection from the peer's set and closes it.
+func (p *pool) evict(addr Addr, mc *muxConn) {
+	p.mu.Lock()
+	pc := p.peers[addr]
+	p.mu.Unlock()
+	if pc == nil {
+		mc.close()
+		return
+	}
+	pc.mu.Lock()
+	for i, c := range pc.conns {
+		if c == mc {
+			pc.conns = append(pc.conns[:i], pc.conns[i+1:]...)
+			break
+		}
+	}
+	pc.mu.Unlock()
+	mc.close()
+}
+
+// reap closes connections that have sat idle (no in-flight calls) longer
+// than maxIdle, returning how many it closed.
+func (p *pool) reap(maxIdle time.Duration) int {
+	p.mu.Lock()
+	peers := make([]*peerConns, 0, len(p.peers))
+	for _, pc := range p.peers {
+		peers = append(peers, pc)
+	}
+	p.mu.Unlock()
+
+	cutoff := time.Now().Add(-maxIdle)
+	closed := 0
+	for _, pc := range peers {
+		pc.mu.Lock()
+		kept := pc.conns[:0]
+		for _, c := range pc.conns {
+			if idle := c.idleSince(); !idle.IsZero() && idle.Before(cutoff) {
+				c.close()
+				closed++
+				continue
+			}
+			kept = append(kept, c)
+		}
+		pc.conns = kept
+		pc.mu.Unlock()
+	}
+	return closed
+}
+
+// closeAll tears every connection down and rejects future gets.
+func (p *pool) closeAll() {
+	p.mu.Lock()
+	p.closed = true
+	peers := p.peers
+	p.peers = make(map[Addr]*peerConns)
+	p.mu.Unlock()
+	for _, pc := range peers {
+		pc.mu.Lock()
+		for _, c := range pc.conns {
+			c.close()
+		}
+		pc.conns = nil
+		pc.mu.Unlock()
+	}
+}

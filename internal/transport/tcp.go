@@ -2,44 +2,111 @@ package transport
 
 import (
 	"bufio"
-	"encoding/binary"
-	"encoding/json"
+	"context"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 )
 
-// maxFrame bounds a wire frame; anything larger is a protocol violation.
-const maxFrame = 16 << 20
+// Transport tuning defaults; override per endpoint with TCPOptions.
+const (
+	// defaultCallTimeout bounds one RPC round trip when the caller's
+	// context carries no deadline; a peer that cannot answer within it is
+	// treated as dead (the probe semantics routing relies on).
+	defaultCallTimeout = 5 * time.Second
+	// defaultPoolSize is the persistent-connection cap per peer.
+	defaultPoolSize = 2
+	// defaultIdleTimeout is how long a pooled connection may sit without
+	// in-flight calls before the reaper closes it. Server-side connections
+	// get 4x this before an idle read deadline fires, so the client side
+	// always disconnects first.
+	defaultIdleTimeout = 60 * time.Second
+)
 
-// callTimeout bounds one RPC round trip; a peer that cannot answer within
-// it is treated as dead (the probe semantics routing relies on).
-const callTimeout = 5 * time.Second
+// TCPOption customises a TCP endpoint.
+type TCPOption func(*tcpOptions)
 
-// TCPEndpoint is a Transport over real sockets: length-prefixed JSON frames,
-// one request/response exchange per connection. Dial-per-call keeps the
-// implementation obviously correct; for loopback demo clusters the cost is
-// negligible.
+type tcpOptions struct {
+	poolSize    int
+	callTimeout time.Duration
+	idleTimeout time.Duration
+}
+
+// WithPoolSize sets the persistent-connection cap per peer (default 2).
+func WithPoolSize(n int) TCPOption {
+	return func(o *tcpOptions) {
+		if n > 0 {
+			o.poolSize = n
+		}
+	}
+}
+
+// WithCallTimeout sets the default per-call timeout applied when the
+// caller's context has no deadline (default 5s).
+func WithCallTimeout(d time.Duration) TCPOption {
+	return func(o *tcpOptions) {
+		if d > 0 {
+			o.callTimeout = d
+		}
+	}
+}
+
+// WithIdleTimeout sets how long a pooled connection may idle before being
+// reaped (default 60s).
+func WithIdleTimeout(d time.Duration) TCPOption {
+	return func(o *tcpOptions) {
+		if d > 0 {
+			o.idleTimeout = d
+		}
+	}
+}
+
+// TCPEndpoint is a Transport over real sockets: persistent pooled
+// connections carrying length-prefixed JSON frames tagged with request ids,
+// so many in-flight Calls multiplex over one connection in each direction.
+// The server side reads frames in a loop and answers each request on its
+// own goroutine; the client side demuxes responses by id. Broken
+// connections are evicted and redialed on the next call.
 type TCPEndpoint struct {
-	ln net.Listener
+	ln   net.Listener
+	pool *pool
+	opts tcpOptions
 
 	mu      sync.RWMutex
 	handler Handler
 	closed  bool
-	wg      sync.WaitGroup
+	conns   map[net.Conn]struct{} // live server-side connections
+
+	wg         sync.WaitGroup
+	stopReaper chan struct{}
 }
 
 // ListenTCP opens an endpoint on the given address ("127.0.0.1:0" picks a
 // free port).
-func ListenTCP(bind string) (*TCPEndpoint, error) {
+func ListenTCP(bind string, options ...TCPOption) (*TCPEndpoint, error) {
+	opts := tcpOptions{
+		poolSize:    defaultPoolSize,
+		callTimeout: defaultCallTimeout,
+		idleTimeout: defaultIdleTimeout,
+	}
+	for _, opt := range options {
+		opt(&opts)
+	}
 	ln, err := net.Listen("tcp", bind)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", bind, err)
 	}
-	e := &TCPEndpoint{ln: ln}
-	e.wg.Add(1)
+	e := &TCPEndpoint{
+		ln:         ln,
+		pool:       newPool(opts.poolSize, opts.callTimeout, opts.callTimeout),
+		opts:       opts,
+		conns:      make(map[net.Conn]struct{}),
+		stopReaper: make(chan struct{}),
+	}
+	e.wg.Add(2)
 	go e.acceptLoop()
+	go e.reapLoop()
 	return e, nil
 }
 
@@ -53,6 +120,21 @@ func (e *TCPEndpoint) Serve(h Handler) {
 	e.handler = h
 }
 
+// reapLoop periodically closes idle pooled connections.
+func (e *TCPEndpoint) reapLoop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.opts.idleTimeout / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stopReaper:
+			return
+		case <-ticker.C:
+			e.pool.reap(e.opts.idleTimeout)
+		}
+	}
+}
+
 func (e *TCPEndpoint) acceptLoop() {
 	defer e.wg.Done()
 	for {
@@ -60,54 +142,118 @@ func (e *TCPEndpoint) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		e.conns[conn] = struct{}{}
+		e.mu.Unlock()
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
-			defer conn.Close()
 			e.serveConn(conn)
+			e.mu.Lock()
+			delete(e.conns, conn)
+			e.mu.Unlock()
+			_ = conn.Close()
 		}()
 	}
 }
 
+// serveConn is the server half of one multiplexed connection: read frames
+// in a loop, answer each on its own goroutine so a slow handler never
+// head-of-line-blocks the connection, and serialize response writes with a
+// per-connection lock. Any protocol violation (oversized frame, garbage
+// payload) or idle expiry ends the connection.
 func (e *TCPEndpoint) serveConn(conn net.Conn) {
-	_ = conn.SetDeadline(time.Now().Add(callTimeout))
-	var req Request
-	if err := readFrame(conn, &req); err != nil {
-		return
+	br := bufio.NewReader(conn)
+	wr := startConnWriter(conn, e.opts.callTimeout, func(error) { _ = conn.Close() })
+	defer wr.close()
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(4 * e.opts.idleTimeout))
+		var req Request
+		id, err := readMuxFrame(br, &req)
+		if err != nil {
+			return
+		}
+		e.mu.RLock()
+		h := e.handler
+		closed := e.closed
+		e.mu.RUnlock()
+		if closed {
+			return
+		}
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			resp := &Response{OK: false, Err: "no handler"}
+			if h != nil {
+				resp = h(&req)
+			}
+			frame, err := encodeFrame(id, resp)
+			if err != nil {
+				frame, err = encodeFrame(id, &Response{OK: false, Err: err.Error()})
+			}
+			if err != nil {
+				_ = conn.Close() // unblocks the read loop
+				return
+			}
+			_ = wr.enqueue(context.Background(), frame) // a dead writer already closed the conn
+		}()
 	}
-	e.mu.RLock()
-	h := e.handler
-	closed := e.closed
-	e.mu.RUnlock()
-	if h == nil || closed {
-		return
-	}
-	resp := h(&req)
-	_ = writeFrame(conn, resp)
 }
 
 // Call implements Transport.
 func (e *TCPEndpoint) Call(addr Addr, req *Request) (*Response, error) {
+	return e.CallCtx(context.Background(), addr, req)
+}
+
+// CallCtx implements Transport. It multiplexes the call over a pooled
+// persistent connection; if the connection turns out to be stale before
+// the request is sent (e.g. the peer restarted since it was dialed) it
+// evicts it and retries once on a fresh dial. Once the request may have
+// reached the peer, a failure returns without retrying — at-most-once
+// delivery, so non-idempotent ops (migrate) never execute twice.
+func (e *TCPEndpoint) CallCtx(ctx context.Context, addr Addr, req *Request) (*Response, error) {
 	e.mu.RLock()
 	closed := e.closed
 	e.mu.RUnlock()
 	if closed {
 		return nil, ErrUnreachable
 	}
-	conn, err := net.DialTimeout("tcp", string(addr), callTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.opts.callTimeout)
+		defer cancel()
 	}
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(callTimeout))
-	if err := writeFrame(conn, req); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+
+	const attempts = 2
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		mc, err := e.pool.get(ctx, addr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+		}
+		resp, err := mc.call(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		broken, isBroken := err.(errConnBroken)
+		if !isBroken {
+			return nil, fmt.Errorf("%w: %w", ErrUnreachable, err) // timeout/cancel
+		}
+		e.pool.evict(addr, mc)
+		if broken.sent {
+			return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+		}
+		lastErr = err
 	}
-	var resp Response
-	if err := readFrame(conn, &resp); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
-	}
-	return &resp, nil
+	return nil, fmt.Errorf("%w: %v", ErrUnreachable, lastErr)
 }
 
 // Close implements Transport.
@@ -118,58 +264,18 @@ func (e *TCPEndpoint) Close() error {
 		return nil
 	}
 	e.closed = true
+	conns := make([]net.Conn, 0, len(e.conns))
+	for c := range e.conns {
+		conns = append(conns, c)
+	}
 	e.mu.Unlock()
+
 	err := e.ln.Close()
+	close(e.stopReaper)
+	e.pool.closeAll()
+	for _, c := range conns {
+		_ = c.Close() // unblocks server read loops
+	}
 	e.wg.Wait()
 	return err
-}
-
-// writeFrame sends one length-prefixed JSON value.
-func writeFrame(conn net.Conn, v interface{}) error {
-	payload, err := json.Marshal(v)
-	if err != nil {
-		return err
-	}
-	if len(payload) > maxFrame {
-		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
-	}
-	w := bufio.NewWriter(conn)
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := w.Write(payload); err != nil {
-		return err
-	}
-	return w.Flush()
-}
-
-// readFrame receives one length-prefixed JSON value.
-func readFrame(conn net.Conn, v interface{}) error {
-	var hdr [4]byte
-	if _, err := readFull(conn, hdr[:]); err != nil {
-		return err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
-	}
-	buf := make([]byte, n)
-	if _, err := readFull(conn, buf); err != nil {
-		return err
-	}
-	return json.Unmarshal(buf, v)
-}
-
-func readFull(conn net.Conn, buf []byte) (int, error) {
-	total := 0
-	for total < len(buf) {
-		n, err := conn.Read(buf[total:])
-		total += n
-		if err != nil {
-			return total, err
-		}
-	}
-	return total, nil
 }

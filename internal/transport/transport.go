@@ -1,12 +1,30 @@
 // Package transport provides the message fabric for the live (non-simulated)
 // overlay runtime in internal/p2p: a blocking request/response Call
 // abstraction with two implementations — an in-memory channel fabric for
-// tests and single-process clusters, and a TCP fabric (length-prefixed JSON)
+// tests and single-process clusters, and a pooled, multiplexed TCP fabric
 // for real deployments.
+//
+// The TCP fabric keeps a small pool of persistent connections per peer
+// (lazy dial, idle reaping) and multiplexes many in-flight calls over each
+// connection: every frame is [4-byte length][8-byte request id][JSON
+// payload], a per-connection demux loop routes responses to their waiting
+// callers by id, and a broken connection fails its in-flight calls, is
+// evicted from the pool, and is replaced by a fresh dial on the next call.
+// Per-call deadlines come from the caller's context (with a transport
+// default when the context carries none); a call that times out simply
+// abandons its response slot without poisoning the shared connection.
+//
+// Delivery is at-most-once: a call on a connection that proves stale
+// before the request is sent retries once on a fresh dial, but once a
+// request may have reached the peer a failure surfaces as ErrUnreachable
+// without retrying, so no op — idempotent or not (migrate is not) — ever
+// executes twice for one Call.
 package transport
 
 import (
+	"context"
 	"errors"
+	"sync"
 
 	"github.com/oscar-overlay/oscar/internal/keyspace"
 	"github.com/oscar-overlay/oscar/internal/storage"
@@ -75,7 +93,8 @@ type Response struct {
 	InDeg  int            `json:"in_deg,omitempty"`
 }
 
-// Handler processes one incoming request.
+// Handler processes one incoming request. Handlers run on transport
+// goroutines and may be invoked concurrently.
 type Handler func(*Request) *Response
 
 // Transport is one node's endpoint on the fabric.
@@ -84,8 +103,15 @@ type Transport interface {
 	Addr() Addr
 	// Call sends a request to a remote endpoint and waits for its response.
 	// A transport-level failure (dead peer, closed endpoint) returns an
-	// error — the live-network analogue of probing a stale link.
+	// error — the live-network analogue of probing a stale link. It is
+	// CallCtx with a background context (the transport's default per-call
+	// timeout applies).
 	Call(addr Addr, req *Request) (*Response, error)
+	// CallCtx is Call with a caller-supplied context: the context's
+	// deadline bounds the round trip and its cancellation aborts the wait.
+	// Many CallCtx invocations may be in flight concurrently; the TCP
+	// fabric multiplexes them over shared pooled connections.
+	CallCtx(ctx context.Context, addr Addr, req *Request) (*Response, error)
 	// Serve installs the handler for incoming requests. It must be called
 	// exactly once before the first Call arrives.
 	Serve(h Handler)
@@ -95,3 +121,46 @@ type Transport interface {
 
 // ErrUnreachable reports a dead or unknown endpoint.
 var ErrUnreachable = errors.New("transport: peer unreachable")
+
+// FanoutResult is one peer's outcome from a Fanout.
+type FanoutResult struct {
+	Addr Addr
+	Resp *Response
+	Err  error
+}
+
+// OK reports whether the peer answered and accepted the request.
+func (r FanoutResult) OK() bool { return r.Err == nil && r.Resp != nil && r.Resp.OK }
+
+// Fanout issues the same request to every address in parallel and returns
+// the per-peer results in input order. It is the building block for
+// parallel maintenance RPCs: liveness sweeps, link negotiation, neighbour
+// sampling probes.
+func Fanout(ctx context.Context, t Transport, addrs []Addr, req *Request) []FanoutResult {
+	results := make([]FanoutResult, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr Addr) {
+			defer wg.Done()
+			resp, err := t.CallCtx(ctx, addr, req)
+			results[i] = FanoutResult{Addr: addr, Resp: resp, Err: err}
+		}(i, addr)
+	}
+	wg.Wait()
+	return results
+}
+
+// Broadcast sends the request to every address in parallel, discarding
+// responses, and reports how many peers answered OK. Use it for
+// notifications whose individual outcomes don't matter (unlink storms,
+// ring announcements).
+func Broadcast(ctx context.Context, t Transport, addrs []Addr, req *Request) int {
+	ok := 0
+	for _, r := range Fanout(ctx, t, addrs, req) {
+		if r.OK() {
+			ok++
+		}
+	}
+	return ok
+}
