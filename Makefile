@@ -6,7 +6,7 @@ GO ?= go
 # to keep CI fast (the full suite still runs race-free in `test`).
 RACE_PKGS = ./internal/transport/... ./internal/p2p/...
 
-.PHONY: all build test race bench fmt fmt-check vet ci
+.PHONY: all build test race bench fmt fmt-check vet examples conformance ci
 
 all: build
 
@@ -18,6 +18,18 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Examples and commands must stay vet-clean and buildable: they are the
+# documentation of the public Client API.
+examples:
+	$(GO) vet ./examples/... ./cmd/...
+	$(GO) build ./examples/... ./cmd/...
+
+# Cross-backend conformance: the identical scenario table against the
+# simulator Client and the live Client (in-memory fabric and TCP), race
+# detector on.
+conformance:
+	$(GO) test -race -run 'TestConformance|TestLookupCancelled|TestRangeQueryCancelled' . ./internal/p2p/
 
 # Bench smoke: compile and run every benchmark once (shape check, not a
 # measurement). Full measurements: `go test -bench=. -benchtime=2s ./...`.
@@ -33,4 +45,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test race bench
+ci: fmt-check vet build test examples race conformance bench

@@ -7,6 +7,7 @@
 package oscar
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -305,7 +306,7 @@ func BenchmarkOverlayPutGet(b *testing.B) {
 // find_owner RPCs, issued from many goroutines at once — the workload the
 // multiplexed transport exists for.
 func BenchmarkLiveClusterLookup(b *testing.B) {
-	c, err := p2p.NewCluster(p2p.ClusterConfig{Size: 48, Seed: 11})
+	c, err := p2p.NewCluster(context.Background(), p2p.ClusterConfig{Size: 48, Seed: 11})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -317,7 +318,7 @@ func BenchmarkLiveClusterLookup(b *testing.B) {
 			i := next.Add(1)
 			node := c.Nodes[int(i)%len(c.Nodes)]
 			key := keyspace.Key(i * 0x9e3779b97f4a7c15) // golden-ratio spread
-			if _, _, err := node.Lookup(key); err != nil {
+			if _, _, err := node.Lookup(context.Background(), key); err != nil {
 				b.Error(err)
 				return
 			}
@@ -343,7 +344,7 @@ func BenchmarkLiveClusterPutGetTCP(b *testing.B) {
 			Seed:   int64(i),
 		})
 		if i > 0 {
-			if err := n.Join(nodes[0].Self().Addr); err != nil {
+			if err := n.Join(context.Background(), nodes[0].Self().Addr); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -356,7 +357,7 @@ func BenchmarkLiveClusterPutGetTCP(b *testing.B) {
 	}()
 	for round := 0; round < 2; round++ {
 		for _, n := range nodes {
-			n.Stabilize()
+			n.Stabilize(context.Background())
 		}
 	}
 	val := []byte("live-bench")
@@ -367,11 +368,11 @@ func BenchmarkLiveClusterPutGetTCP(b *testing.B) {
 			i := next.Add(1)
 			node := nodes[int(i)%size]
 			key := keyspace.Key(i * 0x9e3779b97f4a7c15)
-			if _, err := node.Put(key, val); err != nil {
+			if _, err := node.Put(context.Background(), key, val); err != nil {
 				b.Error(err)
 				return
 			}
-			if _, _, _, err := node.Get(key); err != nil {
+			if _, err := node.Get(context.Background(), key); err != nil {
 				b.Error(err)
 				return
 			}

@@ -1,0 +1,218 @@
+package oscar
+
+import (
+	"context"
+	"errors"
+)
+
+// Client is the unified public surface of the overlay: the same six
+// operations against either backend — the in-process simulator
+// (NewClient) or the live message-passing runtime (StartNode /
+// StartCluster). Every method takes a context whose cancellation or
+// deadline aborts the operation, and failures surface as typed errors
+// (ErrNotFound, ErrRoutingFailed, ErrClosed, ErrUnavailable) that callers
+// test with errors.Is.
+//
+// Implementations are safe for concurrent use by multiple goroutines.
+type Client interface {
+	// Put stores value under key at the key's owner.
+	Put(ctx context.Context, key Key, value []byte) (PutResponse, error)
+	// Get fetches the value under key from the key's owner. A missing key
+	// is ErrNotFound (the response still carries the routing cost).
+	Get(ctx context.Context, key Key) (GetResponse, error)
+	// Delete removes the item under key at the key's owner. A missing key
+	// is ErrNotFound (the response still carries the routing cost).
+	Delete(ctx context.Context, key Key) (DeleteResponse, error)
+	// RangeQuery returns up to limit items with keys in the clockwise arc
+	// [start, end), in clockwise key order. start > end wraps around the
+	// top of the identifier circle. limit <= 0 means no limit.
+	RangeQuery(ctx context.Context, start, end Key, limit int) (RangeResponse, error)
+	// Lookup routes to the owner of key without touching the data layer.
+	Lookup(ctx context.Context, key Key) (LookupResponse, error)
+	// Info reports a snapshot of the backend's view of the overlay.
+	Info(ctx context.Context) (InfoResponse, error)
+	// Close releases the client. Further calls return ErrClosed.
+	Close() error
+}
+
+// Typed errors returned by Client implementations. Operations wrap them, so
+// match with errors.Is. Context cancellation and deadline expiry are NOT
+// translated: they surface as the context's own error.
+var (
+	// ErrNotFound reports that the key holds no item at its owner.
+	ErrNotFound = errors.New("oscar: key not found")
+	// ErrRoutingFailed reports that routing exhausted every path to the
+	// key's owner (dead peers, partitions, or a broken ring).
+	ErrRoutingFailed = errors.New("oscar: routing failed")
+	// ErrClosed reports an operation on a closed client.
+	ErrClosed = errors.New("oscar: client closed")
+	// ErrUnavailable reports that routing reached the owner but the data
+	// operation itself failed (for example the owner crashed mid-call).
+	ErrUnavailable = errors.New("oscar: peer unavailable")
+)
+
+// OwnerRef identifies the peer that served an operation in a
+// backend-neutral way: the key is always set; Addr is the transport
+// address on the live backend; ID is the simulator node id.
+type OwnerRef struct {
+	// Key is the peer's position on the identifier circle.
+	Key Key
+	// Addr is the live backend's transport address ("" on the simulator).
+	Addr string
+	// ID is the simulator's node id (0 and meaningless on the live backend).
+	ID NodeID
+}
+
+// PutResponse reports a Put.
+type PutResponse struct {
+	// Owner is the peer now holding the item.
+	Owner OwnerRef
+	// Cost is the message cost of the operation (routing plus the write).
+	Cost int
+	// Replaced reports whether an existing value was overwritten.
+	Replaced bool
+}
+
+// GetResponse reports a Get.
+type GetResponse struct {
+	// Owner is the peer holding the item.
+	Owner OwnerRef
+	// Cost is the message cost of the operation.
+	Cost int
+	// Value is the stored value.
+	Value []byte
+}
+
+// DeleteResponse reports a Delete.
+type DeleteResponse struct {
+	// Owner is the peer that held the item.
+	Owner OwnerRef
+	// Cost is the message cost of the operation.
+	Cost int
+}
+
+// RangeResponse reports a RangeQuery.
+type RangeResponse struct {
+	// Items are the matching records in clockwise key order from the range
+	// start.
+	Items []Item
+	// Cost is the total message cost: routing to the range start plus one
+	// hop per additional peer scanned along the ring.
+	Cost int
+	// PeersScanned is the number of peers whose shards were visited.
+	PeersScanned int
+}
+
+// LookupResponse reports a Lookup.
+type LookupResponse struct {
+	// Owner is the peer owning the key.
+	Owner OwnerRef
+	// Cost is the routing message cost.
+	Cost int
+}
+
+// InfoResponse is a snapshot of the backend's view of the overlay. The
+// simulator has global knowledge; a live node reports only its local state.
+type InfoResponse struct {
+	// Backend names the implementation: "simulator" or "p2p".
+	Backend string
+	// Peers is the number of alive peers. The live backend has no global
+	// membership view and reports -1.
+	Peers int
+	// Self is the serving peer (zero on the simulator, which has no
+	// distinguished vantage point).
+	Self OwnerRef
+	// Successor and Predecessor are the serving peer's ring pointers
+	// (live backend only).
+	Successor, Predecessor OwnerRef
+	// OutLinks and InLinks count the serving peer's long-range links
+	// (live backend only).
+	OutLinks, InLinks int
+	// StoredItems is the item count: the local shard on the live backend,
+	// the sum over all shards on the simulator.
+	StoredItems int
+}
+
+// options collects the functional construction options shared by NewClient
+// and StartCluster.
+type options struct {
+	size              int
+	seed              int64
+	keys              KeyDistribution
+	degrees           DegreeDistribution
+	algorithm         Algorithm
+	disablePowerOfTwo bool
+	oraclePartitions  bool
+	sampleSize        int
+	walkSteps         int
+	stabilizeRounds   int
+}
+
+// Option customises client construction. The zero configuration builds a
+// 1000-peer Oscar overlay on Gnutella-like keys with constant budgets.
+type Option func(*options)
+
+// WithSize sets the simulator overlay's target peer count (NewClient only;
+// StartCluster takes its size as an argument).
+func WithSize(n int) Option { return func(o *options) { o.size = n } }
+
+// WithSeed seeds all randomness; runs with equal seeds are identical.
+func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+
+// WithKeys sets the peer identifier distribution.
+func WithKeys(d KeyDistribution) Option { return func(o *options) { o.keys = d } }
+
+// WithDegrees sets the per-peer link budget distribution.
+func WithDegrees(d DegreeDistribution) Option { return func(o *options) { o.degrees = d } }
+
+// WithAlgorithm selects the construction algorithm (simulator only; the
+// live runtime always runs Oscar).
+func WithAlgorithm(a Algorithm) Option { return func(o *options) { o.algorithm = a } }
+
+// WithoutPowerOfTwo turns off the two-choices in-degree balancing rule.
+func WithoutPowerOfTwo() Option { return func(o *options) { o.disablePowerOfTwo = true } }
+
+// WithOraclePartitions uses exact global-knowledge medians instead of
+// random-walk estimates (simulator only; for calibration).
+func WithOraclePartitions() Option { return func(o *options) { o.oraclePartitions = true } }
+
+// WithSampling tunes median estimation: samples per level and walk steps
+// per sample (0 keeps the default for either).
+func WithSampling(samples, steps int) Option {
+	return func(o *options) { o.sampleSize, o.walkSteps = samples, steps }
+}
+
+// WithStabilizeRounds sets how many stabilisation rounds StartCluster runs
+// after boot (live backend only).
+func WithStabilizeRounds(n int) Option { return func(o *options) { o.stabilizeRounds = n } }
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// NewClient builds a simulator-backed Client: an in-process overlay grown
+// to the configured size, sharing the Client surface with the live
+// runtime. The simulator executes operations synchronously, so contexts
+// are honoured at operation entry.
+func NewClient(opts ...Option) (Client, error) {
+	o := buildOptions(opts)
+	ov, err := Build(Config{
+		Size:              o.size,
+		Seed:              o.seed,
+		Keys:              o.keys,
+		Degrees:           o.degrees,
+		Algorithm:         o.algorithm,
+		DisablePowerOfTwo: o.disablePowerOfTwo,
+		OraclePartitions:  o.oraclePartitions,
+		SampleSize:        o.sampleSize,
+		WalkSteps:         o.walkSteps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ov.Client(), nil
+}

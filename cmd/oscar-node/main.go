@@ -1,6 +1,9 @@
-// Command oscar-node runs one live Oscar peer on TCP. Start a first node,
-// then join others to it; each process serves the overlay protocol and
-// answers simple commands on stdin.
+// Command oscar-node runs one live Oscar peer on TCP through the public
+// oscar.Client API. Start a first node, then join others to it; each
+// process serves the overlay protocol and answers simple commands on
+// stdin. SIGINT/SIGTERM shut the node down gracefully: the root context is
+// cancelled (aborting in-flight calls), maintenance stops, and the
+// transport closes before exit.
 //
 //	# terminal 1: create an overlay
 //	oscar-node -listen 127.0.0.1:7001 -key 0.10
@@ -12,6 +15,7 @@
 //
 //	put <frac> <value>    store value under the key at fraction <frac>
 //	get <frac>            fetch the value
+//	delete <frac>         remove the value
 //	range <lo> <hi>       list items with keys in [lo, hi)
 //	lookup <frac>         route to the key's owner
 //	info                  print ring pointers, links, stored items
@@ -22,17 +26,19 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
-	"github.com/oscar-overlay/oscar/internal/keyspace"
-	"github.com/oscar-overlay/oscar/internal/p2p"
-	"github.com/oscar-overlay/oscar/internal/transport"
+	oscar "github.com/oscar-overlay/oscar"
 )
 
 func main() {
@@ -53,63 +59,101 @@ func main() {
 	)
 	flag.Parse()
 
-	key := keyspace.FromFloat(*keyFrac)
+	// The root context governs every overlay operation; a signal cancels
+	// it, aborting in-flight multi-hop calls before the node shuts down.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	key := oscar.KeyFromFloat(*keyFrac)
 	if *keyFrac < 0 {
-		key = keyspace.Key(time.Now().UnixNano()) * 2654435761 // spread-ish
+		key = oscar.Key(time.Now().UnixNano()) * 2654435761 // spread-ish
 	}
 
-	ep, err := transport.ListenTCP(*listen,
-		transport.WithPoolSize(*poolSize),
-		transport.WithCallTimeout(*callTimeout),
-		transport.WithIdleTimeout(*idleTimeout),
-	)
+	node, err := oscar.StartNode(oscar.NodeConfig{
+		Listen:      *listen,
+		Key:         key,
+		MaxIn:       *maxIn,
+		MaxOut:      *maxOut,
+		Seed:        time.Now().UnixNano(),
+		PoolSize:    *poolSize,
+		CallTimeout: *callTimeout,
+		IdleTimeout: *idleTimeout,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	node := p2p.NewNode(ep, p2p.Config{
-		Key: key, MaxIn: *maxIn, MaxOut: *maxOut,
-		Seed: time.Now().UnixNano(),
-	})
-	fmt.Printf("node up at %s, key %s\n", node.Self().Addr, node.Self().Key)
+	fmt.Printf("node up at %s, key %s\n", node.Addr(), node.Key())
 
 	if *join != "" {
-		if err := node.Join(transport.Addr(*join)); err != nil {
+		if err := node.Join(ctx, *join); err != nil {
+			_ = node.Close()
 			log.Fatal(err)
 		}
+		info, _ := node.Info(ctx)
 		fmt.Printf("joined via %s; succ=%s pred=%s, %d long links\n",
-			*join, node.Succ().Key, node.Pred().Key, len(node.OutLinks()))
+			*join, info.Successor.Key, info.Predecessor.Key, info.OutLinks)
 	}
 
 	if *interval > 0 {
-		m := node.StartMaintenance(*interval, *rewireEvery)
-		defer m.Stop()
+		node.StartMaintenance(*interval, *rewireEvery)
 	}
 
-	sc := bufio.NewScanner(os.Stdin)
-	fmt.Print("> ")
-	for sc.Scan() {
-		if err := execute(node, strings.Fields(sc.Text())); err != nil {
-			if err == errQuit {
-				break
+	// The stdin reader feeds a channel so the main loop can multiplex user
+	// commands with context cancellation from a signal.
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			case <-ctx.Done():
+				return
 			}
-			fmt.Println("error:", err)
 		}
-		fmt.Print("> ")
+	}()
+
+	fmt.Print("> ")
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Println("\nsignal received, shutting down…")
+			break loop
+		case line, ok := <-lines:
+			if !ok {
+				break loop
+			}
+			if err := execute(ctx, node, strings.Fields(line)); err != nil {
+				if errors.Is(err, errQuit) {
+					break loop
+				}
+				fmt.Println("error:", err)
+			}
+			fmt.Print("> ")
+		}
 	}
-	_ = node.Close()
+
+	// Graceful shutdown: stop the background loop first so it cannot race
+	// the transport teardown, then close the node (listener + pools).
+	node.StopMaintenance()
+	if err := node.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+	fmt.Println("node stopped")
 }
 
-var errQuit = fmt.Errorf("quit")
+var errQuit = errors.New("quit")
 
-func parseFrac(s string) (keyspace.Key, error) {
+func parseFrac(s string) (oscar.Key, error) {
 	f, err := strconv.ParseFloat(s, 64)
 	if err != nil || f < 0 || f >= 1 {
 		return 0, fmt.Errorf("want a fraction in [0,1), got %q", s)
 	}
-	return keyspace.FromFloat(f), nil
+	return oscar.KeyFromFloat(f), nil
 }
 
-func execute(node *p2p.Node, args []string) error {
+func execute(ctx context.Context, node *oscar.Node, args []string) error {
 	if len(args) == 0 {
 		return nil
 	}
@@ -118,21 +162,29 @@ func execute(node *p2p.Node, args []string) error {
 		return errQuit
 
 	case "info":
-		fmt.Printf("self  %s key=%s\n", node.Self().Addr, node.Self().Key)
-		fmt.Printf("succ  %s key=%s\n", node.Succ().Addr, node.Succ().Key)
-		fmt.Printf("pred  %s key=%s\n", node.Pred().Addr, node.Pred().Key)
-		fmt.Printf("links out=%d in=%d items=%d\n", len(node.OutLinks()), node.InDegree(), node.StoredItems())
+		info, err := node.Info(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("self  %s key=%s\n", info.Self.Addr, info.Self.Key)
+		fmt.Printf("succ  %s key=%s\n", info.Successor.Addr, info.Successor.Key)
+		fmt.Printf("pred  %s key=%s\n", info.Predecessor.Addr, info.Predecessor.Key)
+		fmt.Printf("links out=%d in=%d items=%d\n", info.OutLinks, info.InLinks, info.StoredItems)
 		return nil
 
 	case "stabilize":
-		node.Stabilize()
+		node.Stabilize(ctx)
 		return nil
 
 	case "rewire":
-		if err := node.Rewire(); err != nil {
+		if err := node.Rewire(ctx); err != nil {
 			return err
 		}
-		fmt.Printf("%d long-range links\n", len(node.OutLinks()))
+		info, err := node.Info(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d long-range links\n", info.OutLinks)
 		return nil
 
 	case "lookup":
@@ -143,11 +195,11 @@ func execute(node *p2p.Node, args []string) error {
 		if err != nil {
 			return err
 		}
-		owner, cost, err := node.Lookup(k)
+		res, err := node.Lookup(ctx, k)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("owner %s key=%s (%d messages)\n", owner.Addr, owner.Key, cost)
+		fmt.Printf("owner %s key=%s (%d messages)\n", res.Owner.Addr, res.Owner.Key, res.Cost)
 		return nil
 
 	case "put":
@@ -158,11 +210,11 @@ func execute(node *p2p.Node, args []string) error {
 		if err != nil {
 			return err
 		}
-		cost, err := node.Put(k, []byte(strings.Join(args[2:], " ")))
+		res, err := node.Put(ctx, k, []byte(strings.Join(args[2:], " ")))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("stored (%d messages)\n", cost)
+		fmt.Printf("stored at %s (%d messages, replaced=%v)\n", res.Owner.Addr, res.Cost, res.Replaced)
 		return nil
 
 	case "get":
@@ -173,15 +225,34 @@ func execute(node *p2p.Node, args []string) error {
 		if err != nil {
 			return err
 		}
-		val, found, cost, err := node.Get(k)
+		res, err := node.Get(ctx, k)
+		if errors.Is(err, oscar.ErrNotFound) {
+			fmt.Printf("not found (%d messages)\n", res.Cost)
+			return nil
+		}
 		if err != nil {
 			return err
 		}
-		if !found {
-			fmt.Printf("not found (%d messages)\n", cost)
+		fmt.Printf("%q (%d messages)\n", res.Value, res.Cost)
+		return nil
+
+	case "delete":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: delete <frac>")
+		}
+		k, err := parseFrac(args[1])
+		if err != nil {
+			return err
+		}
+		res, err := node.Delete(ctx, k)
+		if errors.Is(err, oscar.ErrNotFound) {
+			fmt.Printf("not found (%d messages)\n", res.Cost)
 			return nil
 		}
-		fmt.Printf("%q (%d messages)\n", val, cost)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("deleted (%d messages)\n", res.Cost)
 		return nil
 
 	case "range":
@@ -196,14 +267,14 @@ func execute(node *p2p.Node, args []string) error {
 		if err != nil {
 			return err
 		}
-		items, cost, err := node.RangeQuery(lo, hi, 0)
+		res, err := node.RangeQuery(ctx, lo, hi, 0)
 		if err != nil {
 			return err
 		}
-		for _, it := range items {
+		for _, it := range res.Items {
 			fmt.Printf("  %s = %q\n", it.Key, it.Value)
 		}
-		fmt.Printf("%d items (%d messages)\n", len(items), cost)
+		fmt.Printf("%d items from %d peers (%d messages)\n", len(res.Items), res.PeersScanned, res.Cost)
 		return nil
 
 	default:

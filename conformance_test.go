@@ -1,0 +1,398 @@
+package oscar
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The conformance suite runs one identical scenario sequence against every
+// Client backend: the simulator, the live runtime on the in-memory channel
+// fabric, and the live runtime on loopback TCP. It is the contract that
+// makes the Client interface mean the same thing everywhere.
+
+// conformanceHarness is one backend under test.
+type conformanceHarness struct {
+	name   string
+	client Client
+	// crash kills a minority of peers other than the one serving the
+	// client, then heals the overlay enough for routing to succeed.
+	crash func()
+	close func()
+}
+
+func simHarness(t *testing.T) *conformanceHarness {
+	t.Helper()
+	ov, err := Build(Config{Size: 64, Seed: 3, Keys: UniformKeys()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &conformanceHarness{
+		name:   "simulator",
+		client: ov.Client(),
+		crash: func() {
+			ov.Crash(0.2)
+			ov.RewireAll()
+		},
+		close: func() {},
+	}
+}
+
+func memClusterHarness(t *testing.T) *conformanceHarness {
+	t.Helper()
+	ctx := context.Background()
+	c, err := StartCluster(ctx, 16, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &conformanceHarness{
+		name:   "p2p/mem",
+		client: c.Node(0),
+		crash: func() {
+			for _, i := range []int{3, 7, 11} {
+				_ = c.Node(i).Close()
+			}
+			for round := 0; round < 6; round++ {
+				c.StabilizeAll(ctx)
+			}
+		},
+		close: func() { _ = c.Close() },
+	}
+}
+
+func tcpClusterHarness(t *testing.T) *conformanceHarness {
+	t.Helper()
+	ctx := context.Background()
+	const size = 8
+	var nodes []*Node
+	for i := 0; i < size; i++ {
+		n, err := StartNode(NodeConfig{
+			Listen: "127.0.0.1:0",
+			Key:    KeyFromFloat(float64(i)/size + 0.013),
+			MaxIn:  8, MaxOut: 8,
+			Seed: int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if err := n.Join(ctx, nodes[0].Addr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	for round := 0; round < 2; round++ {
+		for _, n := range nodes {
+			n.Stabilize(ctx)
+		}
+	}
+	for _, n := range nodes {
+		if err := n.Rewire(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stabilize := func(rounds int) {
+		for round := 0; round < rounds; round++ {
+			for _, n := range nodes {
+				if !n.isClosed() {
+					n.Stabilize(ctx)
+				}
+			}
+		}
+	}
+	return &conformanceHarness{
+		name:   "p2p/tcp",
+		client: nodes[0],
+		crash: func() {
+			_ = nodes[5].Close()
+			stabilize(6)
+		},
+		close: func() {
+			for _, n := range nodes {
+				_ = n.Close()
+			}
+		},
+	}
+}
+
+func TestConformance(t *testing.T) {
+	harnesses := []func(*testing.T) *conformanceHarness{
+		simHarness,
+		memClusterHarness,
+		tcpClusterHarness,
+	}
+	for _, mk := range harnesses {
+		h := mk(t)
+		t.Run(h.name, func(t *testing.T) {
+			defer h.close()
+			runConformance(t, h)
+		})
+	}
+}
+
+// runConformance is the single scenario table: every backend must pass it
+// verbatim.
+func runConformance(t *testing.T, h *conformanceHarness) {
+	ctx := context.Background()
+	cl := h.client
+	key := KeyFromFloat(0.35)
+
+	t.Run("get-absent", func(t *testing.T) {
+		_, err := cl.Get(ctx, key)
+		if !errors.Is(err, ErrNotFound) {
+			t.Fatalf("get absent = %v, want ErrNotFound", err)
+		}
+	})
+
+	t.Run("put-get-roundtrip", func(t *testing.T) {
+		put, err := cl.Put(ctx, key, []byte("v1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if put.Replaced {
+			t.Error("first put reported replacement")
+		}
+		got, err := cl.Get(ctx, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got.Value) != "v1" {
+			t.Fatalf("get = %q", got.Value)
+		}
+		if got.Cost < 0 {
+			t.Error("negative cost")
+		}
+	})
+
+	t.Run("put-replace", func(t *testing.T) {
+		put, err := cl.Put(ctx, key, []byte("v2"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !put.Replaced {
+			t.Error("overwrite not reported as replacement")
+		}
+		got, err := cl.Get(ctx, key)
+		if err != nil || string(got.Value) != "v2" {
+			t.Fatalf("get after replace = %q, %v", got.Value, err)
+		}
+	})
+
+	t.Run("lookup-agrees-with-put", func(t *testing.T) {
+		a, err := cl.Lookup(ctx, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cl.Lookup(ctx, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Owner.Key != b.Owner.Key {
+			t.Fatalf("repeated lookups disagree: %v vs %v", a.Owner, b.Owner)
+		}
+		got, err := cl.Get(ctx, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Owner.Key != a.Owner.Key {
+			t.Fatalf("get served by %v, lookup says %v", got.Owner, a.Owner)
+		}
+	})
+
+	t.Run("delete", func(t *testing.T) {
+		if _, err := cl.Delete(ctx, key); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Get(ctx, key); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("get after delete = %v, want ErrNotFound", err)
+		}
+		if _, err := cl.Delete(ctx, key); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("second delete = %v, want ErrNotFound", err)
+		}
+	})
+
+	// Bulk data for the range scenarios: one item per fraction i/40.
+	const items = 40
+	for i := 0; i < items; i++ {
+		if _, err := cl.Put(ctx, KeyFromFloat(float64(i)/items), []byte{byte(i)}); err != nil {
+			t.Fatalf("bulk put %d: %v", i, err)
+		}
+	}
+
+	t.Run("range", func(t *testing.T) {
+		res, err := cl.RangeQuery(ctx, KeyFromFloat(0.2), KeyFromFloat(0.5), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Items) != 12 { // fractions 8/40 .. 19/40
+			t.Fatalf("range returned %d items, want 12", len(res.Items))
+		}
+		for i, it := range res.Items {
+			if it.Value[0] != byte(8+i) {
+				t.Fatalf("range item %d = value %d, want %d", i, it.Value[0], 8+i)
+			}
+		}
+	})
+
+	t.Run("range-limit", func(t *testing.T) {
+		res, err := cl.RangeQuery(ctx, KeyFromFloat(0.2), KeyFromFloat(0.5), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Items) != 5 {
+			t.Fatalf("limit ignored: %d items", len(res.Items))
+		}
+		for i, it := range res.Items {
+			if it.Value[0] != byte(8+i) {
+				t.Fatalf("limited range kept item %d, want the first clockwise", it.Value[0])
+			}
+		}
+	})
+
+	t.Run("range-wraparound", func(t *testing.T) {
+		// [0.9, 0.1) crosses the top of the circle: fractions 36..39, 0..3.
+		res, err := cl.RangeQuery(ctx, KeyFromFloat(0.9), KeyFromFloat(0.1), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []byte{36, 37, 38, 39, 0, 1, 2, 3}
+		if len(res.Items) != len(want) {
+			t.Fatalf("wrap-around range returned %d items, want %d", len(res.Items), len(want))
+		}
+		for i, it := range res.Items {
+			if it.Value[0] != want[i] {
+				t.Fatalf("wrap-around item %d = value %d, want %d (clockwise order)", i, it.Value[0], want[i])
+			}
+		}
+	})
+
+	t.Run("range-wraparound-limit", func(t *testing.T) {
+		res, err := cl.RangeQuery(ctx, KeyFromFloat(0.9), KeyFromFloat(0.1), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []byte{36, 37, 38}
+		if len(res.Items) != len(want) {
+			t.Fatalf("wrap-around limit returned %d items, want %d", len(res.Items), len(want))
+		}
+		for i, it := range res.Items {
+			if it.Value[0] != want[i] {
+				t.Fatalf("wrap-around limited item %d = value %d, want %d", i, it.Value[0], want[i])
+			}
+		}
+	})
+
+	t.Run("concurrent-clients", func(t *testing.T) {
+		const workers, opsPer = 8, 12
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for j := 0; j < opsPer; j++ {
+					k := KeyFromFloat(0.41 + float64(w*opsPer+j)/1000)
+					v := []byte(fmt.Sprintf("w%d-%d", w, j))
+					if _, err := cl.Put(ctx, k, v); err != nil {
+						errs <- fmt.Errorf("put: %w", err)
+						return
+					}
+					got, err := cl.Get(ctx, k)
+					if err != nil {
+						errs <- fmt.Errorf("get: %w", err)
+						return
+					}
+					if !bytes.Equal(got.Value, v) {
+						errs <- fmt.Errorf("get %v = %q, want %q", k, got.Value, v)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+	})
+
+	t.Run("cancelled-context", func(t *testing.T) {
+		cctx, cancel := context.WithCancel(ctx)
+		cancel()
+		if _, err := cl.Lookup(cctx, key); !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled lookup = %v, want context.Canceled", err)
+		}
+		if _, err := cl.Put(cctx, key, []byte("x")); !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled put = %v, want context.Canceled", err)
+		}
+		if _, err := cl.Get(cctx, key); !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled get = %v, want context.Canceled", err)
+		}
+		if _, err := cl.Delete(cctx, key); !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled delete = %v, want context.Canceled", err)
+		}
+		if _, err := cl.RangeQuery(cctx, key, KeyFromFloat(0.6), 0); !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled range = %v, want context.Canceled", err)
+		}
+		if _, err := cl.Info(cctx); !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled info = %v, want context.Canceled", err)
+		}
+		// The value must not have been written by the cancelled put.
+		if got, err := cl.Get(ctx, key); err == nil && string(got.Value) == "x" {
+			t.Error("cancelled put still wrote the value")
+		}
+	})
+
+	t.Run("deadline", func(t *testing.T) {
+		dctx, cancel := context.WithDeadline(ctx, time.Now().Add(-time.Second))
+		defer cancel()
+		if _, err := cl.Lookup(dctx, key); !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("expired deadline lookup = %v, want context.DeadlineExceeded", err)
+		}
+	})
+
+	t.Run("crash-and-heal", func(t *testing.T) {
+		h.crash()
+		if _, err := cl.Lookup(ctx, KeyFromFloat(0.77)); err != nil {
+			t.Fatalf("lookup after crash: %v", err)
+		}
+		k := KeyFromFloat(0.771)
+		if _, err := cl.Put(ctx, k, []byte("post-crash")); err != nil {
+			t.Fatalf("put after crash: %v", err)
+		}
+		got, err := cl.Get(ctx, k)
+		if err != nil || string(got.Value) != "post-crash" {
+			t.Fatalf("get after crash = %q, %v", got.Value, err)
+		}
+	})
+
+	t.Run("info", func(t *testing.T) {
+		info, err := cl.Info(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Backend == "" {
+			t.Error("backend not reported")
+		}
+		if info.Backend == "simulator" && info.Peers <= 0 {
+			t.Errorf("simulator reports %d peers", info.Peers)
+		}
+	})
+
+	t.Run("closed", func(t *testing.T) {
+		if err := cl.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Get(ctx, key); !errors.Is(err, ErrClosed) {
+			t.Errorf("get on closed client = %v, want ErrClosed", err)
+		}
+		if _, err := cl.Put(ctx, key, nil); !errors.Is(err, ErrClosed) {
+			t.Errorf("put on closed client = %v, want ErrClosed", err)
+		}
+	})
+}

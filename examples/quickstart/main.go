@@ -1,9 +1,14 @@
-// Quickstart: build an Oscar overlay, look keys up, store and fetch data.
+// Quickstart: the context-first Client API against the simulator backend —
+// build an overlay, look keys up, store, fetch, delete and range-query
+// data. The same Client interface runs against the live runtime (see
+// examples/tcpcluster).
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -11,43 +16,68 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A 2000-peer overlay on a heavy-tailed key distribution with every
 	// peer allowing 27 links — the paper's baseline setting, built from
-	// scratch in-process.
+	// scratch in-process. (oscar.NewClient(oscar.WithSize(2000)) builds the
+	// same thing in one call; going through Build keeps the Overlay handle
+	// for the measurement pass below.) The client is safe for concurrent
+	// use.
 	ov, err := oscar.Build(oscar.Config{Size: 2000, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("overlay up: %d peers\n", ov.Size())
+	cl := ov.Client()
+	defer cl.Close()
+
+	info, err := cl.Info(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overlay up: %d peers\n", info.Peers)
 
 	// Route to the owner of a key. Routing is greedy over each peer's ring
 	// pointers and long-range links; cost is the number of messages.
 	key := oscar.KeyFromFloat(0.42)
-	route := ov.Lookup(key)
-	fmt.Printf("lookup %v: owner node %d in %d hops\n", key, route.Owner, route.Hops)
+	route, err := cl.Lookup(ctx, key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lookup %v: owner at key %v in %d messages\n", key, route.Owner.Key, route.Cost)
 
 	// The overlay is an order-preserving index: store items and query them
 	// back, by key or by range.
 	for i := 0; i < 100; i++ {
 		k := oscar.KeyFromFloat(0.30 + 0.001*float64(i))
-		if _, err := ov.Put(k, []byte(fmt.Sprintf("item-%03d", i))); err != nil {
+		if _, err := cl.Put(ctx, k, []byte(fmt.Sprintf("item-%03d", i))); err != nil {
 			log.Fatal(err)
 		}
 	}
-	val, found, cost, err := ov.Get(oscar.KeyFromFloat(0.35))
+	got, err := cl.Get(ctx, oscar.KeyFromFloat(0.35))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("get 0.35: %q (found=%v, %d messages)\n", val, found, cost)
+	fmt.Printf("get 0.35: %q (%d messages)\n", got.Value, got.Cost)
 
-	res, err := ov.RangeQuery(oscar.KeyFromFloat(0.32), oscar.KeyFromFloat(0.36), 0)
+	res, err := cl.RangeQuery(ctx, oscar.KeyFromFloat(0.32), oscar.KeyFromFloat(0.36), 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("range [0.32,0.36): %d items from %d peers, %d messages\n",
 		len(res.Items), res.PeersScanned, res.Cost)
 
-	// Network-wide health: the measurement the paper's figures are made of.
+	// Deletes are first-class; a missing key is the typed ErrNotFound.
+	if _, err := cl.Delete(ctx, oscar.KeyFromFloat(0.35)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cl.Get(ctx, oscar.KeyFromFloat(0.35)); errors.Is(err, oscar.ErrNotFound) {
+		fmt.Println("get 0.35 after delete: not found (as it should be)")
+	}
+
+	// The lower-level Overlay API stays available for experiments: the
+	// measurement pass the paper's figures are made of, on the same overlay
+	// the client has been writing to.
 	m := ov.Measure()
 	fmt.Printf("avg search cost %.2f over %d queries; degree volume %.0f%%\n",
 		m.AvgSearchCost, m.Queries, 100*m.DegreeVolume)

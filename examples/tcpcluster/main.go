@@ -1,78 +1,90 @@
-// Tcpcluster: a live Oscar cluster on loopback TCP sockets — real listeners,
-// pooled persistent connections multiplexing concurrent RPCs, Chord-style
-// stabilisation, walk-based partition discovery and link acquisition,
-// puts/gets/range queries, a concurrent workload burst, and a crash that
-// the ring heals around. This is the deployment path; the sequential
-// simulator is only for 10000-peer experiments.
+// Tcpcluster: a live Oscar cluster on loopback TCP sockets through the
+// public oscar.Client API — real listeners, pooled persistent connections
+// multiplexing concurrent RPCs, Chord-style stabilisation, walk-based
+// partition discovery and link acquisition, puts/gets/deletes/range
+// queries, a concurrent workload burst, a deadline-bounded call, and a
+// crash that the ring heals around. This is the deployment path; the
+// sequential simulator is only for 10000-peer experiments.
 //
 //	go run ./examples/tcpcluster
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"github.com/oscar-overlay/oscar/internal/keyspace"
-	"github.com/oscar-overlay/oscar/internal/p2p"
-	"github.com/oscar-overlay/oscar/internal/transport"
+	oscar "github.com/oscar-overlay/oscar"
 )
 
 func main() {
+	ctx := context.Background()
 	const size = 12
-	var nodes []*p2p.Node
+	var nodes []*oscar.Node
 
 	fmt.Println("spawning", size, "nodes on 127.0.0.1…")
 	for i := 0; i < size; i++ {
-		ep, err := transport.ListenTCP("127.0.0.1:0")
-		if err != nil {
-			log.Fatal(err)
-		}
-		n := p2p.NewNode(ep, p2p.Config{
-			Key:    keyspace.FromFloat(float64(i)/size + 0.001),
+		n, err := oscar.StartNode(oscar.NodeConfig{
+			Listen: "127.0.0.1:0",
+			Key:    oscar.KeyFromFloat(float64(i)/size + 0.001),
 			MaxIn:  8,
 			MaxOut: 8,
 			Seed:   int64(i),
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		if i > 0 {
-			if err := n.Join(nodes[0].Self().Addr); err != nil {
+			if err := n.Join(ctx, nodes[0].Addr()); err != nil {
 				log.Fatalf("node %d join: %v", i, err)
 			}
 		}
 		nodes = append(nodes, n)
-		fmt.Printf("  node %2d @ %s key=%s\n", i, n.Self().Addr, n.Self().Key)
+		fmt.Printf("  node %2d @ %s key=%s\n", i, n.Addr(), n.Key())
 	}
 
 	for round := 0; round < 2; round++ {
 		for _, n := range nodes {
-			n.Stabilize()
-		}
-	}
-	for _, n := range nodes {
-		if err := n.Rewire(); err != nil {
-			log.Fatal(err)
+			n.Stabilize(ctx)
 		}
 	}
 	links := 0
 	for _, n := range nodes {
-		links += len(n.OutLinks())
+		if err := n.Rewire(ctx); err != nil {
+			log.Fatal(err)
+		}
+		info, err := n.Info(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		links += info.OutLinks
 	}
 	fmt.Printf("overlay wired: %d long-range links\n", links)
 
-	key := keyspace.FromFloat(0.77)
-	if cost, err := nodes[2].Put(key, []byte("stored over TCP")); err != nil {
-		log.Fatal(err)
-	} else {
-		fmt.Printf("put through node 2: %d messages\n", cost)
-	}
-	val, found, cost, err := nodes[9].Get(key)
+	key := oscar.KeyFromFloat(0.77)
+	put, err := nodes[2].Put(ctx, key, []byte("stored over TCP"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("get through node 9: %q (found=%v, %d messages)\n", val, found, cost)
+	fmt.Printf("put through node 2: owner %s, %d messages\n", put.Owner.Addr, put.Cost)
+	got, err := nodes[9].Get(ctx, key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("get through node 9: %q (%d messages)\n", got.Value, got.Cost)
+
+	// Every operation takes a context: a deadline bounds the whole
+	// multi-hop call, not just one RPC.
+	dctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	if _, err := nodes[4].Lookup(dctx, oscar.KeyFromFloat(0.25)); err != nil {
+		log.Fatal(err)
+	}
+	cancel()
+	fmt.Println("deadline-bounded lookup ok")
 
 	// A concurrent burst: every worker multiplexes its RPCs over the same
 	// pooled connections instead of dialing per call.
@@ -87,14 +99,14 @@ func main() {
 			defer wg.Done()
 			node := nodes[w%len(nodes)]
 			for j := 0; j < opsPer; j++ {
-				k := keyspace.FromFloat(float64(w*opsPer+j) / (workers * opsPer))
+				k := oscar.KeyFromFloat(float64(w*opsPer+j) / (workers * opsPer))
 				v := []byte(fmt.Sprintf("w%d-%d", w, j))
-				if _, err := node.Put(k, v); err != nil {
+				if _, err := node.Put(ctx, k, v); err != nil {
 					failed.Add(1)
 					continue
 				}
-				got, ok, _, err := nodes[(w+3)%len(nodes)].Get(k)
-				if err != nil || !ok || !bytes.Equal(got, v) {
+				res, err := nodes[(w+3)%len(nodes)].Get(ctx, k)
+				if err != nil || !bytes.Equal(res.Value, v) {
 					failed.Add(1)
 				}
 			}
@@ -111,15 +123,15 @@ func main() {
 	for round := 0; round < 4; round++ {
 		for i, n := range nodes {
 			if i != 5 {
-				n.Stabilize()
+				n.Stabilize(ctx)
 			}
 		}
 	}
-	owner, cost, err := nodes[1].Lookup(keyspace.FromFloat(0.99))
+	res, err := nodes[1].Lookup(ctx, oscar.KeyFromFloat(0.99))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("lookup after crash: owner key=%s in %d messages — ring healed\n", owner.Key, cost)
+	fmt.Printf("lookup after crash: owner key=%s in %d messages — ring healed\n", res.Owner.Key, res.Cost)
 
 	for i, n := range nodes {
 		if i != 5 {

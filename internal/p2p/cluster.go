@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -32,8 +33,9 @@ type Cluster struct {
 }
 
 // NewCluster boots a cluster: the first node creates the overlay, the rest
-// join through it, then everybody stabilises and rewires.
-func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+// join through it, then everybody stabilises and rewires. The context bounds
+// the whole boot sequence.
+func NewCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Size < 1 {
 		return nil, fmt.Errorf("p2p: cluster size %d", cfg.Size)
 	}
@@ -59,29 +61,33 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Seed:   cfg.Seed + int64(i),
 		})
 		if i > 0 {
-			if err := node.Join(c.Nodes[0].Self().Addr); err != nil {
+			if err := node.Join(ctx, c.Nodes[0].Self().Addr); err != nil {
 				return nil, fmt.Errorf("p2p: node %d join: %w", i, err)
 			}
 		}
 		c.Nodes = append(c.Nodes, node)
 	}
 	for round := 0; round < cfg.StabilizeRounds; round++ {
-		c.StabilizeAll()
+		c.StabilizeAll(ctx)
 	}
-	c.RewireAll()
+	c.RewireAll(ctx)
+	if err := ctx.Err(); err != nil {
+		c.Close()
+		return nil, err
+	}
 	return c, nil
 }
 
 // StabilizeAll runs one stabilisation round across the cluster, all nodes
 // in parallel — the live topology has no global scheduler, and Chord
 // stabilisation tolerates (is designed for) concurrent rounds.
-func (c *Cluster) StabilizeAll() {
-	c.forAllAlive(func(n *Node) { n.Stabilize() })
+func (c *Cluster) StabilizeAll(ctx context.Context) {
+	c.forAllAlive(func(n *Node) { n.Stabilize(ctx) })
 }
 
 // RewireAll rebuilds every node's long-range links, all nodes in parallel.
-func (c *Cluster) RewireAll() {
-	c.forAllAlive(func(n *Node) { _ = n.Rewire() })
+func (c *Cluster) RewireAll(ctx context.Context) {
+	c.forAllAlive(func(n *Node) { _ = n.Rewire(ctx) })
 }
 
 // forAllAlive applies fn to every alive node concurrently and waits.

@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -17,11 +18,19 @@ type Maintenance struct {
 // StartMaintenance launches the background loop for the node. It returns a
 // handle whose Stop must be called before the node is closed (a ticking
 // maintenance loop on a closed node would probe dead endpoints forever).
+// Each round runs under a context cancelled by Stop, so a round in flight
+// aborts promptly instead of finishing against a closing node.
 func (n *Node) StartMaintenance(interval time.Duration, rewireEvery int) *Maintenance {
 	m := &Maintenance{stop: make(chan struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
+		defer cancel()
+		go func() {
+			<-m.stop
+			cancel()
+		}()
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		ticks := 0
@@ -33,10 +42,10 @@ func (n *Node) StartMaintenance(interval time.Duration, rewireEvery int) *Mainte
 				if n.isDown() {
 					return
 				}
-				n.Stabilize()
+				n.Stabilize(ctx)
 				ticks++
 				if rewireEvery > 0 && ticks%rewireEvery == 0 {
-					_ = n.Rewire()
+					_ = n.Rewire(ctx)
 				}
 			}
 		}
@@ -44,7 +53,8 @@ func (n *Node) StartMaintenance(interval time.Duration, rewireEvery int) *Mainte
 	return m
 }
 
-// Stop terminates the loop and waits for it to exit.
+// Stop terminates the loop, cancels any round in flight, and waits for the
+// loop to exit.
 func (m *Maintenance) Stop() {
 	m.once.Do(func() { close(m.stop) })
 	m.wg.Wait()

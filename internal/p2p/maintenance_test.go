@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -18,7 +19,7 @@ func TestMaintenanceHealsRing(t *testing.T) {
 			Key: keyspace.FromFloat(float64(i) / 8), MaxIn: 8, MaxOut: 8, Seed: int64(i),
 		})
 		if i > 0 {
-			if err := n.Join(nodes[0].Self().Addr); err != nil {
+			if err := n.Join(context.Background(), nodes[0].Self().Addr); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -41,7 +42,7 @@ func TestMaintenanceHealsRing(t *testing.T) {
 	_ = nodes[3].Close()
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		_, _, err := nodes[0].Lookup(keyspace.FromFloat(0.99))
+		_, _, err := nodes[0].Lookup(context.Background(), keyspace.FromFloat(0.99))
 		if err == nil {
 			// Also confirm the corpse is out of the pointer chain.
 			healed := true

@@ -219,12 +219,16 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 		return n.findOwnerLocked(req.Key, req.Exclude)
 
 	case transport.OpPut:
-		n.store.Put(req.Key, req.Value)
-		return &transport.Response{OK: true}
+		replaced := n.store.Put(req.Key, req.Value)
+		return &transport.Response{OK: true, Found: replaced}
 
 	case transport.OpGet:
 		v, found := n.store.Get(req.Key)
 		return &transport.Response{OK: true, Value: v, Found: found}
+
+	case transport.OpDelete:
+		existed := n.store.Delete(req.Key)
+		return &transport.Response{OK: true, Found: existed}
 
 	case transport.OpRangeScan:
 		var items []storage.Item

@@ -2,6 +2,7 @@ package p2p
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -19,17 +20,26 @@ const maxRouteHops = 4096
 // overlapped timeout instead of one timeout each.
 const backtrackFan = 4
 
+// ErrNoRoute reports that routing exhausted every candidate path to the
+// key's owner (all useful neighbours dead or excluded, or the hop budget
+// ran out). Callers distinguish it from transport failures and from
+// context cancellation with errors.Is.
+var ErrNoRoute = errors.New("p2p: no route")
+
 // Join enters the overlay through any existing member: it routes to the
 // owner of the node's key (the future successor), splices itself between the
 // owner and the owner's predecessor, migrates its arc's items, and wires its
-// long-range links.
-func (n *Node) Join(introducer transport.Addr) error {
-	owner, _, err := n.lookupVia(introducer, n.self.Key)
+// long-range links. The context bounds the whole sequence.
+func (n *Node) Join(ctx context.Context, introducer transport.Addr) error {
+	owner, _, err := n.lookupVia(ctx, introducer, n.self.Key)
 	if err != nil {
 		return fmt.Errorf("p2p: join: %w", err)
 	}
-	resp, err := n.tr.Call(owner.Addr, &transport.Request{Op: transport.OpGetPred})
+	resp, err := n.tr.CallCtx(ctx, owner.Addr, &transport.Request{Op: transport.OpGetPred})
 	if err != nil || !resp.OK {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		return fmt.Errorf("p2p: join: owner unreachable: %v", err)
 	}
 	pred := resp.Peer
@@ -51,7 +61,7 @@ func (n *Node) Join(introducer transport.Addr) error {
 	if pred.Addr != "" && pred.Addr != owner.Addr {
 		targets = append(targets, pred.Addr)
 	}
-	for _, r := range transport.Fanout(context.Background(), n.tr, targets, notify) {
+	for _, r := range transport.Fanout(ctx, n.tr, targets, notify) {
 		if r.Err != nil {
 			return fmt.Errorf("p2p: join: notify %s: %w", r.Addr, r.Err)
 		}
@@ -59,20 +69,20 @@ func (n *Node) Join(introducer transport.Addr) error {
 
 	// Take over the arc (pred, self] from the successor.
 	arc := keyspace.Range{Start: predKey + 1, End: n.self.Key + 1}
-	mig, err := n.tr.Call(owner.Addr, &transport.Request{Op: transport.OpMigrate, Range: arc, From: n.self})
+	mig, err := n.tr.CallCtx(ctx, owner.Addr, &transport.Request{Op: transport.OpMigrate, Range: arc, From: n.self})
 	if err == nil && mig.OK && len(mig.Items) > 0 {
 		n.mu.Lock()
 		n.store.InsertBulk(mig.Items)
 		n.mu.Unlock()
 	}
 
-	return n.Rewire()
+	return n.Rewire(ctx)
 }
 
 // Stabilize runs one round of Chord stabilisation: verify the successor,
 // adopt a closer one if it appeared, re-notify, and drop a dead predecessor.
 // Call it periodically (or after failures) to heal the ring.
-func (n *Node) Stabilize() {
+func (n *Node) Stabilize(ctx context.Context) {
 	succ := n.Succ()
 	if succ.Addr == n.self.Addr {
 		return
@@ -91,18 +101,21 @@ func (n *Node) Stabilize() {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		succResp, succErr = n.tr.Call(succ.Addr, &transport.Request{Op: transport.OpGetPred})
+		succResp, succErr = n.tr.CallCtx(ctx, succ.Addr, &transport.Request{Op: transport.OpGetPred})
 	}()
 	if pred.Addr != n.self.Addr {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := n.tr.Call(pred.Addr, &transport.Request{Op: transport.OpPing}); err != nil {
+			if _, err := n.tr.CallCtx(ctx, pred.Addr, &transport.Request{Op: transport.OpPing}); err != nil {
 				predDead = true
 			}
 		}()
 	}
 	wg.Wait()
+	if ctx.Err() != nil {
+		return // cancelled: don't interpret aborted probes as dead peers
+	}
 
 	// Clear a dead predecessor so a live candidate can claim the slot at
 	// the next notify — but only if it is still the peer we probed; a
@@ -118,25 +131,25 @@ func (n *Node) Stabilize() {
 	if succErr != nil || !succResp.OK {
 		// Successor is dead: fall back to the nearest alive out-link
 		// clockwise (poor man's successor list) and let notify repair.
-		n.adoptNextSuccessor()
+		n.adoptNextSuccessor(ctx)
 		return
 	}
 	x := succResp.Peer
 	if x.Addr != "" && x.Addr != n.self.Addr && x.Key.Between(n.self.Key, succ.Key) {
-		if _, err := n.tr.Call(x.Addr, &transport.Request{Op: transport.OpPing}); err == nil {
+		if _, err := n.tr.CallCtx(ctx, x.Addr, &transport.Request{Op: transport.OpPing}); err == nil {
 			n.mu.Lock()
 			n.succ = x
 			n.mu.Unlock()
 		}
 	}
-	_, _ = n.tr.Call(n.Succ().Addr, &transport.Request{Op: transport.OpNotify, From: n.self})
+	_, _ = n.tr.CallCtx(ctx, n.Succ().Addr, &transport.Request{Op: transport.OpNotify, From: n.self})
 }
 
 // adoptNextSuccessor replaces a dead successor with the closest alive peer
 // clockwise among the node's links. All candidates are pinged in one
 // parallel sweep, so recovery pays a single probe timeout even when many
 // links died with the successor.
-func (n *Node) adoptNextSuccessor() {
+func (n *Node) adoptNextSuccessor(ctx context.Context) {
 	n.mu.Lock()
 	cands := append([]transport.PeerRef(nil), n.out...)
 	for addr, key := range n.in {
@@ -154,7 +167,7 @@ func (n *Node) adoptNextSuccessor() {
 	for i, c := range filtered {
 		addrs[i] = c.Addr
 	}
-	results := transport.Fanout(context.Background(), n.tr, addrs, &transport.Request{Op: transport.OpPing})
+	results := transport.Fanout(ctx, n.tr, addrs, &transport.Request{Op: transport.OpPing})
 
 	var best transport.PeerRef
 	bestDist := ^uint64(0)
@@ -170,14 +183,15 @@ func (n *Node) adoptNextSuccessor() {
 		n.mu.Lock()
 		n.succ = best
 		n.mu.Unlock()
-		_, _ = n.tr.Call(best.Addr, &transport.Request{Op: transport.OpNotify, From: n.self})
+		_, _ = n.tr.CallCtx(ctx, best.Addr, &transport.Request{Op: transport.OpNotify, From: n.self})
 	}
 }
 
 // Lookup routes from this node to the owner of key. It returns the owner and
-// the message cost (routing steps plus dead-peer probes).
-func (n *Node) Lookup(key keyspace.Key) (transport.PeerRef, int, error) {
-	return n.lookupVia(n.self.Addr, key)
+// the message cost (routing steps plus dead-peer probes). Cancelling the
+// context aborts the walk between hops with ctx.Err().
+func (n *Node) Lookup(ctx context.Context, key keyspace.Key) (transport.PeerRef, int, error) {
+	return n.lookupVia(ctx, n.self.Addr, key)
 }
 
 // lookupVia iteratively routes starting at a given peer. The query carries
@@ -187,20 +201,33 @@ func (n *Node) Lookup(key keyspace.Key) (transport.PeerRef, int, error) {
 // simulator's backtracking router. Backtrack candidates are liveness-probed
 // in parallel, so a run of dead peers costs one overlapped timeout instead
 // of a serial timeout each.
-func (n *Node) lookupVia(start transport.Addr, key keyspace.Key) (transport.PeerRef, int, error) {
+//
+// The context is checked before every hop and a transport failure caused by
+// cancellation surfaces as ctx.Err() rather than being mistaken for a dead
+// peer, so a cancelled multi-hop walk stops issuing RPCs immediately.
+func (n *Node) lookupVia(ctx context.Context, start transport.Addr, key keyspace.Key) (transport.PeerRef, int, error) {
 	cur := start
 	cost := 0
 	var bad []transport.Addr   // dead or routeless peers
 	var stack []transport.Addr // peers to backtrack to
 	for hop := 0; hop < maxRouteHops; hop++ {
-		resp, err := n.tr.Call(cur, &transport.Request{Op: transport.OpFindOwner, Key: key, Exclude: bad})
+		if err := ctx.Err(); err != nil {
+			return transport.PeerRef{}, cost, err
+		}
+		resp, err := n.tr.CallCtx(ctx, cur, &transport.Request{Op: transport.OpFindOwner, Key: key, Exclude: bad})
 		if err != nil || !resp.OK {
+			if cerr := ctx.Err(); cerr != nil {
+				return transport.PeerRef{}, cost, cerr
+			}
 			cost++ // wasted message (dead probe) or exhausted peer
 			bad = append(bad, cur)
-			next, probeCost := n.backtrack(&stack, &bad)
+			next, probeCost := n.backtrack(ctx, &stack, &bad)
 			cost += probeCost
+			if cerr := ctx.Err(); cerr != nil {
+				return transport.PeerRef{}, cost, cerr
+			}
 			if next == "" {
-				return transport.PeerRef{}, cost, fmt.Errorf("p2p: lookup: no route to %v", key)
+				return transport.PeerRef{}, cost, fmt.Errorf("%w to %v", ErrNoRoute, key)
 			}
 			cur = next
 			continue
@@ -212,7 +239,7 @@ func (n *Node) lookupVia(start transport.Addr, key keyspace.Key) (transport.Peer
 		cur = resp.Peer.Addr
 		cost++
 	}
-	return transport.PeerRef{}, cost, fmt.Errorf("p2p: lookup: hop budget exhausted")
+	return transport.PeerRef{}, cost, fmt.Errorf("%w to %v: hop budget exhausted", ErrNoRoute, key)
 }
 
 // backtrack returns the deepest live peer on the stack, probing up to
@@ -220,16 +247,19 @@ func (n *Node) lookupVia(start transport.Addr, key keyspace.Key) (transport.Peer
 // found dead move to the query's exclude set; live-but-shallower peers go
 // back on the stack for later rounds. It returns "" when the stack is
 // exhausted, plus the number of probe messages spent.
-func (n *Node) backtrack(stack *[]transport.Addr, bad *[]transport.Addr) (transport.Addr, int) {
+func (n *Node) backtrack(ctx context.Context, stack *[]transport.Addr, bad *[]transport.Addr) (transport.Addr, int) {
 	cost := 0
 	for len(*stack) > 0 {
+		if ctx.Err() != nil {
+			return "", cost
+		}
 		k := backtrackFan
 		if k > len(*stack) {
 			k = len(*stack)
 		}
 		cands := append([]transport.Addr(nil), (*stack)[len(*stack)-k:]...)
 		*stack = (*stack)[:len(*stack)-k]
-		results := transport.Fanout(context.Background(), n.tr, cands, &transport.Request{Op: transport.OpPing})
+		results := transport.Fanout(ctx, n.tr, cands, &transport.Request{Op: transport.OpPing})
 		cost += k
 		chosen := -1
 		for i := k - 1; i >= 0; i-- { // deepest (most recently pushed) first
@@ -254,70 +284,109 @@ func (n *Node) backtrack(stack *[]transport.Addr, bad *[]transport.Addr) (transp
 	return "", cost
 }
 
-// Put stores value under key at the key's owner.
-func (n *Node) Put(key keyspace.Key, value []byte) (int, error) {
-	owner, cost, err := n.Lookup(key)
-	if err != nil {
-		return cost, err
-	}
-	resp, err := n.tr.Call(owner.Addr, &transport.Request{Op: transport.OpPut, Key: key, Value: value, From: n.self})
-	if err != nil || !resp.OK {
-		return cost + 1, fmt.Errorf("p2p: put: owner rejected: %v", err)
-	}
-	return cost + 1, nil
+// OpResult reports one data-layer operation executed at the key's owner.
+type OpResult struct {
+	// Owner is the peer that served the operation.
+	Owner transport.PeerRef
+	// Cost is the message cost: routing plus the data RPC itself.
+	Cost int
+	// Replaced reports whether a Put overwrote an existing value.
+	Replaced bool
+	// Found reports whether the item existed (Get, Delete).
+	Found bool
+	// Value is the stored value (Get).
+	Value []byte
 }
 
-// Get fetches the value under key from the key's owner.
-func (n *Node) Get(key keyspace.Key) (value []byte, found bool, cost int, err error) {
-	owner, cost, err := n.Lookup(key)
+// dataOp routes to the owner of key and executes one data RPC there.
+func (n *Node) dataOp(ctx context.Context, key keyspace.Key, req *transport.Request) (OpResult, error) {
+	owner, cost, err := n.Lookup(ctx, key)
 	if err != nil {
-		return nil, false, cost, err
+		return OpResult{Cost: cost}, err
 	}
-	resp, err := n.tr.Call(owner.Addr, &transport.Request{Op: transport.OpGet, Key: key, From: n.self})
+	res := OpResult{Owner: owner, Cost: cost + 1}
+	resp, err := n.tr.CallCtx(ctx, owner.Addr, req)
 	if err != nil || !resp.OK {
-		return nil, false, cost + 1, fmt.Errorf("p2p: get: owner unreachable: %v", err)
+		if cerr := ctx.Err(); cerr != nil {
+			return res, cerr
+		}
+		return res, fmt.Errorf("p2p: %s: owner unreachable: %v", req.Op, err)
 	}
-	return resp.Value, resp.Found, cost + 1, nil
+	res.Replaced, res.Found, res.Value = resp.Found, resp.Found, resp.Value
+	return res, nil
+}
+
+// Put stores value under key at the key's owner.
+func (n *Node) Put(ctx context.Context, key keyspace.Key, value []byte) (OpResult, error) {
+	return n.dataOp(ctx, key, &transport.Request{Op: transport.OpPut, Key: key, Value: value, From: n.self})
+}
+
+// Get fetches the value under key from the key's owner. A missing item is
+// not an error: Found reports existence.
+func (n *Node) Get(ctx context.Context, key keyspace.Key) (OpResult, error) {
+	return n.dataOp(ctx, key, &transport.Request{Op: transport.OpGet, Key: key, From: n.self})
+}
+
+// Delete removes the item under key at the key's owner. Found reports
+// whether it existed.
+func (n *Node) Delete(ctx context.Context, key keyspace.Key) (OpResult, error) {
+	return n.dataOp(ctx, key, &transport.Request{Op: transport.OpDelete, Key: key, From: n.self})
+}
+
+// RangeResult reports one range query: the matching items in clockwise key
+// order, the total message cost, and how many peers' shards were scanned.
+type RangeResult struct {
+	Items        []storage.Item
+	Cost         int
+	PeersScanned int
 }
 
 // RangeQuery collects up to limit items with keys in [start, end), walking
 // shards clockwise from the owner of start. limit <= 0 means unlimited.
-func (n *Node) RangeQuery(start, end keyspace.Key, limit int) ([]storage.Item, int, error) {
+// Cancelling the context aborts the scan between shards.
+func (n *Node) RangeQuery(ctx context.Context, start, end keyspace.Key, limit int) (RangeResult, error) {
 	rg := keyspace.Range{Start: start, End: end}
-	owner, cost, err := n.Lookup(start)
+	owner, cost, err := n.Lookup(ctx, start)
+	res := RangeResult{Cost: cost}
 	if err != nil {
-		return nil, cost, err
+		return res, err
 	}
-	var items []storage.Item
 	cur := owner
 	for hop := 0; hop < maxRouteHops; hop++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		want := 0
 		if limit > 0 {
-			want = limit - len(items)
+			want = limit - len(res.Items)
 		}
-		resp, err := n.tr.Call(cur.Addr, &transport.Request{Op: transport.OpRangeScan, Range: rg, Limit: want, From: n.self})
-		cost++
+		resp, err := n.tr.CallCtx(ctx, cur.Addr, &transport.Request{Op: transport.OpRangeScan, Range: rg, Limit: want, From: n.self})
+		res.Cost++
 		if err != nil || !resp.OK {
-			return items, cost, fmt.Errorf("p2p: range: shard %s unreachable: %v", cur.Addr, err)
+			if cerr := ctx.Err(); cerr != nil {
+				return res, cerr
+			}
+			return res, fmt.Errorf("p2p: range: shard %s unreachable: %v", cur.Addr, err)
 		}
-		items = append(items, resp.Items...)
-		if limit > 0 && len(items) >= limit {
-			return items, cost, nil
+		res.PeersScanned++
+		res.Items = append(res.Items, resp.Items...)
+		if limit > 0 && len(res.Items) >= limit {
+			return res, nil
 		}
 		if !rg.Contains(cur.Key) || resp.Peer.Addr == cur.Addr {
 			// This shard's arc extends past the range end: done.
-			return items, cost, nil
+			return res, nil
 		}
 		cur = resp.Peer // successor, as reported by the scan
 	}
-	return items, cost, fmt.Errorf("p2p: range: did not terminate")
+	return res, fmt.Errorf("p2p: range: did not terminate")
 }
 
 // Rewire rebuilds the node's long-range links: release current ones,
 // estimate partitions by remote restricted walks, then acquire up to MaxOut
 // links with the admission + power-of-two rules. It returns the number of
 // links established.
-func (n *Node) Rewire() error {
+func (n *Node) Rewire(ctx context.Context) error {
 	n.mu.Lock()
 	old := n.out
 	n.out = nil
@@ -328,20 +397,23 @@ func (n *Node) Rewire() error {
 			addrs[i] = ref.Addr
 		}
 		// Releases are fire-and-forget: broadcast them in parallel.
-		transport.Broadcast(context.Background(), n.tr, addrs, &transport.Request{Op: transport.OpUnlink, From: n.self})
+		transport.Broadcast(ctx, n.tr, addrs, &transport.Request{Op: transport.OpUnlink, From: n.self})
 	}
 
-	borders := n.discoverPartitions()
+	borders := n.discoverPartitions(ctx)
 	if len(borders) == 0 {
-		return nil
+		return ctx.Err()
 	}
 	var out []transport.PeerRef
 	for slot := 0; slot < n.cfg.MaxOut; slot++ {
-		cand := n.pickCandidate(borders, out)
+		if err := ctx.Err(); err != nil {
+			break
+		}
+		cand := n.pickCandidate(ctx, borders, out)
 		if cand.Addr == "" {
 			continue
 		}
-		resp, err := n.tr.Call(cand.Addr, &transport.Request{Op: transport.OpLink, From: n.self})
+		resp, err := n.tr.CallCtx(ctx, cand.Addr, &transport.Request{Op: transport.OpLink, From: n.self})
 		if err != nil || !resp.OK {
 			continue // refused or dead: the slot stays open until next rewire
 		}
@@ -350,12 +422,12 @@ func (n *Node) Rewire() error {
 	n.mu.Lock()
 	n.out = out
 	n.mu.Unlock()
-	return nil
+	return ctx.Err()
 }
 
 // discoverPartitions estimates the logarithmic partition borders via remote
 // walks, mirroring partition.BuildSampled.
-func (n *Node) discoverPartitions() []keyspace.Key {
+func (n *Node) discoverPartitions(ctx context.Context) []keyspace.Key {
 	succ := n.Succ()
 	if succ.Addr == n.self.Addr {
 		return nil
@@ -363,8 +435,11 @@ func (n *Node) discoverPartitions() []keyspace.Key {
 	var borders []keyspace.Key
 	prev := n.self.Key
 	for level := 0; level < n.cfg.MaxLevels; level++ {
+		if ctx.Err() != nil {
+			break
+		}
 		remaining := keyspace.Range{Start: n.self.Key, End: prev}
-		keys := n.sampleKeys(remaining, n.cfg.Samples, n.cfg.WalkSteps)
+		keys := n.sampleKeys(ctx, remaining, n.cfg.Samples, n.cfg.WalkSteps)
 		// Drop our own samples; see partition.BuildSampled.
 		filtered := keys[:0]
 		for _, k := range keys {
@@ -400,7 +475,7 @@ func (n *Node) discoverPartitions() []keyspace.Key {
 // sampleKeys draws approximately-uniform peer keys from rg with a chained
 // remote Metropolis–Hastings walk (client-driven: the node fetches each
 // position's neighbour list and steps itself).
-func (n *Node) sampleKeys(rg keyspace.Range, count, steps int) []keyspace.Key {
+func (n *Node) sampleKeys(ctx context.Context, rg keyspace.Range, count, steps int) []keyspace.Key {
 	n.mu.Lock()
 	cur := n.self
 	curNbrs := n.neighborsLocked(rg).Peers
@@ -410,6 +485,9 @@ func (n *Node) sampleKeys(rg keyspace.Range, count, steps int) []keyspace.Key {
 	var out []keyspace.Key
 	moves := 0
 	for len(out) < count {
+		if ctx.Err() != nil {
+			break
+		}
 		// One lazy MH step (mirrors sampling.Walker).
 		if moves++; moves > count*steps*4 {
 			break // walk wedged (tiny or partitioned range): return what we have
@@ -418,7 +496,7 @@ func (n *Node) sampleKeys(rg keyspace.Range, count, steps int) []keyspace.Key {
 			// lazy: stay
 		} else if len(curNbrs) > 0 {
 			next := curNbrs[rnd.Intn(len(curNbrs))]
-			resp, err := n.tr.Call(next.Addr, &transport.Request{Op: transport.OpNeighbors, Range: rg})
+			resp, err := n.tr.CallCtx(ctx, next.Addr, &transport.Request{Op: transport.OpNeighbors, Range: rg})
 			if err == nil && resp.OK && resp.Degree > 0 {
 				dv, du := len(curNbrs), resp.Degree
 				if du <= dv || rnd.Float64() < float64(dv)/float64(du) {
@@ -437,20 +515,20 @@ func (n *Node) sampleKeys(rg keyspace.Range, count, steps int) []keyspace.Key {
 // inside it (remote walk), with the power-of-two choice across two draws.
 // The two draws — and the two load probes deciding between them — are
 // independent multi-RPC chains, so they run in parallel.
-func (n *Node) pickCandidate(borders []keyspace.Key, existing []transport.PeerRef) transport.PeerRef {
+func (n *Node) pickCandidate(ctx context.Context, borders []keyspace.Key, existing []transport.PeerRef) transport.PeerRef {
 	if n.cfg.DisablePowerOfTwo {
-		return n.pickOne(borders, existing)
+		return n.pickOne(ctx, borders, existing)
 	}
 	var first, second transport.PeerRef
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		first = n.pickOne(borders, existing)
+		first = n.pickOne(ctx, borders, existing)
 	}()
 	go func() {
 		defer wg.Done()
-		second = n.pickOne(borders, existing)
+		second = n.pickOne(ctx, borders, existing)
 	}()
 	wg.Wait()
 	switch {
@@ -464,11 +542,11 @@ func (n *Node) pickCandidate(borders []keyspace.Key, existing []transport.PeerRe
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			lf, okf = n.relativeLoad(first)
+			lf, okf = n.relativeLoad(ctx, first)
 		}()
 		go func() {
 			defer wg.Done()
-			ls, oks = n.relativeLoad(second)
+			ls, oks = n.relativeLoad(ctx, second)
 		}()
 		wg.Wait()
 		if oks && (!okf || ls < lf) {
@@ -479,8 +557,8 @@ func (n *Node) pickCandidate(borders []keyspace.Key, existing []transport.PeerRe
 }
 
 // relativeLoad fetches InDeg/MaxIn of a candidate.
-func (n *Node) relativeLoad(ref transport.PeerRef) (float64, bool) {
-	resp, err := n.tr.Call(ref.Addr, &transport.Request{Op: transport.OpInfo})
+func (n *Node) relativeLoad(ctx context.Context, ref transport.PeerRef) (float64, bool) {
+	resp, err := n.tr.CallCtx(ctx, ref.Addr, &transport.Request{Op: transport.OpInfo})
 	if err != nil || !resp.OK || resp.MaxIn <= 0 {
 		return 1, false
 	}
@@ -488,7 +566,7 @@ func (n *Node) relativeLoad(ref transport.PeerRef) (float64, bool) {
 }
 
 // pickOne draws one candidate from a uniformly chosen partition.
-func (n *Node) pickOne(borders []keyspace.Key, existing []transport.PeerRef) transport.PeerRef {
+func (n *Node) pickOne(ctx context.Context, borders []keyspace.Key, existing []transport.PeerRef) transport.PeerRef {
 	i := n.rnd.Intn(len(borders))
 	var rg keyspace.Range
 	if i == 0 {
@@ -497,11 +575,11 @@ func (n *Node) pickOne(borders []keyspace.Key, existing []transport.PeerRef) tra
 		rg = keyspace.Range{Start: borders[i], End: borders[i-1]}
 	}
 	// Enter the partition by routing to its lower border, then walk.
-	entry, _, err := n.Lookup(rg.Start)
+	entry, _, err := n.Lookup(ctx, rg.Start)
 	if err != nil || !rg.Contains(entry.Key) {
 		return transport.PeerRef{}
 	}
-	cand := n.walkOnce(entry, rg, n.cfg.PickSteps)
+	cand := n.walkOnce(ctx, entry, rg, n.cfg.PickSteps)
 	if cand.Addr == n.self.Addr {
 		return transport.PeerRef{}
 	}
@@ -514,20 +592,23 @@ func (n *Node) pickOne(borders []keyspace.Key, existing []transport.PeerRef) tra
 }
 
 // walkOnce performs one bounded remote walk from entry within rg.
-func (n *Node) walkOnce(entry transport.PeerRef, rg keyspace.Range, steps int) transport.PeerRef {
+func (n *Node) walkOnce(ctx context.Context, entry transport.PeerRef, rg keyspace.Range, steps int) transport.PeerRef {
 	cur := entry
-	resp, err := n.tr.Call(cur.Addr, &transport.Request{Op: transport.OpNeighbors, Range: rg})
+	resp, err := n.tr.CallCtx(ctx, cur.Addr, &transport.Request{Op: transport.OpNeighbors, Range: rg})
 	if err != nil || !resp.OK {
 		return transport.PeerRef{}
 	}
 	nbrs := resp.Peers
 	rnd := n.rnd
 	for s := 0; s < steps; s++ {
+		if ctx.Err() != nil {
+			break
+		}
 		if rnd.Float64() < 1.0/3 || len(nbrs) == 0 {
 			continue
 		}
 		next := nbrs[rnd.Intn(len(nbrs))]
-		r2, err := n.tr.Call(next.Addr, &transport.Request{Op: transport.OpNeighbors, Range: rg})
+		r2, err := n.tr.CallCtx(ctx, next.Addr, &transport.Request{Op: transport.OpNeighbors, Range: rg})
 		if err != nil || !r2.OK || r2.Degree == 0 {
 			continue
 		}

@@ -2,13 +2,18 @@ package p2p
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"testing"
 
 	"github.com/oscar-overlay/oscar/internal/keyspace"
 	"github.com/oscar-overlay/oscar/internal/transport"
 )
+
+var bg = context.Background()
 
 // expectedOwner computes the true owner of key among the given nodes.
 func expectedOwner(nodes []*Node, key keyspace.Key) transport.PeerRef {
@@ -33,7 +38,7 @@ func expectedOwner(nodes []*Node, key keyspace.Key) transport.PeerRef {
 
 func newTestCluster(t *testing.T, size int) *Cluster {
 	t.Helper()
-	c, err := NewCluster(ClusterConfig{Size: size, Seed: 42})
+	c, err := NewCluster(bg, ClusterConfig{Size: size, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +52,7 @@ func TestSingleNode(t *testing.T) {
 	if n.Succ().Addr != n.Self().Addr || n.Pred().Addr != n.Self().Addr {
 		t.Error("singleton must point at itself")
 	}
-	owner, cost, err := n.Lookup(12345)
+	owner, cost, err := n.Lookup(bg, 12345)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +97,7 @@ func TestLookupCorrectness(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		key := keyspace.FromFloat(float64(i) / 100)
 		want := expectedOwner(c.Nodes, key)
-		got, _, err := c.Nodes[i%len(c.Nodes)].Lookup(key)
+		got, _, err := c.Nodes[i%len(c.Nodes)].Lookup(bg, key)
 		if err != nil {
 			t.Fatalf("lookup %v: %v", key, err)
 		}
@@ -131,42 +136,128 @@ func TestPutGetAcrossCluster(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		key := keyspace.FromFloat(float64(i) / 50)
 		val := []byte(fmt.Sprintf("v%d", i))
-		if _, err := c.Nodes[i%24].Put(key, val); err != nil {
-			t.Fatal(err)
-		}
-		got, found, _, err := c.Nodes[(i+7)%24].Get(key)
+		put, err := c.Nodes[i%24].Put(bg, key, val)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !found || !bytes.Equal(got, val) {
-			t.Fatalf("get %v from another node = %q, %v", key, got, found)
+		if put.Owner.Addr != expectedOwner(c.Nodes, key).Addr {
+			t.Fatalf("put %v reported owner %s, want %s", key, put.Owner.Addr, expectedOwner(c.Nodes, key).Addr)
 		}
+		got, err := c.Nodes[(i+7)%24].Get(bg, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Found || !bytes.Equal(got.Value, val) {
+			t.Fatalf("get %v from another node = %q, %v", key, got.Value, got.Found)
+		}
+	}
+}
+
+func TestPutReportsReplacement(t *testing.T) {
+	c := newTestCluster(t, 8)
+	key := keyspace.FromFloat(0.3)
+	res, err := c.Nodes[1].Put(bg, key, []byte("a"))
+	if err != nil || res.Replaced {
+		t.Fatalf("first put: %+v err=%v", res, err)
+	}
+	res, err = c.Nodes[5].Put(bg, key, []byte("b"))
+	if err != nil || !res.Replaced {
+		t.Fatalf("second put: %+v err=%v", res, err)
+	}
+}
+
+func TestDeleteAcrossCluster(t *testing.T) {
+	c := newTestCluster(t, 16)
+	key := keyspace.FromFloat(0.62)
+	if _, err := c.Nodes[2].Put(bg, key, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Nodes[9].Delete(bg, key)
+	if err != nil || !res.Found {
+		t.Fatalf("delete: %+v err=%v", res, err)
+	}
+	if got, err := c.Nodes[4].Get(bg, key); err != nil || got.Found {
+		t.Fatalf("item survived delete: %+v err=%v", got, err)
+	}
+	// Deleting again reports absence, not an error.
+	res, err = c.Nodes[0].Delete(bg, key)
+	if err != nil || res.Found {
+		t.Fatalf("second delete: %+v err=%v", res, err)
 	}
 }
 
 func TestRangeQueryAcrossShards(t *testing.T) {
 	c := newTestCluster(t, 16)
 	for i := 0; i < 40; i++ {
-		if _, err := c.Nodes[0].Put(keyspace.FromFloat(float64(i)/40), []byte{byte(i)}); err != nil {
+		if _, err := c.Nodes[0].Put(bg, keyspace.FromFloat(float64(i)/40), []byte{byte(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	items, _, err := c.Nodes[5].RangeQuery(keyspace.FromFloat(0.25), keyspace.FromFloat(0.75), 0)
+	res, err := c.Nodes[5].RangeQuery(bg, keyspace.FromFloat(0.25), keyspace.FromFloat(0.75), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(items) != 20 { // fractions 10/40 .. 29/40
-		t.Fatalf("range returned %d items, want 20", len(items))
+	if len(res.Items) != 20 { // fractions 10/40 .. 29/40
+		t.Fatalf("range returned %d items, want 20", len(res.Items))
 	}
-	for i := 1; i < len(items); i++ {
-		if items[i-1].Key >= items[i].Key {
+	for i := 1; i < len(res.Items); i++ {
+		if res.Items[i-1].Key >= res.Items[i].Key {
 			t.Fatal("range results out of order")
 		}
+	}
+	if res.PeersScanned < 1 {
+		t.Errorf("implausible scan stats: %+v", res)
+	}
+}
+
+// TestRangeQueryWrapAround exercises a range crossing the top of the
+// identifier circle (start > end), including the limit early-stop path.
+func TestRangeQueryWrapAround(t *testing.T) {
+	c := newTestCluster(t, 12)
+	fracs := []float64{0.85, 0.92, 0.97, 0.03, 0.08, 0.5}
+	for _, f := range fracs {
+		if _, err := c.Nodes[0].Put(bg, keyspace.FromFloat(f), []byte(fmt.Sprint(f))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c.Nodes[3].RangeQuery(bg, keyspace.FromFloat(0.8), keyspace.FromFloat(0.1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 5 { // all but 0.5
+		t.Fatalf("wrap-around range returned %d items, want 5: %v", len(res.Items), res.Items)
+	}
+	// Clockwise order from 0.8: distances from the range start must increase.
+	start := keyspace.FromFloat(0.8)
+	for i := 1; i < len(res.Items); i++ {
+		if start.Distance(res.Items[i-1].Key) >= start.Distance(res.Items[i].Key) {
+			t.Fatal("wrap-around results out of clockwise order")
+		}
+	}
+	if res.PeersScanned < 2 {
+		t.Errorf("wrap-around scan covered %d peers; expected the walk to cross shards", res.PeersScanned)
+	}
+
+	// Limit stops the scan early, keeping the first items clockwise.
+	lim, err := c.Nodes[7].RangeQuery(bg, keyspace.FromFloat(0.8), keyspace.FromFloat(0.1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lim.Items) != 2 {
+		t.Fatalf("limit ignored: %d items", len(lim.Items))
+	}
+	for i, want := range []float64{0.85, 0.92} {
+		if lim.Items[i].Key != keyspace.FromFloat(want) {
+			t.Errorf("limited item %d = %v, want key at %v", i, lim.Items[i].Key, want)
+		}
+	}
+	if lim.Cost > res.Cost {
+		t.Errorf("limited scan cost %d exceeds full scan cost %d", lim.Cost, res.Cost)
 	}
 }
 
 func TestJoinMigratesItems(t *testing.T) {
-	c, err := NewCluster(ClusterConfig{Size: 8, Seed: 7})
+	c, err := NewCluster(bg, ClusterConfig{Size: 8, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,23 +266,23 @@ func TestJoinMigratesItems(t *testing.T) {
 	for i := 0; i < 60; i++ {
 		k := keyspace.FromFloat(float64(i) / 60)
 		keys = append(keys, k)
-		if _, err := c.Nodes[0].Put(k, []byte{byte(i)}); err != nil {
+		if _, err := c.Nodes[0].Put(bg, k, []byte{byte(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// A new node joins; items in its arc must move to it and stay readable.
 	newbie := NewNode(c.Fabric.Endpoint(), Config{Key: keyspace.FromFloat(0.5), MaxIn: 16, MaxOut: 16, Seed: 99})
-	if err := newbie.Join(c.Nodes[0].Self().Addr); err != nil {
+	if err := newbie.Join(bg, c.Nodes[0].Self().Addr); err != nil {
 		t.Fatal(err)
 	}
 	c.Nodes = append(c.Nodes, newbie)
-	c.StabilizeAll()
+	c.StabilizeAll(bg)
 	for i, k := range keys {
-		got, found, _, err := c.Nodes[2].Get(k)
+		got, err := c.Nodes[2].Get(bg, k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !found || got[0] != byte(i) {
+		if !got.Found || got.Value[0] != byte(i) {
 			t.Fatalf("item %d lost after join", i)
 		}
 	}
@@ -210,18 +301,108 @@ func TestCrashAndHeal(t *testing.T) {
 	}
 	// A few stabilisation rounds heal the ring.
 	for round := 0; round < 6; round++ {
-		c.StabilizeAll()
+		c.StabilizeAll(bg)
 	}
 	for i := 0; i < 50; i++ {
 		key := keyspace.FromFloat(float64(i) / 50)
 		want := expectedOwner(c.Nodes, key)
-		got, _, err := c.Nodes[0].Lookup(key)
+		got, _, err := c.Nodes[0].Lookup(bg, key)
 		if err != nil {
 			t.Fatalf("lookup %v after churn: %v", key, err)
 		}
 		if got.Addr != want.Addr {
 			t.Errorf("lookup %v: owner %s, want %s", key, got.Addr, want.Addr)
 		}
+	}
+}
+
+// cancellingTransport wraps a Transport and cancels the given context after
+// a fixed number of CallCtx invocations — a deterministic way to cancel a
+// lookup mid-walk.
+type cancellingTransport struct {
+	transport.Transport
+	cancel context.CancelFunc
+	after  int64
+	calls  atomic.Int64
+}
+
+func (c *cancellingTransport) CallCtx(ctx context.Context, addr transport.Addr, req *transport.Request) (*transport.Response, error) {
+	if c.calls.Add(1) == c.after {
+		c.cancel()
+	}
+	return c.Transport.CallCtx(ctx, addr, req)
+}
+
+func (c *cancellingTransport) Call(addr transport.Addr, req *transport.Request) (*transport.Response, error) {
+	return c.CallCtx(context.Background(), addr, req)
+}
+
+// TestLookupCancelledBeforeCall proves a context cancelled before a
+// multi-hop lookup aborts with ctx.Err() without issuing a single RPC.
+func TestLookupCancelledBeforeCall(t *testing.T) {
+	c := newTestCluster(t, 24)
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	_, cost, err := c.Nodes[0].Lookup(ctx, keyspace.FromFloat(0.73))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled lookup returned %v, want context.Canceled", err)
+	}
+	if cost != 0 {
+		t.Errorf("cancelled lookup still spent %d messages", cost)
+	}
+}
+
+// TestLookupCancelledMidWalk cancels the context after the second hop of a
+// multi-hop lookup and verifies the walk stops promptly with ctx.Err()
+// instead of backtracking through the "failed" hop.
+func TestLookupCancelledMidWalk(t *testing.T) {
+	c := newTestCluster(t, 48)
+	// Build a fresh node whose outgoing transport we can instrument; it
+	// joins the existing overlay, then looks up a far-away key.
+	ctx, cancel := context.WithCancel(bg)
+	defer cancel()
+	ct := &cancellingTransport{Transport: c.Fabric.Endpoint(), cancel: cancel, after: 1 << 60}
+	n := NewNode(ct, Config{Key: keyspace.FromFloat(0.001), MaxIn: 8, MaxOut: 8, Seed: 5})
+	if err := n.Join(bg, c.Nodes[0].Self().Addr); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	// Pick a key provably owned by a remote peer, so the lookup needs at
+	// least two transport calls (one on self for the first hop, one remote).
+	all := append(append([]*Node(nil), c.Nodes...), n)
+	var key keyspace.Key
+	for f := 0.05; f < 1; f += 0.05 {
+		k := keyspace.FromFloat(f)
+		if owner := expectedOwner(all, k); owner.Addr != n.Self().Addr && owner.Addr != n.Succ().Addr {
+			key = k
+			break
+		}
+	}
+
+	// Arm the trigger: cancel on the 2nd call from now.
+	ct.calls.Store(0)
+	ct.after = 2
+	_, _, err := n.Lookup(ctx, key)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-walk cancellation returned %v, want context.Canceled", err)
+	}
+	// The walk must stop at (or immediately after) the cancelling call: the
+	// per-hop ctx check forbids starting new hops, and the in-memory
+	// transport rejects cancelled calls at entry, so at most one extra call
+	// can slip in between Add and cancel.
+	if calls := ct.calls.Load(); calls > ct.after+1 {
+		t.Errorf("lookup kept issuing RPCs after cancellation: %d calls", calls)
+	}
+}
+
+func TestRangeQueryCancelled(t *testing.T) {
+	c := newTestCluster(t, 16)
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	_, err := c.Nodes[0].RangeQuery(ctx, keyspace.FromFloat(0.1), keyspace.FromFloat(0.9), 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled range query returned %v, want context.Canceled", err)
 	}
 }
 
@@ -242,7 +423,7 @@ func TestClusterOverTCP(t *testing.T) {
 			Seed:   int64(i),
 		})
 		if i > 0 {
-			if err := n.Join(nodes[0].Self().Addr); err != nil {
+			if err := n.Join(bg, nodes[0].Self().Addr); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -255,32 +436,35 @@ func TestClusterOverTCP(t *testing.T) {
 	}()
 	for round := 0; round < 2; round++ {
 		for _, n := range nodes {
-			n.Stabilize()
+			n.Stabilize(bg)
 		}
 	}
 	for _, n := range nodes {
-		if err := n.Rewire(); err != nil {
+		if err := n.Rewire(bg); err != nil {
 			t.Fatal(err)
 		}
 	}
 	key := keyspace.FromFloat(0.42)
-	if _, err := nodes[3].Put(key, []byte("over-tcp")); err != nil {
+	if _, err := nodes[3].Put(bg, key, []byte("over-tcp")); err != nil {
 		t.Fatal(err)
 	}
-	got, found, _, err := nodes[6].Get(key)
-	if err != nil || !found || string(got) != "over-tcp" {
-		t.Fatalf("tcp get = %q %v %v", got, found, err)
+	got, err := nodes[6].Get(bg, key)
+	if err != nil || !got.Found || string(got.Value) != "over-tcp" {
+		t.Fatalf("tcp get = %+v %v", got, err)
+	}
+	if res, err := nodes[2].Delete(bg, key); err != nil || !res.Found {
+		t.Fatalf("tcp delete: %+v err=%v", res, err)
 	}
 	// Crash one node; the ring heals and lookups still succeed.
 	_ = nodes[5].Close()
 	for round := 0; round < 4; round++ {
 		for _, n := range nodes {
 			if !n.isDown() {
-				n.Stabilize()
+				n.Stabilize(bg)
 			}
 		}
 	}
-	if _, _, err := nodes[1].Lookup(keyspace.FromFloat(0.9)); err != nil {
+	if _, _, err := nodes[1].Lookup(bg, keyspace.FromFloat(0.9)); err != nil {
 		t.Fatalf("lookup after tcp crash: %v", err)
 	}
 }

@@ -57,6 +57,7 @@ const (
 	OpFindOwner Op = "find_owner" // iterative routing step: best next hop
 	OpPut       Op = "put"        // store an item (owner only)
 	OpGet       Op = "get"        // fetch an item (owner only)
+	OpDelete    Op = "delete"     // remove an item (owner only)
 	OpRangeScan Op = "range_scan" // scan the local shard
 	OpMigrate   Op = "migrate"    // hand over items in a range (join)
 )

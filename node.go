@@ -1,0 +1,294 @@
+package oscar
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/oscar-overlay/oscar/internal/p2p"
+	"github.com/oscar-overlay/oscar/internal/transport"
+)
+
+// NodeConfig configures one live peer (StartNode).
+type NodeConfig struct {
+	// Listen is the TCP listen address, e.g. "127.0.0.1:0" (":0" picks a
+	// free port; read the bound address back with Addr).
+	Listen string
+	// Key is the node's position on the identifier circle. Place it where
+	// the node's data lives — the overlay is order-preserving.
+	Key Key
+	// MaxIn and MaxOut are the link budgets ρmax (defaults 27/27): a
+	// weak peer states small budgets, a strong one large — the paper's
+	// heterogeneity knob.
+	MaxIn, MaxOut int
+	// Seed drives the node's local randomness.
+	Seed int64
+	// Samples and WalkSteps tune median estimation (0 = defaults).
+	Samples, WalkSteps int
+	// DisablePowerOfTwo turns off the two-choices in-degree balancing.
+	DisablePowerOfTwo bool
+	// PoolSize is the number of persistent connections per peer (0 =
+	// transport default).
+	PoolSize int
+	// CallTimeout bounds each RPC when the caller's context carries no
+	// deadline (0 = transport default).
+	CallTimeout time.Duration
+	// IdleTimeout reaps pooled connections idle this long (0 = transport
+	// default).
+	IdleTimeout time.Duration
+}
+
+// Node is a live overlay peer: the message-passing implementation of
+// Client, one peer per process (or many in one process — see
+// StartCluster). A fresh node is a one-peer overlay; Join splices it into
+// an existing one through any member. All methods are safe for concurrent
+// use.
+type Node struct {
+	inner *p2p.Node
+	tr    transport.Transport
+
+	mu     sync.Mutex
+	maint  *p2p.Maintenance
+	closed bool
+}
+
+var _ Client = (*Node)(nil)
+
+// StartNode boots a live peer on a TCP listener and starts serving the
+// overlay protocol. Close releases the listener.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	var topts []transport.TCPOption
+	if cfg.PoolSize > 0 {
+		topts = append(topts, transport.WithPoolSize(cfg.PoolSize))
+	}
+	if cfg.CallTimeout > 0 {
+		topts = append(topts, transport.WithCallTimeout(cfg.CallTimeout))
+	}
+	if cfg.IdleTimeout > 0 {
+		topts = append(topts, transport.WithIdleTimeout(cfg.IdleTimeout))
+	}
+	ep, err := transport.ListenTCP(cfg.Listen, topts...)
+	if err != nil {
+		return nil, fmt.Errorf("oscar: start node: %w", err)
+	}
+	return startNodeOn(ep, cfg), nil
+}
+
+// startNodeOn wraps a live p2p node on an arbitrary transport endpoint —
+// the shared path under StartNode (TCP) and StartCluster (in-memory).
+func startNodeOn(tr transport.Transport, cfg NodeConfig) *Node {
+	inner := p2p.NewNode(tr, p2p.Config{
+		Key:               cfg.Key,
+		MaxIn:             cfg.MaxIn,
+		MaxOut:            cfg.MaxOut,
+		Samples:           cfg.Samples,
+		WalkSteps:         cfg.WalkSteps,
+		DisablePowerOfTwo: cfg.DisablePowerOfTwo,
+		Seed:              cfg.Seed,
+	})
+	return &Node{inner: inner, tr: tr}
+}
+
+// Addr returns the node's transport address — hand it to other nodes'
+// Join calls.
+func (n *Node) Addr() string { return string(n.inner.Self().Addr) }
+
+// Key returns the node's position on the identifier circle.
+func (n *Node) Key() Key { return n.inner.Self().Key }
+
+// Join enters the overlay through any existing member: route to the owner
+// of this node's key, splice into the ring there, migrate the arc's items,
+// and wire long-range links. The context bounds the whole sequence.
+func (n *Node) Join(ctx context.Context, introducer string) error {
+	if err := n.begin(ctx); err != nil {
+		return err
+	}
+	return n.mapErr(n.inner.Join(ctx, transport.Addr(introducer)))
+}
+
+// Stabilize runs one ring-maintenance round (verify successor, re-notify,
+// drop dead predecessor). StartMaintenance runs it periodically.
+func (n *Node) Stabilize(ctx context.Context) {
+	n.inner.Stabilize(ctx)
+}
+
+// Rewire rebuilds the node's long-range links from fresh partition
+// estimates. StartMaintenance runs it periodically.
+func (n *Node) Rewire(ctx context.Context) error {
+	if err := n.begin(ctx); err != nil {
+		return err
+	}
+	return n.mapErr(n.inner.Rewire(ctx))
+}
+
+// StartMaintenance launches the background maintenance loop: stabilisation
+// every interval and a rewiring pass every rewireEvery intervals (0
+// disables rewiring). Starting twice replaces the previous loop. Close
+// stops it.
+func (n *Node) StartMaintenance(interval time.Duration, rewireEvery int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	if n.maint != nil {
+		n.maint.Stop()
+	}
+	n.maint = n.inner.StartMaintenance(interval, rewireEvery)
+}
+
+// StopMaintenance halts the background loop, if running.
+func (n *Node) StopMaintenance() {
+	n.mu.Lock()
+	m := n.maint
+	n.maint = nil
+	n.mu.Unlock()
+	if m != nil {
+		m.Stop()
+	}
+}
+
+// Close stops maintenance and takes the node off the network. To the rest
+// of the overlay this is a crash: stabilisation at the survivors heals the
+// ring around it, and unreplicated items on this node's shard are gone.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	m := n.maint
+	n.maint = nil
+	n.mu.Unlock()
+	if m != nil {
+		m.Stop()
+	}
+	return n.inner.Close()
+}
+
+// begin gates an operation on the context and the closed flag.
+func (n *Node) begin(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n.isClosed() {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (n *Node) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+// mapErr translates runtime errors into the Client's typed errors.
+// Context errors pass through untranslated.
+func (n *Node) mapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return err
+	case errors.Is(err, p2p.ErrNoRoute):
+		return fmt.Errorf("%w: %v", ErrRoutingFailed, err)
+	default:
+		return fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+}
+
+func ownerRef(ref transport.PeerRef) OwnerRef {
+	return OwnerRef{Key: ref.Key, Addr: string(ref.Addr)}
+}
+
+// Put implements Client.
+func (n *Node) Put(ctx context.Context, key Key, value []byte) (PutResponse, error) {
+	if err := n.begin(ctx); err != nil {
+		return PutResponse{}, err
+	}
+	res, err := n.inner.Put(ctx, key, value)
+	out := PutResponse{Owner: ownerRef(res.Owner), Cost: res.Cost, Replaced: res.Replaced}
+	if err != nil {
+		return out, n.mapErr(err)
+	}
+	return out, nil
+}
+
+// Get implements Client.
+func (n *Node) Get(ctx context.Context, key Key) (GetResponse, error) {
+	if err := n.begin(ctx); err != nil {
+		return GetResponse{}, err
+	}
+	res, err := n.inner.Get(ctx, key)
+	out := GetResponse{Owner: ownerRef(res.Owner), Cost: res.Cost, Value: res.Value}
+	if err != nil {
+		return out, n.mapErr(err)
+	}
+	if !res.Found {
+		return out, fmt.Errorf("%w: %v", ErrNotFound, key)
+	}
+	return out, nil
+}
+
+// Delete implements Client.
+func (n *Node) Delete(ctx context.Context, key Key) (DeleteResponse, error) {
+	if err := n.begin(ctx); err != nil {
+		return DeleteResponse{}, err
+	}
+	res, err := n.inner.Delete(ctx, key)
+	out := DeleteResponse{Owner: ownerRef(res.Owner), Cost: res.Cost}
+	if err != nil {
+		return out, n.mapErr(err)
+	}
+	if !res.Found {
+		return out, fmt.Errorf("%w: %v", ErrNotFound, key)
+	}
+	return out, nil
+}
+
+// RangeQuery implements Client.
+func (n *Node) RangeQuery(ctx context.Context, start, end Key, limit int) (RangeResponse, error) {
+	if err := n.begin(ctx); err != nil {
+		return RangeResponse{}, err
+	}
+	res, err := n.inner.RangeQuery(ctx, start, end, limit)
+	out := RangeResponse{Items: res.Items, Cost: res.Cost, PeersScanned: res.PeersScanned}
+	if err != nil {
+		return out, n.mapErr(err)
+	}
+	return out, nil
+}
+
+// Lookup implements Client.
+func (n *Node) Lookup(ctx context.Context, key Key) (LookupResponse, error) {
+	if err := n.begin(ctx); err != nil {
+		return LookupResponse{}, err
+	}
+	owner, cost, err := n.inner.Lookup(ctx, key)
+	if err != nil {
+		return LookupResponse{Cost: cost}, n.mapErr(err)
+	}
+	return LookupResponse{Owner: ownerRef(owner), Cost: cost}, nil
+}
+
+// Info implements Client. A live node has no global membership view, so
+// Peers is -1 and the snapshot is the node's local state.
+func (n *Node) Info(ctx context.Context) (InfoResponse, error) {
+	if err := n.begin(ctx); err != nil {
+		return InfoResponse{}, err
+	}
+	return InfoResponse{
+		Backend:     "p2p",
+		Peers:       -1,
+		Self:        ownerRef(n.inner.Self()),
+		Successor:   ownerRef(n.inner.Succ()),
+		Predecessor: ownerRef(n.inner.Pred()),
+		OutLinks:    len(n.inner.OutLinks()),
+		InLinks:     n.inner.InDegree(),
+		StoredItems: n.inner.StoredItems(),
+	}, nil
+}

@@ -13,20 +13,36 @@
 //
 // # Quick start
 //
-//	ov, err := oscar.Build(oscar.Config{Size: 2000})
-//	if err != nil { ... }
-//	route := ov.Lookup(oscar.KeyFromFloat(0.42))
-//	fmt.Println(route.Hops)
+// The context-first Client interface is the public surface; it runs against
+// two backends. The simulator backend models thousands of peers in one
+// process:
 //
-// The package also bundles a Mercury baseline and a global-knowledge
-// Kleinberg reference for comparison, a churn model, and a per-peer ordered
-// key-value layer with range queries; cmd/oscar-bench regenerates every
-// figure and table of the paper.
+//	cl, err := oscar.NewClient(oscar.WithSize(2000), oscar.WithSeed(1))
+//	if err != nil { ... }
+//	defer cl.Close()
+//	res, err := cl.Lookup(ctx, oscar.KeyFromFloat(0.42))
+//	fmt.Println(res.Cost)
+//
+// The live backend runs the same algorithms as message-passing peers, over
+// in-memory channels (StartCluster) or TCP (StartNode):
+//
+//	node, err := oscar.StartNode(oscar.NodeConfig{Listen: "127.0.0.1:0", Key: oscar.KeyFromFloat(0.5)})
+//	if err != nil { ... }
+//	defer node.Close()
+//	err = node.Join(ctx, "127.0.0.1:7001")
+//
+// Both satisfy Client, so application code is backend-agnostic. The lower
+// level Build/Overlay API remains for experiments: the package also bundles
+// a Mercury baseline and a global-knowledge Kleinberg reference for
+// comparison, a churn model, and a per-peer ordered key-value layer with
+// range queries; cmd/oscar-bench regenerates every figure and table of the
+// paper.
 package oscar
 
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/oscar-overlay/oscar/internal/degreedist"
 	"github.com/oscar-overlay/oscar/internal/graph"
@@ -133,10 +149,14 @@ type Config struct {
 	SampleSize, WalkSteps int
 }
 
-// Overlay is a running overlay network plus its data layer. Methods are not
-// safe for concurrent use; the overlay models a distributed system inside
-// one process (see internal/p2p for the message-passing runtime).
+// Overlay is a running overlay network plus its data layer, modelling a
+// distributed system inside one process (StartNode/StartCluster run the
+// message-passing runtime). All methods are safe for concurrent use: a
+// single mutex serialises operations, so concurrent callers observe the
+// overlay as a sequentially consistent store. For the context-aware facade
+// shared with the live runtime, see Client.
 type Overlay struct {
+	mu     sync.Mutex
 	sim    *sim.Sim
 	stores map[NodeID]*storage.Store
 	rnd    *rand.Rand
@@ -193,10 +213,18 @@ func Build(cfg Config) (*Overlay, error) {
 }
 
 // Size returns the number of alive peers.
-func (o *Overlay) Size() int { return o.sim.Net().AliveCount() }
+func (o *Overlay) Size() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.sim.Net().AliveCount()
+}
 
 // Nodes returns the ids of all alive peers.
-func (o *Overlay) Nodes() []NodeID { return o.sim.Net().AliveIDs() }
+func (o *Overlay) Nodes() []NodeID {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.sim.Net().AliveIDs()
+}
 
 // NodeInfo describes one peer.
 type NodeInfo struct {
@@ -212,6 +240,12 @@ type NodeInfo struct {
 
 // Info returns a snapshot of one peer.
 func (o *Overlay) Info(id NodeID) NodeInfo {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.infoLocked(id)
+}
+
+func (o *Overlay) infoLocked(id NodeID) NodeInfo {
 	n := o.sim.Net().Node(id)
 	info := NodeInfo{
 		ID: n.ID, Key: n.Key,
@@ -229,7 +263,9 @@ func (o *Overlay) Info(id NodeID) NodeInfo {
 // migrating stored items to each joining peer (it takes over the arc
 // (pred, self] from its successor).
 func (o *Overlay) Grow(n int) {
-	for o.Size() < n {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for o.sim.Net().AliveCount() < n {
 		id := o.sim.AddPeer()
 		node := o.sim.Net().Node(id)
 		succStore := o.stores[node.Succ]
@@ -246,13 +282,19 @@ func (o *Overlay) Grow(n int) {
 
 // RewireAll rebuilds every peer's long-range links (the paper's periodic
 // rewiring).
-func (o *Overlay) RewireAll() { o.sim.RewireAll() }
+func (o *Overlay) RewireAll() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.sim.RewireAll()
+}
 
 // Crash kills the given fraction of peers. The ring self-stabilises;
 // long-range links to victims go stale until the next rewiring; items stored
 // on victims are lost (the data layer is an index, not a replicated store).
 // It returns the number of peers killed.
 func (o *Overlay) Crash(fraction float64) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	victims := o.sim.Churn(fraction)
 	for _, id := range victims {
 		delete(o.stores, id)
@@ -262,13 +304,25 @@ func (o *Overlay) Crash(fraction float64) int {
 
 // Lookup routes to the owner of key from a random peer.
 func (o *Overlay) Lookup(key Key) Route {
-	return o.LookupFrom(o.randomPeer(), key)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.lookupLocked(key)
+}
+
+func (o *Overlay) lookupLocked(key Key) Route {
+	return o.lookupFromLocked(o.sim.Ring().RandomAlive(o.rnd), key)
 }
 
 // LookupFrom routes to the owner of key from a specific peer. On a network
 // that has suffered crashes, routing automatically probes and backtracks
 // around stale links.
 func (o *Overlay) LookupFrom(from NodeID, key Key) Route {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.lookupFromLocked(from, key)
+}
+
+func (o *Overlay) lookupFromLocked(from NodeID, key Key) Route {
 	if o.sim.Net().Len() > o.sim.Net().AliveCount() {
 		return routing.GreedyBacktrack(o.sim.Net(), o.sim.Ring(), from, key)
 	}
@@ -278,6 +332,8 @@ func (o *Overlay) LookupFrom(from NodeID, key Key) Route {
 // Measure runs the paper's measurement pass: lookups between random peers
 // plus degree-volume and load statistics.
 func (o *Overlay) Measure() Measurement {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	return o.sim.Measure(o.sim.Net().Len() > o.sim.Net().AliveCount())
 }
 
@@ -289,10 +345,6 @@ func (o *Overlay) storeFor(id NodeID) *storage.Store {
 		o.stores[id] = st
 	}
 	return st
-}
-
-func (o *Overlay) randomPeer() NodeID {
-	return o.sim.Ring().RandomAlive(o.rnd)
 }
 
 // PutResult reports a data-layer write.
@@ -308,7 +360,9 @@ type PutResult struct {
 // Put routes from a random peer to the owner of key and stores the value
 // there.
 func (o *Overlay) Put(key Key, value []byte) (PutResult, error) {
-	route := o.Lookup(key)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	route := o.lookupLocked(key)
 	if !route.Found {
 		return PutResult{}, fmt.Errorf("oscar: put %v: routing failed", key)
 	}
@@ -319,7 +373,9 @@ func (o *Overlay) Put(key Key, value []byte) (PutResult, error) {
 // Get routes to the owner of key and returns the stored value, if any,
 // along with the routing cost.
 func (o *Overlay) Get(key Key) (value []byte, found bool, cost int, err error) {
-	route := o.Lookup(key)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	route := o.lookupLocked(key)
 	if !route.Found {
 		return nil, false, route.Cost(), fmt.Errorf("oscar: get %v: routing failed", key)
 	}
@@ -327,6 +383,31 @@ func (o *Overlay) Get(key Key) (value []byte, found bool, cost int, err error) {
 		value, found = st.Get(key)
 	}
 	return value, found, route.Cost(), nil
+}
+
+// DeleteResult reports a data-layer delete.
+type DeleteResult struct {
+	// Owner is the peer that held (or would have held) the item.
+	Owner NodeID
+	// Cost is the routing message cost to reach it.
+	Cost int
+	// Existed reports whether an item was actually removed.
+	Existed bool
+}
+
+// Delete routes to the owner of key and removes the stored item, if any.
+func (o *Overlay) Delete(key Key) (DeleteResult, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	route := o.lookupLocked(key)
+	if !route.Found {
+		return DeleteResult{}, fmt.Errorf("oscar: delete %v: routing failed", key)
+	}
+	res := DeleteResult{Owner: route.Owner, Cost: route.Cost()}
+	if st := o.stores[route.Owner]; st != nil {
+		res.Existed = st.Delete(key)
+	}
+	return res, nil
 }
 
 // RangeResult reports a range query.
@@ -345,8 +426,10 @@ type RangeResult struct {
 // the non-exact query class that order-preserving overlays exist for.
 // limit <= 0 means no limit.
 func (o *Overlay) RangeQuery(start, end Key, limit int) (RangeResult, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	rg := Range{Start: start, End: end}
-	route := o.Lookup(start)
+	route := o.lookupLocked(start)
 	if !route.Found {
 		return RangeResult{}, fmt.Errorf("oscar: range query: routing failed")
 	}
@@ -384,5 +467,20 @@ func (o *Overlay) RangeQuery(start, end Key, limit int) (RangeResult, error) {
 	}
 }
 
+// StoredItems returns the total number of items across all peers' shards.
+func (o *Overlay) StoredItems() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	total := 0
+	for _, st := range o.stores {
+		total += st.Len()
+	}
+	return total
+}
+
 // CheckInvariants verifies graph and ring consistency (used by tests).
-func (o *Overlay) CheckInvariants() error { return o.sim.CheckInvariants() }
+func (o *Overlay) CheckInvariants() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.sim.CheckInvariants()
+}

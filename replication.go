@@ -20,7 +20,9 @@ func (o *Overlay) PutReplicated(key Key, value []byte, replicas int) (PutResult,
 	if replicas < 1 {
 		replicas = 1
 	}
-	route := o.Lookup(key)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	route := o.lookupLocked(key)
 	if !route.Found {
 		return PutResult{}, fmt.Errorf("oscar: put %v: routing failed", key)
 	}
@@ -50,7 +52,9 @@ func (o *Overlay) GetReplicated(key Key, replicas int) (value []byte, found bool
 	if replicas < 1 {
 		replicas = 1
 	}
-	route := o.Lookup(key)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	route := o.lookupLocked(key)
 	if !route.Found {
 		return nil, false, route.Cost(), fmt.Errorf("oscar: get %v: routing failed", key)
 	}

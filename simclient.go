@@ -1,0 +1,140 @@
+package oscar
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// Client returns the context-first Client facade over this overlay. The
+// facade shares the overlay's state: operations through either surface see
+// each other's writes, and the overlay's mutex makes them safe to mix from
+// multiple goroutines. The simulator executes synchronously, so contexts
+// are honoured at operation entry (a cancelled context aborts the call
+// before any routing happens).
+func (o *Overlay) Client() Client {
+	return &simClient{ov: o}
+}
+
+// simClient adapts the simulator Overlay to the Client interface. Each
+// operation runs under the overlay's mutex, so routing and the data access
+// are one atomic step — the in-process analogue of the owner executing the
+// data op locally.
+type simClient struct {
+	ov     *Overlay
+	closed atomic.Bool
+}
+
+// begin gates every operation on the context and the closed flag.
+func (c *simClient) begin(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}
+
+// ownerLocked builds the backend-neutral owner ref for a simulator peer.
+// Callers hold c.ov.mu.
+func (c *simClient) ownerLocked(id NodeID) OwnerRef {
+	return OwnerRef{ID: id, Key: c.ov.sim.Net().Node(id).Key}
+}
+
+func (c *simClient) Put(ctx context.Context, key Key, value []byte) (PutResponse, error) {
+	if err := c.begin(ctx); err != nil {
+		return PutResponse{}, err
+	}
+	o := c.ov
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	route := o.lookupLocked(key)
+	if !route.Found {
+		return PutResponse{Cost: route.Cost()}, fmt.Errorf("%w: put %v", ErrRoutingFailed, key)
+	}
+	replaced := o.storeFor(route.Owner).Put(key, value)
+	return PutResponse{Owner: c.ownerLocked(route.Owner), Cost: route.Cost(), Replaced: replaced}, nil
+}
+
+func (c *simClient) Get(ctx context.Context, key Key) (GetResponse, error) {
+	if err := c.begin(ctx); err != nil {
+		return GetResponse{}, err
+	}
+	o := c.ov
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	route := o.lookupLocked(key)
+	if !route.Found {
+		return GetResponse{Cost: route.Cost()}, fmt.Errorf("%w: get %v", ErrRoutingFailed, key)
+	}
+	out := GetResponse{Owner: c.ownerLocked(route.Owner), Cost: route.Cost()}
+	if st := o.stores[route.Owner]; st != nil {
+		if v, ok := st.Get(key); ok {
+			out.Value = v
+			return out, nil
+		}
+	}
+	return out, fmt.Errorf("%w: %v", ErrNotFound, key)
+}
+
+func (c *simClient) Delete(ctx context.Context, key Key) (DeleteResponse, error) {
+	if err := c.begin(ctx); err != nil {
+		return DeleteResponse{}, err
+	}
+	o := c.ov
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	route := o.lookupLocked(key)
+	if !route.Found {
+		return DeleteResponse{Cost: route.Cost()}, fmt.Errorf("%w: delete %v", ErrRoutingFailed, key)
+	}
+	out := DeleteResponse{Owner: c.ownerLocked(route.Owner), Cost: route.Cost()}
+	if st := o.stores[route.Owner]; st != nil && st.Delete(key) {
+		return out, nil
+	}
+	return out, fmt.Errorf("%w: %v", ErrNotFound, key)
+}
+
+func (c *simClient) RangeQuery(ctx context.Context, start, end Key, limit int) (RangeResponse, error) {
+	if err := c.begin(ctx); err != nil {
+		return RangeResponse{}, err
+	}
+	res, err := c.ov.RangeQuery(start, end, limit)
+	if err != nil {
+		return RangeResponse{}, fmt.Errorf("%w: range [%v, %v): %v", ErrRoutingFailed, start, end, err)
+	}
+	return RangeResponse{Items: res.Items, Cost: res.Cost, PeersScanned: res.PeersScanned}, nil
+}
+
+func (c *simClient) Lookup(ctx context.Context, key Key) (LookupResponse, error) {
+	if err := c.begin(ctx); err != nil {
+		return LookupResponse{}, err
+	}
+	o := c.ov
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	route := o.lookupLocked(key)
+	if !route.Found {
+		return LookupResponse{Cost: route.Cost()}, fmt.Errorf("%w: lookup %v", ErrRoutingFailed, key)
+	}
+	return LookupResponse{Owner: c.ownerLocked(route.Owner), Cost: route.Cost()}, nil
+}
+
+func (c *simClient) Info(ctx context.Context) (InfoResponse, error) {
+	if err := c.begin(ctx); err != nil {
+		return InfoResponse{}, err
+	}
+	return InfoResponse{
+		Backend:     "simulator",
+		Peers:       c.ov.Size(),
+		StoredItems: c.ov.StoredItems(),
+	}, nil
+}
+
+// Close marks the client closed. The underlying Overlay stays usable
+// through its own methods (it holds no external resources).
+func (c *simClient) Close() error {
+	c.closed.Store(true)
+	return nil
+}
