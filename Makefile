@@ -6,7 +6,7 @@ GO ?= go
 # to keep CI fast (the full suite still runs race-free in `test`).
 RACE_PKGS = ./internal/transport/... ./internal/p2p/...
 
-.PHONY: all build test race bench fmt fmt-check vet examples conformance ci
+.PHONY: all build test race bench bench-replication fmt fmt-check vet examples conformance ci
 
 all: build
 
@@ -26,10 +26,16 @@ examples:
 	$(GO) build ./examples/... ./cmd/...
 
 # Cross-backend conformance: the identical scenario table against the
-# simulator Client and the live Client (in-memory fabric and TCP), race
-# detector on.
+# simulator Client and the live Client (in-memory fabric and TCP), plus
+# the crash-durability contract (write with r=3, kill the owner, lose
+# nothing), race detector on.
 conformance:
-	$(GO) test -race -run 'TestConformance|TestLookupCancelled|TestRangeQueryCancelled' . ./internal/p2p/
+	$(GO) test -race -run 'TestConformance|TestCrashDurability|TestLookupCancelled|TestRangeQueryCancelled' . ./internal/p2p/
+
+# Replication bench smoke: the replicated write path compiles and runs on
+# both backends (shape check; CI uploads the numbers with the full bench).
+bench-replication:
+	$(GO) test -run=NONE -bench='PutReplicated' -benchtime=1x .
 
 # Bench smoke: compile and run every benchmark once (shape check, not a
 # measurement). Full measurements: `go test -bench=. -benchtime=2s ./...`.
@@ -45,4 +51,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test examples race conformance bench
+ci: fmt-check vet build test examples race conformance bench-replication bench

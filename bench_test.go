@@ -380,6 +380,52 @@ func BenchmarkLiveClusterPutGetTCP(b *testing.B) {
 	})
 }
 
+// BenchmarkPutReplicated times a replicated write (owner + 2 successor
+// copies) through the simulator — the baseline for the replicated-path
+// perf trajectory.
+func BenchmarkPutReplicated(b *testing.B) {
+	ov, err := Build(Config{Size: 800, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.Derive(12, "putrepl-bench")
+	val := []byte("replicated-value")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ov.PutReplicated(Key(r.Uint64()), val, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveClusterPutReplicated times the live replicated write path
+// on the in-memory fabric: route to the owner, owner write, parallel
+// replicate pushes to the owner's successor-list chain.
+func BenchmarkLiveClusterPutReplicated(b *testing.B) {
+	c, err := p2p.NewCluster(context.Background(), p2p.ClusterConfig{Size: 24, Seed: 13, Replicas: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	for round := 0; round < 4; round++ {
+		c.StabilizeAll(context.Background())
+	}
+	val := []byte("replicated-live")
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			node := c.Nodes[int(i)%len(c.Nodes)]
+			key := keyspace.Key(i * 0x9e3779b97f4a7c15)
+			if _, err := node.Put(context.Background(), key, val); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 // BenchmarkOverlayRangeQuery times a 1%-of-circle range query.
 func BenchmarkOverlayRangeQuery(b *testing.B) {
 	ov, err := Build(Config{Size: 800, Seed: 2})

@@ -3,6 +3,7 @@ package oscar
 import (
 	"context"
 	"errors"
+	"time"
 )
 
 // Client is the unified public surface of the overlay: the same six
@@ -116,9 +117,15 @@ type LookupResponse struct {
 type InfoResponse struct {
 	// Backend names the implementation: "simulator" or "p2p".
 	Backend string
-	// Peers is the number of alive peers. The live backend has no global
-	// membership view and reports -1.
+	// Peers is the number of alive peers. The simulator knows it exactly; a
+	// live node estimates it by walking the ring clockwise via successor
+	// pointers, which is exact on small healthy rings (up to 128 peers) and
+	// -1 when the walk cannot complete (a larger ring, or one mid-heal).
 	Peers int
+	// Replicas is the replication factor r the client writes with: every
+	// item is stored at its owner and on the owner's r-1 ring successors
+	// (1 = no replication).
+	Replicas int
 	// Self is the serving peer (zero on the simulator, which has no
 	// distinguished vantage point).
 	Self OwnerRef
@@ -128,9 +135,13 @@ type InfoResponse struct {
 	// OutLinks and InLinks count the serving peer's long-range links
 	// (live backend only).
 	OutLinks, InLinks int
-	// StoredItems is the item count: the local shard on the live backend,
-	// the sum over all shards on the simulator.
+	// StoredItems is the primary item count (replica copies excluded): the
+	// local shard on the live backend, the sum over all shards on the
+	// simulator.
 	StoredItems int
+	// ReplicaItems is the number of replica copies the serving peer holds
+	// for its predecessors' arcs (live backend only).
+	ReplicaItems int
 }
 
 // options collects the functional construction options shared by NewClient
@@ -146,6 +157,8 @@ type options struct {
 	sampleSize        int
 	walkSteps         int
 	stabilizeRounds   int
+	replicas          int
+	autoMaintenance   time.Duration
 }
 
 // Option customises client construction. The zero configuration builds a
@@ -186,6 +199,25 @@ func WithSampling(samples, steps int) Option {
 // after boot (live backend only).
 func WithStabilizeRounds(n int) Option { return func(o *options) { o.stabilizeRounds = n } }
 
+// WithReplicas sets the replication factor r (default 1 = no replication):
+// every Put stores the item at its owner and pushes copies to the owner's
+// r-1 immediate ring successors, Delete propagates along the same chain,
+// and Get falls back through it when the owner is unreachable. Both
+// backends honour it, so the durability contract is identical on the
+// simulator and the live runtime: killing fewer than r consecutive ring
+// members loses no data once maintenance has re-replicated.
+func WithReplicas(r int) Option { return func(o *options) { o.replicas = r } }
+
+// WithAutoMaintenance starts the background maintenance loop on every
+// node StartCluster boots: ring stabilisation every interval (jittered
+// per node so rounds do not synchronise across the cluster) and a
+// long-range rewiring pass every 16 stabilisations. Zero (the default)
+// leaves maintenance manual: call Stabilize/StabilizeAll/RewireAll or
+// Node.StartMaintenance yourself. Live backend only.
+func WithAutoMaintenance(interval time.Duration) Option {
+	return func(o *options) { o.autoMaintenance = interval }
+}
+
 func buildOptions(opts []Option) options {
 	var o options
 	for _, f := range opts {
@@ -214,5 +246,5 @@ func NewClient(opts ...Option) (Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ov.Client(), nil
+	return ov.ReplicatedClient(o.replicas), nil
 }

@@ -24,8 +24,8 @@ type Cluster struct {
 // StartCluster boots size live nodes on a shared in-memory fabric: the
 // first node creates the overlay, the rest join through it, then the
 // cluster stabilises and wires long-range links. Options follow NewClient
-// (WithSeed, WithKeys, WithDegrees, WithStabilizeRounds); the context
-// bounds the whole boot sequence.
+// (WithSeed, WithKeys, WithDegrees, WithStabilizeRounds, WithReplicas,
+// WithAutoMaintenance); the context bounds the whole boot sequence.
 func StartCluster(ctx context.Context, size int, opts ...Option) (*Cluster, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("oscar: cluster size %d", size)
@@ -56,6 +56,8 @@ func StartCluster(ctx context.Context, size int, opts ...Option) (*Cluster, erro
 			Samples:           o.sampleSize,
 			WalkSteps:         o.walkSteps,
 			DisablePowerOfTwo: o.disablePowerOfTwo,
+			Replicas:          o.replicas,
+			AutoMaintenance:   o.autoMaintenance,
 			Seed:              o.seed + int64(i),
 		})
 		if i > 0 {

@@ -51,6 +51,7 @@ func main() {
 		join        = flag.String("join", "", "address of any overlay member to join through")
 		maxIn       = flag.Int("max-in", 16, "in-link budget (ρmax_in)")
 		maxOut      = flag.Int("max-out", 16, "out-link budget (ρmax_out)")
+		replicas    = flag.Int("replicas", 1, "replication factor r: copies on the owner's r-1 ring successors")
 		interval    = flag.Duration("stabilize", 2*time.Second, "stabilisation interval (0 = manual)")
 		rewireEvery = flag.Int("rewire-every", 5, "rebuild long links every N stabilisations (0 = manual)")
 		poolSize    = flag.Int("pool", 2, "persistent connections per peer")
@@ -74,6 +75,7 @@ func main() {
 		Key:         key,
 		MaxIn:       *maxIn,
 		MaxOut:      *maxOut,
+		Replicas:    *replicas,
 		Seed:        time.Now().UnixNano(),
 		PoolSize:    *poolSize,
 		CallTimeout: *callTimeout,
@@ -169,7 +171,11 @@ func execute(ctx context.Context, node *oscar.Node, args []string) error {
 		fmt.Printf("self  %s key=%s\n", info.Self.Addr, info.Self.Key)
 		fmt.Printf("succ  %s key=%s\n", info.Successor.Addr, info.Successor.Key)
 		fmt.Printf("pred  %s key=%s\n", info.Predecessor.Addr, info.Predecessor.Key)
-		fmt.Printf("links out=%d in=%d items=%d\n", info.OutLinks, info.InLinks, info.StoredItems)
+		fmt.Printf("links out=%d in=%d items=%d replicas=%d (r=%d)\n",
+			info.OutLinks, info.InLinks, info.StoredItems, info.ReplicaItems, info.Replicas)
+		if info.Peers >= 0 {
+			fmt.Printf("peers %d (ring-walk estimate)\n", info.Peers)
+		}
 		return nil
 
 	case "stabilize":

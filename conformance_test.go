@@ -23,6 +23,10 @@ type conformanceHarness struct {
 	// client, then heals the overlay enough for routing to succeed.
 	crash func()
 	close func()
+	// peersAfterCrash is the alive count Info must report once crash() has
+	// run — the simulator from its global view, a live node from its ring
+	// walk. Both backends fill the same field honestly.
+	peersAfterCrash int
 }
 
 func simHarness(t *testing.T) *conformanceHarness {
@@ -38,7 +42,8 @@ func simHarness(t *testing.T) *conformanceHarness {
 			ov.Crash(0.2)
 			ov.RewireAll()
 		},
-		close: func() {},
+		close:           func() {},
+		peersAfterCrash: 52, // 64 - ⌊0.2·64⌋
 	}
 }
 
@@ -60,7 +65,8 @@ func memClusterHarness(t *testing.T) *conformanceHarness {
 				c.StabilizeAll(ctx)
 			}
 		},
-		close: func() { _ = c.Close() },
+		close:           func() { _ = c.Close() },
+		peersAfterCrash: 13,
 	}
 }
 
@@ -117,6 +123,7 @@ func tcpClusterHarness(t *testing.T) *conformanceHarness {
 				_ = n.Close()
 			}
 		},
+		peersAfterCrash: 7,
 	}
 }
 
@@ -379,8 +386,14 @@ func runConformance(t *testing.T, h *conformanceHarness) {
 		if info.Backend == "" {
 			t.Error("backend not reported")
 		}
-		if info.Backend == "simulator" && info.Peers <= 0 {
-			t.Errorf("simulator reports %d peers", info.Peers)
+		// Both backends fill Peers honestly: global knowledge on the
+		// simulator, a successor-pointer ring walk on a live node. After
+		// the crash scenario healed, both see the same survivor count.
+		if info.Peers != h.peersAfterCrash {
+			t.Errorf("info reports %d peers after crash, want %d", info.Peers, h.peersAfterCrash)
+		}
+		if info.Replicas != 1 {
+			t.Errorf("unreplicated client reports r=%d", info.Replicas)
 		}
 	})
 
@@ -395,4 +408,215 @@ func runConformance(t *testing.T, h *conformanceHarness) {
 			t.Errorf("put on closed client = %v, want ErrClosed", err)
 		}
 	})
+}
+
+// durabilityHarness is one backend under the crash-durability contract:
+// a client writing with r=3, a way to kill the peer that owns a key, and
+// a way to know when the overlay has healed enough to assert on.
+type durabilityHarness struct {
+	name   string
+	client Client
+	// kill removes the peer identified by an operation's OwnerRef. The
+	// overlay heals on its own afterwards (instantly on the simulator,
+	// via auto-maintenance on the live fabrics).
+	kill  func(t *testing.T, owner OwnerRef)
+	close func()
+}
+
+const durabilityReplicas = 3
+
+// waitRingSize polls Info until the client sees exactly want peers — the
+// ring walk completing at the right count means the ring is closed and
+// every arc has its true owner, so writes land where reads will look.
+func waitRingSize(t *testing.T, cl Client, want int) {
+	t.Helper()
+	ctx := context.Background()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		info, err := cl.Info(ctx)
+		if err == nil && info.Peers == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ring never reached %d peers (last: %d, err %v)", want, info.Peers, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func durabilitySimHarness(t *testing.T) *durabilityHarness {
+	t.Helper()
+	ov, err := Build(Config{Size: 64, Seed: 11, Keys: UniformKeys()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &durabilityHarness{
+		name:   "simulator",
+		client: ov.ReplicatedClient(durabilityReplicas),
+		kill: func(t *testing.T, owner OwnerRef) {
+			ov.CrashNode(owner.ID)
+		},
+		close: func() {},
+	}
+}
+
+func durabilityMemHarness(t *testing.T) *durabilityHarness {
+	t.Helper()
+	ctx := context.Background()
+	const size = 10
+	c, err := StartCluster(ctx, size, WithSeed(6),
+		WithReplicas(durabilityReplicas),
+		WithAutoMaintenance(25*time.Millisecond),
+		WithStabilizeRounds(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRingSize(t, c.Node(0), size)
+	return &durabilityHarness{
+		name:   "p2p/mem",
+		client: c.Node(0),
+		kill: func(t *testing.T, owner OwnerRef) {
+			for _, n := range c.Nodes() {
+				if n.Addr() == owner.Addr {
+					_ = n.Close()
+					return
+				}
+			}
+			t.Fatalf("owner %s not found in cluster", owner.Addr)
+		},
+		close: func() { _ = c.Close() },
+	}
+}
+
+func durabilityTCPHarness(t *testing.T) *durabilityHarness {
+	t.Helper()
+	ctx := context.Background()
+	const size = 10
+	var nodes []*Node
+	for i := 0; i < size; i++ {
+		n, err := StartNode(NodeConfig{
+			Listen: "127.0.0.1:0",
+			Key:    KeyFromFloat(float64(i)/size + 0.021),
+			MaxIn:  8, MaxOut: 8,
+			Replicas:        durabilityReplicas,
+			AutoMaintenance: 30 * time.Millisecond,
+			Seed:            int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if err := n.Join(ctx, nodes[0].Addr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	waitRingSize(t, nodes[0], size)
+	return &durabilityHarness{
+		name:   "p2p/tcp",
+		client: nodes[0],
+		kill: func(t *testing.T, owner OwnerRef) {
+			for _, n := range nodes {
+				if n.Addr() == owner.Addr {
+					_ = n.Close()
+					return
+				}
+			}
+			t.Fatalf("owner %s not found in cluster", owner.Addr)
+		},
+		close: func() {
+			for _, n := range nodes {
+				_ = n.Close()
+			}
+		},
+	}
+}
+
+// TestCrashDurability is the cross-backend durability contract: writing
+// with r=3, then killing the node that owns some of the keys and letting
+// maintenance heal the ring, loses zero previously-written keys. The live
+// fabrics heal through their jittered auto-maintenance loops — no manual
+// StabilizeAll.
+func TestCrashDurability(t *testing.T) {
+	harnesses := []func(*testing.T) *durabilityHarness{
+		durabilitySimHarness,
+		durabilityMemHarness,
+		durabilityTCPHarness,
+	}
+	for _, mk := range harnesses {
+		h := mk(t)
+		t.Run(h.name, func(t *testing.T) {
+			defer h.close()
+			runCrashDurability(t, h)
+		})
+	}
+}
+
+func runCrashDurability(t *testing.T, h *durabilityHarness) {
+	ctx := context.Background()
+	cl := h.client
+
+	if info, err := cl.Info(ctx); err != nil || info.Replicas != durabilityReplicas {
+		t.Fatalf("client reports r=%d (err %v), want %d", info.Replicas, err, durabilityReplicas)
+	}
+
+	// Write keys covering every arc of the ring.
+	const items = 30
+	keys := make([]Key, items)
+	vals := make([][]byte, items)
+	var owners []OwnerRef
+	for i := 0; i < items; i++ {
+		keys[i] = KeyFromFloat(float64(i)/items + 0.005)
+		vals[i] = []byte(fmt.Sprintf("durable-%d", i))
+		put, err := cl.Put(ctx, keys[i], vals[i])
+		if err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		owners = append(owners, put.Owner)
+	}
+
+	// Kill the owner of one of the keys — any peer but the one serving the
+	// client, so the client survives to observe the loss (or its absence).
+	self, err := cl.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := -1
+	for i, o := range owners {
+		if o.Addr != self.Self.Addr || (o.Addr == "" && o.ID != 0) {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("every key owned by the client's own node")
+	}
+	h.kill(t, owners[victim])
+
+	// After maintenance heals the ring, every key must still be readable
+	// with its exact value: the owner's crash lost routing entries but no
+	// data.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		lost := ""
+		for i := range keys {
+			got, err := cl.Get(ctx, keys[i])
+			if err != nil {
+				lost = fmt.Sprintf("key %d: %v", i, err)
+				break
+			}
+			if !bytes.Equal(got.Value, vals[i]) {
+				lost = fmt.Sprintf("key %d: value %q, want %q", i, got.Value, vals[i])
+				break
+			}
+		}
+		if lost == "" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("data lost after owner crash + heal: %s", lost)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }

@@ -23,6 +23,8 @@ type ClusterConfig struct {
 	Seed int64
 	// StabilizeRounds after all joins (default 2).
 	StabilizeRounds int
+	// Replicas is the per-node replication factor r (default 1).
+	Replicas int
 }
 
 // Cluster is an in-process overlay running on the in-memory fabric — the
@@ -55,10 +57,11 @@ func NewCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	for i := 0; i < cfg.Size; i++ {
 		caps := cfg.Degrees.Sample(capRand)
 		node := NewNode(c.Fabric.Endpoint(), Config{
-			Key:    cfg.Keys.Sample(keyRand),
-			MaxIn:  caps,
-			MaxOut: caps,
-			Seed:   cfg.Seed + int64(i),
+			Key:      cfg.Keys.Sample(keyRand),
+			MaxIn:    caps,
+			MaxOut:   caps,
+			Replicas: cfg.Replicas,
+			Seed:     cfg.Seed + int64(i),
 		})
 		if i > 0 {
 			if err := node.Join(ctx, c.Nodes[0].Self().Addr); err != nil {

@@ -35,6 +35,11 @@ type Config struct {
 	// DisablePowerOfTwo turns off the two-choices in-degree balancing
 	// (enabled by default).
 	DisablePowerOfTwo bool
+	// Replicas is the replication factor r: every item is stored at its
+	// owner and pushed to the owner's r-1 immediate ring successors, so a
+	// crash loses routing entries but no data as long as fewer than r
+	// consecutive ring members fail together. Default 1 (no replication).
+	Replicas int
 	// Seed drives the node's local randomness.
 	Seed int64
 }
@@ -58,7 +63,16 @@ func (c *Config) fillDefaults() {
 	if c.PickSteps == 0 {
 		c.PickSteps = 10
 	}
+	if c.Replicas < 1 {
+		c.Replicas = 1
+	}
 }
+
+// minSuccList is the floor on the successor-list length: even without
+// replication the ring keeps a few spare successors so repair after a
+// crashed successor walks the list instead of guessing from long-range
+// links.
+const minSuccList = 4
 
 // lockedRand guards a rand.Rand so the maintenance loop, parallel RPC
 // fanouts, and user-facing calls can draw concurrently (rand.Rand itself is
@@ -86,13 +100,24 @@ type Node struct {
 	tr   transport.Transport
 	self transport.PeerRef
 
-	mu    sync.Mutex
-	succ  transport.PeerRef
+	mu sync.Mutex
+	// succs is the successor list in ring order: entry 0 is the immediate
+	// successor. An empty list means the node is (or believes it is) a
+	// one-peer ring. Stabilize refreshes the tail from the live successor.
+	succs []transport.PeerRef
 	pred  transport.PeerRef
 	out   []transport.PeerRef
 	in    map[transport.Addr]keyspace.Key
+	// store holds the arc the node owns: (pred, self].
 	store storage.Store
-	down  bool
+	// replStore holds copies of predecessors' arcs pushed by their owners;
+	// stabilisation promotes entries into store when the node inherits
+	// their arc (its predecessor range expanded after a crash).
+	replStore storage.Store
+	// lastChain snapshots the replica targets of the previous stabilisation
+	// round; a difference triggers re-replication of the local arc.
+	lastChain []transport.Addr
+	down      bool
 
 	rnd *lockedRand
 }
@@ -109,7 +134,7 @@ func NewNode(tr transport.Transport, cfg Config) *Node {
 		in:   make(map[transport.Addr]keyspace.Key),
 		rnd:  &lockedRand{r: rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.Key)))},
 	}
-	n.succ, n.pred = n.self, n.self
+	n.pred = n.self
 	tr.Serve(n.handle)
 	return n
 }
@@ -117,11 +142,73 @@ func NewNode(tr transport.Transport, cfg Config) *Node {
 // Self returns the node's own peer reference.
 func (n *Node) Self() transport.PeerRef { return n.self }
 
-// Succ returns the current successor pointer.
+// Replicas returns the node's replication factor r.
+func (n *Node) Replicas() int { return n.cfg.Replicas }
+
+// succListLen is the target successor-list length: long enough to resolve
+// the whole replica chain, and never shorter than the repair floor.
+func (n *Node) succListLen() int {
+	if n.cfg.Replicas > minSuccList {
+		return n.cfg.Replicas
+	}
+	return minSuccList
+}
+
+// succLocked returns the immediate successor (self on a one-peer ring).
+func (n *Node) succLocked() transport.PeerRef {
+	if len(n.succs) == 0 {
+		return n.self
+	}
+	return n.succs[0]
+}
+
+// setSuccLocked installs p as the immediate successor. The previous
+// entries stay behind it as provisional tail (ring order is preserved: a
+// new closer successor precedes the old one) until the next Stabilize
+// refreshes the list from p itself.
+func (n *Node) setSuccLocked(p transport.PeerRef) {
+	if p.Addr == "" || p.Addr == n.self.Addr {
+		n.succs = nil
+		return
+	}
+	list := make([]transport.PeerRef, 0, n.succListLen())
+	list = append(list, p)
+	for _, q := range n.succs {
+		if len(list) >= n.succListLen() {
+			break
+		}
+		if q.Addr != p.Addr && q.Addr != n.self.Addr {
+			list = append(list, q)
+		}
+	}
+	n.succs = list
+}
+
+// replicaTargetsLocked returns the peers that must hold copies of this
+// node's arc: the first r-1 successor-list entries.
+func (n *Node) replicaTargetsLocked() []transport.PeerRef {
+	want := n.cfg.Replicas - 1
+	if want <= 0 {
+		return nil
+	}
+	if want > len(n.succs) {
+		want = len(n.succs)
+	}
+	return append([]transport.PeerRef(nil), n.succs[:want]...)
+}
+
+// Succ returns the current successor pointer (the successor list's head).
 func (n *Node) Succ() transport.PeerRef {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.succ
+	return n.succLocked()
+}
+
+// SuccList returns a snapshot of the successor list, nearest first.
+func (n *Node) SuccList() []transport.PeerRef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]transport.PeerRef(nil), n.succs...)
 }
 
 // Pred returns the current predecessor pointer.
@@ -145,11 +232,20 @@ func (n *Node) InDegree() int {
 	return len(n.in)
 }
 
-// StoredItems returns the number of items in the local shard.
+// StoredItems returns the number of items in the local shard (the arc the
+// node owns; replica copies held for predecessors are not counted).
 func (n *Node) StoredItems() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.store.Len()
+}
+
+// ReplicaItems returns the number of replica copies held for predecessors'
+// arcs.
+func (n *Node) ReplicaItems() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.replStore.Len()
 }
 
 // Close takes the node off the network (a crash: no graceful handover).
@@ -178,10 +274,18 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 		}
 
 	case transport.OpGetSucc:
-		return &transport.Response{OK: true, Peer: n.succ}
+		return &transport.Response{OK: true, Peer: n.succLocked()}
 
 	case transport.OpGetPred:
 		return &transport.Response{OK: true, Peer: n.pred}
+
+	case transport.OpSuccList:
+		// One RPC answers both stabilisation questions: the responder's
+		// predecessor (Peer) and its successor list (Peers).
+		return &transport.Response{
+			OK: true, Peer: n.pred,
+			Peers: append([]transport.PeerRef(nil), n.succs...),
+		}
 
 	case transport.OpNotify:
 		// A peer announces itself; adopt it as pred and/or succ if it sits
@@ -192,11 +296,12 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 				(from.Key == n.self.Key && from.Addr != n.pred.Addr && n.pred.Addr == n.self.Addr) {
 				n.pred = from
 			}
-			if n.succ.Addr == n.self.Addr || from.Key.Between(n.self.Key, n.succ.Key) {
-				n.succ = from
+			succ := n.succLocked()
+			if succ.Addr == n.self.Addr || from.Key.Between(n.self.Key, succ.Key) {
+				n.setSuccLocked(from)
 			}
 		}
-		return &transport.Response{OK: true, Peer: n.succ}
+		return &transport.Response{OK: true, Peer: n.succLocked()}
 
 	case transport.OpNeighbors:
 		return n.neighborsLocked(req.Range)
@@ -219,16 +324,50 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 		return n.findOwnerLocked(req.Key, req.Exclude)
 
 	case transport.OpPut:
+		// Peers carries the replica chain the writer must push copies to;
+		// the owner's own replication factor governs its length.
 		replaced := n.store.Put(req.Key, req.Value)
-		return &transport.Response{OK: true, Found: replaced}
+		return &transport.Response{OK: true, Found: replaced, Peers: n.replicaTargetsLocked()}
 
 	case transport.OpGet:
+		// The owned arc is authoritative; the replica store answers for
+		// arcs inherited from a crashed predecessor before promotion, and
+		// for chain-fallback reads while the owner is unreachable.
 		v, found := n.store.Get(req.Key)
+		if !found {
+			v, found = n.replStore.Get(req.Key)
+		}
 		return &transport.Response{OK: true, Value: v, Found: found}
 
 	case transport.OpDelete:
 		existed := n.store.Delete(req.Key)
-		return &transport.Response{OK: true, Found: existed}
+		if n.replStore.Delete(req.Key) {
+			existed = true
+		}
+		return &transport.Response{OK: true, Found: existed, Peers: n.replicaTargetsLocked()}
+
+	case transport.OpReplicate:
+		// Owner→replica push, bypassing routing: copies land in the replica
+		// store so they never pollute range scans or migrations of the arc
+		// this node owns. A push that names the owner's arc (re-replication
+		// after a membership change) is authoritative for it: stale copies
+		// in that arc — including deletes this replica missed — are dropped
+		// before the fresh set lands. Single-item write pushes carry no
+		// range (the zero Range reads as the full circle, never a real arc).
+		if !req.Range.IsFull() {
+			n.replStore.ExtractRange(req.Range)
+		}
+		n.replStore.InsertBulk(req.Items)
+		return &transport.Response{OK: true}
+
+	case transport.OpReplicateDel:
+		// A delete propagated along the chain clears both stores: the copy,
+		// and any promoted remnant from an earlier ownership change.
+		found := n.replStore.Delete(req.Key)
+		if n.store.Delete(req.Key) {
+			found = true
+		}
+		return &transport.Response{OK: true, Found: found}
 
 	case transport.OpRangeScan:
 		var items []storage.Item
@@ -239,7 +378,7 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 			items = append(items, it)
 			return true
 		})
-		return &transport.Response{OK: true, Items: items, Peer: n.succ}
+		return &transport.Response{OK: true, Items: items, Peer: n.succLocked()}
 
 	case transport.OpMigrate:
 		// The joining predecessor takes over its arc.
@@ -264,7 +403,10 @@ func (n *Node) neighborsLocked(rg keyspace.Range) *transport.Response {
 			peers = append(peers, ref)
 		}
 	}
-	consider(n.succ)
+	// Only the immediate successor joins the neighbour multiset: the MH
+	// walk needs symmetric multiplicities, and succ/pred is the one ring
+	// relation both sides track (list tails are one-directional).
+	consider(n.succLocked())
 	consider(n.pred)
 	for _, ref := range n.out {
 		consider(ref)
@@ -276,12 +418,15 @@ func (n *Node) neighborsLocked(rg keyspace.Range) *transport.Response {
 }
 
 // findOwnerLocked answers one iterative routing step: if this node owns the
-// key, Found is true; otherwise Peer is the best non-overshooting next hop
-// not in the query's exclude set. With every useful neighbour excluded it
-// reports no route (OK=false) and the querier backtracks.
+// key, Found is true (and Peers carries the owner's replica chain, so the
+// querier can fall back through it if the owner crashes before the data
+// RPC); otherwise Peer is the best non-overshooting next hop not in the
+// query's exclude set. With every useful neighbour excluded it reports no
+// route (OK=false) and the querier backtracks.
 func (n *Node) findOwnerLocked(key keyspace.Key, exclude []transport.Addr) *transport.Response {
-	if key.BetweenIncl(n.pred.Key, n.self.Key) || n.succ.Addr == n.self.Addr {
-		return &transport.Response{OK: true, Found: true, Peer: n.self}
+	succ := n.succLocked()
+	if key.BetweenIncl(n.pred.Key, n.self.Key) || succ.Addr == n.self.Addr {
+		return &transport.Response{OK: true, Found: true, Peer: n.self, Peers: n.replicaTargetsLocked()}
 	}
 	excluded := func(a transport.Addr) bool {
 		for _, x := range exclude {
@@ -292,22 +437,28 @@ func (n *Node) findOwnerLocked(key keyspace.Key, exclude []transport.Addr) *tran
 		return false
 	}
 	// The successor owns the key when it lies in (self, succ].
-	if key.BetweenIncl(n.self.Key, n.succ.Key) {
-		if excluded(n.succ.Addr) {
+	if key.BetweenIncl(n.self.Key, succ.Key) {
+		if excluded(succ.Addr) {
 			return &transport.Response{OK: false, Err: "no route"}
 		}
-		return &transport.Response{OK: true, Found: false, Peer: n.succ}
+		return &transport.Response{OK: true, Found: false, Peer: succ}
 	}
 	toTarget := n.self.Key.Distance(key)
 	var best transport.PeerRef
 	bestProgress := uint64(0)
-	if !excluded(n.succ.Addr) {
-		best = n.succ
-		if d := n.self.Key.Distance(n.succ.Key); d <= toTarget {
+	if !excluded(succ.Addr) {
+		best = succ
+		if d := n.self.Key.Distance(succ.Key); d <= toTarget {
 			bestProgress = d
 		}
 	}
-	for _, ref := range n.out {
+	// Successor-list tails and long-range links compete on clockwise
+	// progress alike.
+	cands := n.out
+	if len(n.succs) > 1 {
+		cands = append(append([]transport.PeerRef(nil), n.succs[1:]...), n.out...)
+	}
+	for _, ref := range cands {
 		if excluded(ref.Addr) {
 			continue
 		}

@@ -45,7 +45,7 @@ func (n *Node) Join(ctx context.Context, introducer transport.Addr) error {
 	pred := resp.Peer
 
 	n.mu.Lock()
-	n.succ = owner
+	n.setSuccLocked(owner)
 	if pred.Addr != "" && pred.Addr != n.self.Addr {
 		n.pred = pred
 	} else {
@@ -80,8 +80,12 @@ func (n *Node) Join(ctx context.Context, introducer transport.Addr) error {
 }
 
 // Stabilize runs one round of Chord stabilisation: verify the successor,
-// adopt a closer one if it appeared, re-notify, and drop a dead predecessor.
-// Call it periodically (or after failures) to heal the ring.
+// adopt a closer one if it appeared, refresh the successor list from the
+// live successor, re-notify, and drop a dead predecessor. It finishes with
+// the replication upkeep that rides on membership knowledge: promoting
+// replica copies the node now owns and re-replicating the local arc when
+// the first r list entries changed. Call it periodically (or after
+// failures) to heal the ring.
 func (n *Node) Stabilize(ctx context.Context) {
 	succ := n.Succ()
 	if succ.Addr == n.self.Addr {
@@ -90,7 +94,8 @@ func (n *Node) Stabilize(ctx context.Context) {
 
 	// The successor check and the predecessor liveness probe are
 	// independent: overlap them so one dead peer's timeout does not delay
-	// probing the other.
+	// probing the other. One succ_list RPC answers both stabilisation
+	// questions: the successor's predecessor and its successor list.
 	pred := n.Pred()
 	var (
 		wg       sync.WaitGroup
@@ -101,7 +106,7 @@ func (n *Node) Stabilize(ctx context.Context) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		succResp, succErr = n.tr.CallCtx(ctx, succ.Addr, &transport.Request{Op: transport.OpGetPred})
+		succResp, succErr = n.tr.CallCtx(ctx, succ.Addr, &transport.Request{Op: transport.OpSuccList})
 	}()
 	if pred.Addr != n.self.Addr {
 		wg.Add(1)
@@ -129,27 +134,103 @@ func (n *Node) Stabilize(ctx context.Context) {
 	}
 
 	if succErr != nil || !succResp.OK {
-		// Successor is dead: fall back to the nearest alive out-link
-		// clockwise (poor man's successor list) and let notify repair.
+		// Successor is dead: walk the successor list for a live entry.
 		n.adoptNextSuccessor(ctx)
-		return
-	}
-	x := succResp.Peer
-	if x.Addr != "" && x.Addr != n.self.Addr && x.Key.Between(n.self.Key, succ.Key) {
-		if _, err := n.tr.CallCtx(ctx, x.Addr, &transport.Request{Op: transport.OpPing}); err == nil {
-			n.mu.Lock()
-			n.succ = x
-			n.mu.Unlock()
+	} else {
+		x := succResp.Peer // the successor's predecessor
+		adopted := false
+		if x.Addr != "" && x.Addr != n.self.Addr && x.Key.Between(n.self.Key, succ.Key) {
+			if _, err := n.tr.CallCtx(ctx, x.Addr, &transport.Request{Op: transport.OpPing}); err == nil {
+				n.mu.Lock()
+				n.setSuccLocked(x)
+				n.mu.Unlock()
+				adopted = true
+			}
 		}
+		if !adopted {
+			// Refresh the list through the verified successor: [succ] +
+			// succ's own list, in ring order.
+			n.refreshSuccList(succ, succResp.Peers)
+		}
+		_, _ = n.tr.CallCtx(ctx, n.Succ().Addr, &transport.Request{Op: transport.OpNotify, From: n.self})
 	}
-	_, _ = n.tr.CallCtx(ctx, n.Succ().Addr, &transport.Request{Op: transport.OpNotify, From: n.self})
+
+	n.syncReplicas(ctx)
 }
 
-// adoptNextSuccessor replaces a dead successor with the closest alive peer
-// clockwise among the node's links. All candidates are pinged in one
-// parallel sweep, so recovery pays a single probe timeout even when many
-// links died with the successor.
+// refreshSuccList rebuilds the successor list as head followed by head's
+// own successors. Entries at or past self are dropped: on rings smaller
+// than the target length the list must not wrap past the node itself.
+func (n *Node) refreshSuccList(head transport.PeerRef, tail []transport.PeerRef) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	limit := n.succListLen()
+	list := make([]transport.PeerRef, 0, limit)
+	list = append(list, head)
+	for _, p := range tail {
+		if len(list) >= limit {
+			break
+		}
+		if p.Addr == "" || p.Addr == n.self.Addr {
+			break // the ring wrapped back around to us
+		}
+		if p.Addr == head.Addr {
+			continue
+		}
+		list = append(list, p)
+	}
+	// Only replace if the head still matches the current successor: a
+	// concurrent notify may have installed a closer one while the RPC was
+	// in flight.
+	if n.succLocked().Addr == head.Addr {
+		n.succs = list
+	}
+}
+
+// adoptNextSuccessor replaces a dead successor by walking the successor
+// list in ring order — the r-entry insurance maintained for exactly this
+// moment. All list entries are pinged in one parallel sweep and the first
+// live one (closest clockwise) takes over, with the dead prefix dropped.
+// If the whole list is gone (correlated failures), the node falls back to
+// the nearest alive long-range or in-link clockwise.
 func (n *Node) adoptNextSuccessor(ctx context.Context) {
+	list := n.SuccList()
+	if len(list) == 0 {
+		return
+	}
+	// Installs below only apply while the failed head is still current: a
+	// concurrent notify may have already delivered a closer live successor
+	// during the ping sweep, and that knowledge must win.
+	deadHead := list[0]
+	install := func(succs []transport.PeerRef) bool {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.succLocked().Addr != deadHead.Addr {
+			return false
+		}
+		n.succs = succs
+		return true
+	}
+	if len(list) > 1 {
+		tail := list[1:] // entry 0 is the successor that just failed
+		addrs := make([]transport.Addr, len(tail))
+		for i, c := range tail {
+			addrs[i] = c.Addr
+		}
+		results := transport.Fanout(ctx, n.tr, addrs, &transport.Request{Op: transport.OpPing})
+		for i, c := range tail {
+			if !results[i].OK() || c.Addr == n.self.Addr {
+				continue
+			}
+			if install(append([]transport.PeerRef(nil), tail[i:]...)) {
+				_, _ = n.tr.CallCtx(ctx, c.Addr, &transport.Request{Op: transport.OpNotify, From: n.self})
+			}
+			return
+		}
+	}
+
+	// The whole list died with the successor: sweep every remaining link
+	// for the closest alive peer clockwise.
 	n.mu.Lock()
 	cands := append([]transport.PeerRef(nil), n.out...)
 	for addr, key := range n.in {
@@ -179,67 +260,171 @@ func (n *Node) adoptNextSuccessor(ctx context.Context) {
 			best, bestDist = c, d
 		}
 	}
-	if best.Addr != "" {
-		n.mu.Lock()
-		n.succ = best
-		n.mu.Unlock()
+	if best.Addr != "" && install([]transport.PeerRef{best}) {
 		_, _ = n.tr.CallCtx(ctx, best.Addr, &transport.Request{Op: transport.OpNotify, From: n.self})
 	}
+}
+
+// syncReplicas is the replication upkeep run at the end of every
+// stabilisation round. Two duties: promote replica copies whose keys fell
+// into the node's own arc (it inherited them when its predecessor range
+// expanded after a crash), and push the whole local arc to the first r-1
+// successor-list entries whenever that membership — or a promotion —
+// changed what the chain must hold. Pushes are bulk and idempotent;
+// a target that misses one round is caught by the next membership change,
+// which its own death or recovery necessarily triggers.
+func (n *Node) syncReplicas(ctx context.Context) {
+	if n.cfg.Replicas <= 1 {
+		return
+	}
+	n.mu.Lock()
+	// The owned arc (pred, self] is only well defined with a known,
+	// distinct predecessor: pred == self means the slot was cleared by a
+	// failure, and an equal key would read as the full circle.
+	var arc keyspace.Range
+	haveArc := n.pred.Addr != "" && n.pred.Addr != n.self.Addr && n.pred.Key != n.self.Key
+	promoted := 0
+	if haveArc {
+		arc = keyspace.Range{Start: n.pred.Key + 1, End: n.self.Key + 1}
+		for _, it := range n.replStore.ExtractRange(arc) {
+			// Absent keys only: a primary copy, when present, is at least
+			// as fresh as any replica of it.
+			if _, ok := n.store.Get(it.Key); !ok {
+				n.store.Put(it.Key, it.Value)
+				promoted++
+			}
+		}
+	}
+	targets := n.replicaTargetsLocked()
+	changed := promoted > 0 || len(targets) != len(n.lastChain)
+	if !changed {
+		for i, p := range targets {
+			if n.lastChain[i] != p.Addr {
+				changed = true
+				break
+			}
+		}
+	}
+	var items []storage.Item
+	if changed {
+		chain := make([]transport.Addr, len(targets))
+		for i, p := range targets {
+			chain[i] = p.Addr
+		}
+		n.lastChain = chain
+		items = n.store.Items()
+	}
+	n.mu.Unlock()
+
+	if !changed || len(targets) == 0 || (len(items) == 0 && !haveArc) {
+		return
+	}
+	addrs := make([]transport.Addr, len(targets))
+	for i, p := range targets {
+		addrs[i] = p.Addr
+	}
+	// With a well-defined arc the push is an authoritative sync: replicas
+	// drop whatever else they held of this arc (stale copies, missed
+	// deletes) before installing the fresh set — even an empty one.
+	req := &transport.Request{Op: transport.OpReplicate, Items: items, From: n.self}
+	if haveArc {
+		req.Range = arc
+	}
+	transport.Broadcast(ctx, n.tr, addrs, req)
+}
+
+// CountPeers walks the ring clockwise via successor pointers and returns
+// the number of peers when the walk returns home within max hops, and -1
+// when it cannot (a ring larger than max, or a break mid-walk). It is an
+// exact count on small healthy rings and a deliberate "unknown" otherwise.
+func (n *Node) CountPeers(ctx context.Context, max int) int {
+	cur := n.Succ()
+	count := 1 // self
+	for hops := 0; hops < max; hops++ {
+		if cur.Addr == n.self.Addr {
+			return count
+		}
+		if ctx.Err() != nil {
+			return -1
+		}
+		resp, err := n.tr.CallCtx(ctx, cur.Addr, &transport.Request{Op: transport.OpGetSucc})
+		if err != nil || !resp.OK || resp.Peer.Addr == "" || resp.Peer.Addr == cur.Addr {
+			return -1
+		}
+		count++
+		cur = resp.Peer
+	}
+	if cur.Addr == n.self.Addr {
+		return count
+	}
+	return -1
 }
 
 // Lookup routes from this node to the owner of key. It returns the owner and
 // the message cost (routing steps plus dead-peer probes). Cancelling the
 // context aborts the walk between hops with ctx.Err().
 func (n *Node) Lookup(ctx context.Context, key keyspace.Key) (transport.PeerRef, int, error) {
-	return n.lookupVia(ctx, n.self.Addr, key)
+	owner, _, cost, err := n.lookupChain(ctx, n.self.Addr, key)
+	return owner, cost, err
 }
 
-// lookupVia iteratively routes starting at a given peer. The query carries
-// the knowledge it gathers: peers discovered dead (or routeless for this
-// key) go into an exclude set that visited peers honour, and the walk
-// backtracks when its current peer is exhausted — the live analogue of the
-// simulator's backtracking router. Backtrack candidates are liveness-probed
-// in parallel, so a run of dead peers costs one overlapped timeout instead
-// of a serial timeout each.
+// lookupVia routes starting at a given peer; see lookupChain.
+func (n *Node) lookupVia(ctx context.Context, start transport.Addr, key keyspace.Key) (transport.PeerRef, int, error) {
+	owner, _, cost, err := n.lookupChain(ctx, start, key)
+	return owner, cost, err
+}
+
+// lookupChain iteratively routes starting at a given peer. The query
+// carries the knowledge it gathers: peers discovered dead (or routeless
+// for this key) go into an exclude set that visited peers honour, and the
+// walk backtracks when its current peer is exhausted — the live analogue
+// of the simulator's backtracking router. Backtrack candidates are
+// liveness-probed in parallel, so a run of dead peers costs one overlapped
+// timeout instead of a serial timeout each.
+//
+// Alongside the owner it returns the owner's replica chain (the successor
+// list entries holding copies of its arc), piggybacked on the terminal
+// find_owner response; reads fall back through it when the owner dies
+// between routing and the data RPC.
 //
 // The context is checked before every hop and a transport failure caused by
 // cancellation surfaces as ctx.Err() rather than being mistaken for a dead
 // peer, so a cancelled multi-hop walk stops issuing RPCs immediately.
-func (n *Node) lookupVia(ctx context.Context, start transport.Addr, key keyspace.Key) (transport.PeerRef, int, error) {
+func (n *Node) lookupChain(ctx context.Context, start transport.Addr, key keyspace.Key) (transport.PeerRef, []transport.PeerRef, int, error) {
 	cur := start
 	cost := 0
 	var bad []transport.Addr   // dead or routeless peers
 	var stack []transport.Addr // peers to backtrack to
 	for hop := 0; hop < maxRouteHops; hop++ {
 		if err := ctx.Err(); err != nil {
-			return transport.PeerRef{}, cost, err
+			return transport.PeerRef{}, nil, cost, err
 		}
 		resp, err := n.tr.CallCtx(ctx, cur, &transport.Request{Op: transport.OpFindOwner, Key: key, Exclude: bad})
 		if err != nil || !resp.OK {
 			if cerr := ctx.Err(); cerr != nil {
-				return transport.PeerRef{}, cost, cerr
+				return transport.PeerRef{}, nil, cost, cerr
 			}
 			cost++ // wasted message (dead probe) or exhausted peer
 			bad = append(bad, cur)
 			next, probeCost := n.backtrack(ctx, &stack, &bad)
 			cost += probeCost
 			if cerr := ctx.Err(); cerr != nil {
-				return transport.PeerRef{}, cost, cerr
+				return transport.PeerRef{}, nil, cost, cerr
 			}
 			if next == "" {
-				return transport.PeerRef{}, cost, fmt.Errorf("%w to %v", ErrNoRoute, key)
+				return transport.PeerRef{}, nil, cost, fmt.Errorf("%w to %v", ErrNoRoute, key)
 			}
 			cur = next
 			continue
 		}
 		if resp.Found {
-			return resp.Peer, cost, nil
+			return resp.Peer, resp.Peers, cost, nil
 		}
 		stack = append(stack, cur)
 		cur = resp.Peer.Addr
 		cost++
 	}
-	return transport.PeerRef{}, cost, fmt.Errorf("%w to %v: hop budget exhausted", ErrNoRoute, key)
+	return transport.PeerRef{}, nil, cost, fmt.Errorf("%w to %v: hop budget exhausted", ErrNoRoute, key)
 }
 
 // backtrack returns the deepest live peer on the stack, probing up to
@@ -298,39 +483,113 @@ type OpResult struct {
 	Value []byte
 }
 
-// dataOp routes to the owner of key and executes one data RPC there.
-func (n *Node) dataOp(ctx context.Context, key keyspace.Key, req *transport.Request) (OpResult, error) {
-	owner, cost, err := n.Lookup(ctx, key)
+// dataOp routes to the owner of key and executes one data RPC there. The
+// raw response is returned alongside so write ops can read the replica
+// chain the owner piggybacks on it.
+func (n *Node) dataOp(ctx context.Context, key keyspace.Key, req *transport.Request) (OpResult, *transport.Response, error) {
+	owner, _, cost, err := n.lookupChain(ctx, n.self.Addr, key)
 	if err != nil {
-		return OpResult{Cost: cost}, err
+		return OpResult{Cost: cost}, nil, err
 	}
 	res := OpResult{Owner: owner, Cost: cost + 1}
 	resp, err := n.tr.CallCtx(ctx, owner.Addr, req)
 	if err != nil || !resp.OK {
 		if cerr := ctx.Err(); cerr != nil {
-			return res, cerr
+			return res, nil, cerr
 		}
-		return res, fmt.Errorf("p2p: %s: owner unreachable: %v", req.Op, err)
+		return res, nil, fmt.Errorf("p2p: %s: owner unreachable: %v", req.Op, err)
 	}
 	res.Replaced, res.Found, res.Value = resp.Found, resp.Found, resp.Value
+	return res, resp, nil
+}
+
+// pushReplicas sends one replication request to every chain target in
+// parallel, returning the number of messages spent. Individual failures
+// are tolerated: a target that missed a push is re-filled by the owner's
+// next membership-change re-replication.
+func (n *Node) pushReplicas(ctx context.Context, targets []transport.PeerRef, req *transport.Request) int {
+	if len(targets) == 0 {
+		return 0
+	}
+	addrs := make([]transport.Addr, len(targets))
+	for i, p := range targets {
+		addrs[i] = p.Addr
+	}
+	transport.Broadcast(ctx, n.tr, addrs, req)
+	return len(addrs)
+}
+
+// Put stores value under key at the key's owner, then pushes copies to the
+// owner's replica chain (the owner's replication factor governs how many).
+// The pushes run in parallel and are awaited — when Put returns, every
+// reachable chain member holds the copy — but individual failures are
+// tolerated: a push to a dead chain entry costs one overlapped call
+// timeout and is healed by the owner's next membership-change re-sync.
+func (n *Node) Put(ctx context.Context, key keyspace.Key, value []byte) (OpResult, error) {
+	res, resp, err := n.dataOp(ctx, key, &transport.Request{Op: transport.OpPut, Key: key, Value: value, From: n.self})
+	if err != nil {
+		return res, err
+	}
+	res.Cost += n.pushReplicas(ctx, resp.Peers, &transport.Request{
+		Op: transport.OpReplicate, Items: []storage.Item{{Key: key, Value: value}}, From: n.self,
+	})
 	return res, nil
 }
 
-// Put stores value under key at the key's owner.
-func (n *Node) Put(ctx context.Context, key keyspace.Key, value []byte) (OpResult, error) {
-	return n.dataOp(ctx, key, &transport.Request{Op: transport.OpPut, Key: key, Value: value, From: n.self})
-}
-
 // Get fetches the value under key from the key's owner. A missing item is
-// not an error: Found reports existence.
+// not an error: Found reports existence. When the owner is unreachable
+// (it crashed between routing and the data RPC) the read falls back
+// through the owner's replica chain, so a crash loses routing entries but
+// no data.
 func (n *Node) Get(ctx context.Context, key keyspace.Key) (OpResult, error) {
-	return n.dataOp(ctx, key, &transport.Request{Op: transport.OpGet, Key: key, From: n.self})
+	owner, chain, cost, err := n.lookupChain(ctx, n.self.Addr, key)
+	if err != nil {
+		return OpResult{Cost: cost}, err
+	}
+	res := OpResult{Owner: owner, Cost: cost}
+	req := &transport.Request{Op: transport.OpGet, Key: key, From: n.self}
+	answered := false
+	var lastErr error
+	for i, t := range append([]transport.PeerRef{owner}, chain...) {
+		if cerr := ctx.Err(); cerr != nil {
+			return res, cerr
+		}
+		res.Cost++
+		resp, err := n.tr.CallCtx(ctx, t.Addr, req)
+		if err != nil || !resp.OK {
+			if cerr := ctx.Err(); cerr != nil {
+				return res, cerr
+			}
+			lastErr = err // unreachable: fall back along the chain
+			continue
+		}
+		if i == 0 || resp.Found {
+			// The owner's answer is authoritative either way; a replica
+			// only answers positively (its copy set may trail the owner's).
+			res.Owner, res.Found, res.Value = t, resp.Found, resp.Value
+			return res, nil
+		}
+		answered = true // a live replica without the item: keep walking
+	}
+	if answered {
+		// The owner is gone but at least one replica answered: the item is
+		// absent from every copy that survived.
+		return res, nil
+	}
+	return res, fmt.Errorf("p2p: get: owner and replicas unreachable: %v", lastErr)
 }
 
-// Delete removes the item under key at the key's owner. Found reports
-// whether it existed.
+// Delete removes the item under key at the key's owner and propagates the
+// delete along the owner's replica chain. Found reports whether it existed.
 func (n *Node) Delete(ctx context.Context, key keyspace.Key) (OpResult, error) {
-	return n.dataOp(ctx, key, &transport.Request{Op: transport.OpDelete, Key: key, From: n.self})
+	res, resp, err := n.dataOp(ctx, key, &transport.Request{Op: transport.OpDelete, Key: key, From: n.self})
+	if err != nil {
+		return res, err
+	}
+	res.Cost += n.pushReplicas(ctx, resp.Peers, &transport.Request{
+		Op: transport.OpReplicateDel, Key: key, From: n.self,
+	})
+	return res, nil
 }
 
 // RangeResult reports one range query: the matching items in clockwise key

@@ -291,6 +291,165 @@ func TestJoinMigratesItems(t *testing.T) {
 	}
 }
 
+// TestSuccessorListMaintained verifies that stabilisation fills every
+// node's successor list with its true ring successors, in ring order.
+func TestSuccessorListMaintained(t *testing.T) {
+	c := newTestCluster(t, 16)
+	// A few extra rounds let the lists propagate (each round extends a
+	// node's list by its successor's knowledge).
+	for round := 0; round < 6; round++ {
+		c.StabilizeAll(bg)
+	}
+	// True ring order per node: sort all keys, walk clockwise from self.
+	for _, n := range c.Nodes {
+		list := n.SuccList()
+		if len(list) < minSuccList {
+			t.Fatalf("node %s has %d successor-list entries, want >= %d", n.Self().Addr, len(list), minSuccList)
+		}
+		cur := n.Self()
+		for i, p := range list {
+			want := expectedOwner(c.Nodes, cur.Key+1)
+			if p.Addr != want.Addr {
+				t.Fatalf("node %s list[%d] = %s, want %s", n.Self().Addr, i, p.Addr, want.Addr)
+			}
+			cur = p
+		}
+	}
+}
+
+// TestAdoptSuccessorFromList kills two consecutive successors of a node
+// and verifies stabilisation walks the successor list to the third — no
+// long-range-link guessing involved.
+func TestAdoptSuccessorFromList(t *testing.T) {
+	c := newTestCluster(t, 12)
+	for round := 0; round < 6; round++ {
+		c.StabilizeAll(bg)
+	}
+	n := c.Nodes[0]
+	list := n.SuccList()
+	if len(list) < 3 {
+		t.Fatalf("need 3 list entries, have %d", len(list))
+	}
+	byAddr := map[transport.Addr]*Node{}
+	for _, m := range c.Nodes {
+		byAddr[m.Self().Addr] = m
+	}
+	_ = byAddr[list[0].Addr].Close()
+	_ = byAddr[list[1].Addr].Close()
+	n.Stabilize(bg)
+	if got := n.Succ().Addr; got != list[2].Addr {
+		t.Fatalf("after killing two successors, succ = %s, want list[2] = %s", got, list[2].Addr)
+	}
+}
+
+// TestReplicatedPutSurvivesOwnerCrash is the p2p-level durability core:
+// with r=3, every key written before its owner crashes is still readable
+// after the ring heals — served from a promoted replica.
+func TestReplicatedPutSurvivesOwnerCrash(t *testing.T) {
+	c, err := NewCluster(bg, ClusterConfig{Size: 12, Seed: 21, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for round := 0; round < 6; round++ {
+		c.StabilizeAll(bg)
+	}
+
+	const items = 36
+	for i := 0; i < items; i++ {
+		if _, err := c.Nodes[0].Put(bg, keyspace.FromFloat(float64(i)/items), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Kill the owner of one key — any node but the querying one.
+	var owner transport.PeerRef
+	for i := 0; i < items; i++ {
+		owner = expectedOwner(c.Nodes, keyspace.FromFloat(float64(i)/items))
+		if owner.Addr != c.Nodes[0].Self().Addr {
+			break
+		}
+	}
+	if owner.Addr == c.Nodes[0].Self().Addr {
+		t.Fatal("test setup: every key is owned by the querying node")
+	}
+	for _, n := range c.Nodes {
+		if n.Self().Addr == owner.Addr {
+			_ = n.Close()
+		}
+	}
+	for round := 0; round < 6; round++ {
+		c.StabilizeAll(bg)
+	}
+
+	for i := 0; i < items; i++ {
+		k := keyspace.FromFloat(float64(i) / items)
+		got, err := c.Nodes[0].Get(bg, k)
+		if err != nil {
+			t.Fatalf("get %d after owner crash: %v", i, err)
+		}
+		if !got.Found || got.Value[0] != byte(i) {
+			t.Fatalf("item %d lost after owner crash (found=%v)", i, got.Found)
+		}
+	}
+}
+
+// TestReplicatedDeletePropagates proves a delete clears the replica chain:
+// after the owner crashes, the deleted item must not resurrect from a
+// stale copy.
+func TestReplicatedDeletePropagates(t *testing.T) {
+	c, err := NewCluster(bg, ClusterConfig{Size: 10, Seed: 33, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for round := 0; round < 6; round++ {
+		c.StabilizeAll(bg)
+	}
+	key := keyspace.FromFloat(0.44)
+	if _, err := c.Nodes[1].Put(bg, key, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := c.Nodes[2].Delete(bg, key); err != nil || !res.Found {
+		t.Fatalf("delete: %+v err=%v", res, err)
+	}
+	owner := expectedOwner(c.Nodes, key)
+	for _, n := range c.Nodes {
+		if n.Self().Addr == owner.Addr {
+			_ = n.Close()
+		}
+	}
+	for round := 0; round < 6; round++ {
+		c.StabilizeAll(bg)
+	}
+	got, err := c.Nodes[1].Get(bg, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Found {
+		t.Fatalf("deleted item resurrected from a replica: %q", got.Value)
+	}
+}
+
+// TestCountPeers checks the ring-walk membership count: exact on a small
+// healthy ring, shrinking after a crash heals, -1 when the cap is too low.
+func TestCountPeers(t *testing.T) {
+	c := newTestCluster(t, 9)
+	if got := c.Nodes[3].CountPeers(bg, 64); got != 9 {
+		t.Fatalf("CountPeers = %d, want 9", got)
+	}
+	if got := c.Nodes[3].CountPeers(bg, 4); got != -1 {
+		t.Fatalf("CountPeers with low cap = %d, want -1", got)
+	}
+	_ = c.Nodes[5].Close()
+	for round := 0; round < 6; round++ {
+		c.StabilizeAll(bg)
+	}
+	if got := c.Nodes[3].CountPeers(bg, 64); got != 8 {
+		t.Fatalf("CountPeers after crash+heal = %d, want 8", got)
+	}
+}
+
 func TestCrashAndHeal(t *testing.T) {
 	c := newTestCluster(t, 24)
 	// Kill a third of the nodes (not node 0, our query entry point).

@@ -2,6 +2,8 @@ package transport
 
 import (
 	"bufio"
+	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"net"
 	"sync"
@@ -38,6 +40,7 @@ func benchCalls(b *testing.B, inflight int, fn func(*Request) (*Response, error)
 	b.Helper()
 	var wg sync.WaitGroup
 	calls := make(chan int, inflight)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for w := 0; w < inflight; w++ {
 		wg.Add(1)
@@ -63,6 +66,41 @@ func benchCalls(b *testing.B, inflight int, fn func(*Request) (*Response, error)
 	wg.Wait()
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+}
+
+// BenchmarkFrameEncode isolates the frame write path's encoding cost:
+// the pre-pool discipline (json.Marshal into a fresh payload, then a
+// fresh header+payload buffer) against the pooled wireFrame encoder that
+// the mux now uses. The delta is the per-frame allocation saving.
+func BenchmarkFrameEncode(b *testing.B) {
+	req := &Request{
+		Op: OpFindOwner, Key: keyspace.FromFloat(0.42),
+		From:    PeerRef{Addr: "127.0.0.1:9999", Key: keyspace.FromFloat(0.17)},
+		Exclude: []Addr{"127.0.0.1:9001", "127.0.0.1:9002"},
+	}
+	b.Run("marshal-copy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			payload, err := json.Marshal(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, frameHeaderSize+len(payload))
+			binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+			binary.BigEndian.PutUint64(buf[4:12], uint64(i))
+			copy(buf[frameHeaderSize:], payload)
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f := acquireFrame()
+			if err := f.encode(uint64(i), req); err != nil {
+				b.Fatal(err)
+			}
+			releaseFrame(f)
+		}
+	})
 }
 
 // BenchmarkDialPerCall measures the pre-pool baseline: every RPC pays

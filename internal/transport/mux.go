@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/binary"
 	"encoding/json"
@@ -21,34 +22,72 @@ const maxFrame = 16 << 20
 // frameHeaderSize is [4-byte payload length][8-byte request id].
 const frameHeaderSize = 12
 
-// encodeFrame builds one frame: header (payload length + request id)
-// followed by the JSON payload. Encoding failures (unserializable value,
-// oversized payload) happen before anything touches the wire, so they
-// never corrupt the connection's frame stream.
-func encodeFrame(id uint64, v interface{}) ([]byte, error) {
-	payload, err := json.Marshal(v)
-	if err != nil {
-		return nil, err
-	}
-	if len(payload) > maxFrame {
-		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
-	}
-	buf := make([]byte, frameHeaderSize+len(payload))
-	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint64(buf[4:12], id)
-	copy(buf[frameHeaderSize:], payload)
-	return buf, nil
+// maxPooledBuf caps the encode buffers kept in the frame pool: the
+// occasional giant frame (a bulk migrate or re-replicate) is returned to
+// the allocator instead of pinning megabytes in the pool forever.
+const maxPooledBuf = 64 << 10
+
+// wireFrame is a reusable encode buffer for one outgoing frame. Encoding
+// writes the header placeholder and the JSON payload into one contiguous
+// buffer — no intermediate json.Marshal allocation, no header+payload
+// copy — and the buffer (with its json.Encoder's internal state) is
+// recycled through framePool once the frame has left for the wire.
+type wireFrame struct {
+	buf bytes.Buffer
+	enc *json.Encoder
 }
+
+var framePool = sync.Pool{New: func() interface{} {
+	f := &wireFrame{}
+	f.enc = json.NewEncoder(&f.buf)
+	return f
+}}
+
+func acquireFrame() *wireFrame { return framePool.Get().(*wireFrame) }
+
+func releaseFrame(f *wireFrame) {
+	if f.buf.Cap() > maxPooledBuf {
+		return
+	}
+	framePool.Put(f)
+}
+
+// encode fills the frame with header (payload length + request id) and
+// JSON payload for v. Encoding failures (unserializable value, oversized
+// payload) happen before anything touches the wire, so they never corrupt
+// the connection's frame stream. The frame is reusable after an error.
+func (f *wireFrame) encode(id uint64, v interface{}) error {
+	f.buf.Reset()
+	var hdr [frameHeaderSize]byte
+	f.buf.Write(hdr[:])
+	if err := f.enc.Encode(v); err != nil {
+		return err
+	}
+	// The payload includes the encoder's trailing newline; Unmarshal on the
+	// receive side skips trailing whitespace.
+	payload := f.buf.Len() - frameHeaderSize
+	if payload > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", payload)
+	}
+	b := f.buf.Bytes()
+	binary.BigEndian.PutUint32(b[0:4], uint32(payload))
+	binary.BigEndian.PutUint64(b[4:12], id)
+	return nil
+}
+
+// bytes returns the encoded frame, valid until the next encode or release.
+func (f *wireFrame) bytes() []byte { return f.buf.Bytes() }
 
 // writeMuxFrame encodes and sends one frame with a single Write — the
 // unshared (one frame per connection) discipline used by tests and the
 // dial-per-call baseline.
 func writeMuxFrame(w io.Writer, id uint64, v interface{}) error {
-	frame, err := encodeFrame(id, v)
-	if err != nil {
+	f := acquireFrame()
+	defer releaseFrame(f)
+	if err := f.encode(id, v); err != nil {
 		return err
 	}
-	_, err = w.Write(frame)
+	_, err := w.Write(f.bytes())
 	return err
 }
 
@@ -63,7 +102,7 @@ type connWriter struct {
 	timeout time.Duration
 	onErr   func(error)
 
-	frames chan []byte
+	frames chan *wireFrame
 	stop   chan struct{}
 	once   sync.Once
 }
@@ -73,7 +112,7 @@ func startConnWriter(conn net.Conn, timeout time.Duration, onErr func(error)) *c
 		conn:    conn,
 		timeout: timeout,
 		onErr:   onErr,
-		frames:  make(chan []byte, 256),
+		frames:  make(chan *wireFrame, 256),
 		stop:    make(chan struct{}),
 	}
 	go w.loop()
@@ -85,8 +124,10 @@ var errWriterClosed = errors.New("transport: connection writer closed")
 // enqueue hands one frame to the writer goroutine, blocking only if the
 // queue is full (backpressure against a stalled peer). The caller's
 // context bounds the wait so a slow-draining connection cannot hold a
-// call past its deadline.
-func (w *connWriter) enqueue(ctx context.Context, frame []byte) error {
+// call past its deadline. On success the writer owns the frame and will
+// release it back to the pool after the wire write; on failure ownership
+// stays with the caller.
+func (w *connWriter) enqueue(ctx context.Context, frame *wireFrame) error {
 	select {
 	case w.frames <- frame:
 		return nil
@@ -111,14 +152,16 @@ func (w *connWriter) loop() {
 			return
 		case frame := <-w.frames:
 			_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
-			_, err := bw.Write(frame)
+			_, err := bw.Write(frame.bytes())
+			releaseFrame(frame)
 			// Yield once before draining: concurrent callers get a chance
 			// to enqueue, so a burst leaves in one flush instead of many.
 			runtime.Gosched()
 			for err == nil {
 				select {
 				case next := <-w.frames:
-					_, err = bw.Write(next)
+					_, err = bw.Write(next.bytes())
+					releaseFrame(next)
 					continue
 				default:
 				}
@@ -291,13 +334,15 @@ func (c *muxConn) call(ctx context.Context, req *Request) (*Response, error) {
 	c.lastUsed = time.Now()
 	c.mu.Unlock()
 
-	frame, err := encodeFrame(id, req)
-	if err != nil {
+	frame := acquireFrame()
+	if err := frame.encode(id, req); err != nil {
 		// The request itself is unsendable; the connection is untouched.
+		releaseFrame(frame)
 		c.forget(id)
 		return nil, err
 	}
 	if err := c.wr.enqueue(ctx, frame); err != nil {
+		releaseFrame(frame)
 		c.forget(id)
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, ctxErr // deadline while queueing; nothing was sent

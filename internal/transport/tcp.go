@@ -195,15 +195,19 @@ func (e *TCPEndpoint) serveConn(conn net.Conn) {
 			if h != nil {
 				resp = h(&req)
 			}
-			frame, err := encodeFrame(id, resp)
+			frame := acquireFrame()
+			err := frame.encode(id, resp)
 			if err != nil {
-				frame, err = encodeFrame(id, &Response{OK: false, Err: err.Error()})
+				err = frame.encode(id, &Response{OK: false, Err: err.Error()})
 			}
 			if err != nil {
+				releaseFrame(frame)
 				_ = conn.Close() // unblocks the read loop
 				return
 			}
-			_ = wr.enqueue(context.Background(), frame) // a dead writer already closed the conn
+			if wr.enqueue(context.Background(), frame) != nil {
+				releaseFrame(frame) // a dead writer already closed the conn
+			}
 		}()
 	}
 }

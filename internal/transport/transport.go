@@ -56,10 +56,16 @@ const (
 	OpUnlink    Op = "unlink"     // release a long-range in-link
 	OpFindOwner Op = "find_owner" // iterative routing step: best next hop
 	OpPut       Op = "put"        // store an item (owner only)
-	OpGet       Op = "get"        // fetch an item (owner only)
+	OpGet       Op = "get"        // fetch an item (owner or replica)
 	OpDelete    Op = "delete"     // remove an item (owner only)
 	OpRangeScan Op = "range_scan" // scan the local shard
 	OpMigrate   Op = "migrate"    // hand over items in a range (join)
+
+	// Replication protocol: the owner of an arc pushes copies of its items
+	// directly to the nodes on its successor list — no routing involved.
+	OpSuccList     Op = "succ_list"     // successor-list snapshot (Peer carries the predecessor)
+	OpReplicate    Op = "replicate"     // owner→replica push of item copies
+	OpReplicateDel Op = "replicate_del" // owner→replica push of a delete
 )
 
 // Request is the wire request. One struct covers all ops; unused fields are
@@ -72,6 +78,9 @@ type Request struct {
 	Range keyspace.Range `json:"range,omitempty"`
 	Value []byte         `json:"value,omitempty"`
 	Limit int            `json:"limit,omitempty"`
+	// Items carries bulk item copies for replicate pushes (the owner
+	// re-replicating its whole arc after a membership change).
+	Items []storage.Item `json:"items,omitempty"`
 	// Exclude lists peers the query has discovered dead (or routeless);
 	// find_owner skips them — the live analogue of the simulator's
 	// per-query known-dead set.

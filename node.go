@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/oscar-overlay/oscar/internal/p2p"
+	"github.com/oscar-overlay/oscar/internal/rng"
 	"github.com/oscar-overlay/oscar/internal/transport"
 )
 
@@ -29,6 +30,18 @@ type NodeConfig struct {
 	Samples, WalkSteps int
 	// DisablePowerOfTwo turns off the two-choices in-degree balancing.
 	DisablePowerOfTwo bool
+	// Replicas is the replication factor r (default 1 = no replication):
+	// items this node owns are pushed to its r-1 immediate ring successors,
+	// writes served by this node honour the owner's factor, and reads fall
+	// back through the owner's chain when it is unreachable.
+	Replicas int
+	// AutoMaintenance, when positive, starts the background maintenance
+	// loop as soon as the node boots: ring stabilisation every interval
+	// (jittered per node so cluster rounds do not synchronise) and a
+	// long-range rewiring pass every autoRewireEvery stabilisations, so
+	// stale links to crashed peers are eventually rebuilt too. Zero leaves
+	// maintenance manual (Stabilize / Rewire / StartMaintenance).
+	AutoMaintenance time.Duration
 	// PoolSize is the number of persistent connections per peer (0 =
 	// transport default).
 	PoolSize int
@@ -86,9 +99,28 @@ func startNodeOn(tr transport.Transport, cfg NodeConfig) *Node {
 		Samples:           cfg.Samples,
 		WalkSteps:         cfg.WalkSteps,
 		DisablePowerOfTwo: cfg.DisablePowerOfTwo,
+		Replicas:          cfg.Replicas,
 		Seed:              cfg.Seed,
 	})
-	return &Node{inner: inner, tr: tr}
+	n := &Node{inner: inner, tr: tr}
+	if cfg.AutoMaintenance > 0 {
+		n.StartMaintenance(jitterInterval(cfg.AutoMaintenance, cfg.Seed), autoRewireEvery)
+	}
+	return n
+}
+
+// autoRewireEvery is the rewiring cadence of auto-maintenance: one
+// long-range rebuild per this many stabilisation ticks. Rewiring is the
+// expensive half (remote walks), so it runs an order of magnitude less
+// often than ring repair.
+const autoRewireEvery = 16
+
+// jitterInterval spreads per-node maintenance ticks over ±25% of the
+// requested interval, deterministically from the node's seed, so a
+// cluster's rounds de-synchronise instead of thundering together.
+func jitterInterval(d time.Duration, seed int64) time.Duration {
+	r := rng.Derive(seed, "maintenance-jitter")
+	return time.Duration(float64(d) * (0.75 + 0.5*r.Float64()))
 }
 
 // Addr returns the node's transport address — hand it to other nodes'
@@ -275,20 +307,29 @@ func (n *Node) Lookup(ctx context.Context, key Key) (LookupResponse, error) {
 	return LookupResponse{Owner: ownerRef(owner), Cost: cost}, nil
 }
 
-// Info implements Client. A live node has no global membership view, so
-// Peers is -1 and the snapshot is the node's local state.
+// peerCountMaxHops bounds Info's membership walk: rings up to this size
+// report an exact count, larger (or mid-heal) rings report -1.
+const peerCountMaxHops = 128
+
+// Info implements Client. A live node has no global membership table, so
+// Peers comes from walking the ring clockwise via successor pointers — an
+// exact count for small healthy rings (up to peerCountMaxHops peers), -1
+// when the walk cannot complete. Treat it as an estimate: concurrent joins
+// and crashes during the walk can skew it.
 func (n *Node) Info(ctx context.Context) (InfoResponse, error) {
 	if err := n.begin(ctx); err != nil {
 		return InfoResponse{}, err
 	}
 	return InfoResponse{
-		Backend:     "p2p",
-		Peers:       -1,
-		Self:        ownerRef(n.inner.Self()),
-		Successor:   ownerRef(n.inner.Succ()),
-		Predecessor: ownerRef(n.inner.Pred()),
-		OutLinks:    len(n.inner.OutLinks()),
-		InLinks:     n.inner.InDegree(),
-		StoredItems: n.inner.StoredItems(),
+		Backend:      "p2p",
+		Peers:        n.inner.CountPeers(ctx, peerCountMaxHops),
+		Replicas:     n.inner.Replicas(),
+		Self:         ownerRef(n.inner.Self()),
+		Successor:    ownerRef(n.inner.Succ()),
+		Predecessor:  ownerRef(n.inner.Pred()),
+		OutLinks:     len(n.inner.OutLinks()),
+		InLinks:      n.inner.InDegree(),
+		StoredItems:  n.inner.StoredItems(),
+		ReplicaItems: n.inner.ReplicaItems(),
 	}, nil
 }

@@ -159,7 +159,11 @@ type Overlay struct {
 	mu     sync.Mutex
 	sim    *sim.Sim
 	stores map[NodeID]*storage.Store
-	rnd    *rand.Rand
+	// replStores holds replica copies pushed by PutReplicated (and the
+	// replicated Client): kept apart from the primary shards so range
+	// queries and migrations never see an item twice.
+	replStores map[NodeID]*storage.Store
+	rnd        *rand.Rand
 }
 
 // Build grows an overlay from scratch to cfg.Size peers, performs one full
@@ -203,9 +207,10 @@ func Build(cfg Config) (*Overlay, error) {
 		return nil, err
 	}
 	ov := &Overlay{
-		sim:    s,
-		stores: make(map[NodeID]*storage.Store),
-		rnd:    rng.Derive(cfg.Seed, "overlay-facade"),
+		sim:        s,
+		stores:     make(map[NodeID]*storage.Store),
+		replStores: make(map[NodeID]*storage.Store),
+		rnd:        rng.Derive(cfg.Seed, "overlay-facade"),
 	}
 	ov.Grow(sc.TargetSize)
 	s.RewireAll()
@@ -234,6 +239,7 @@ type NodeInfo struct {
 	InDeg, OutDeg int
 	Alive         bool
 	StoredItems   int
+	ReplicaItems  int
 	Successor     NodeID
 	Predecessor   NodeID
 }
@@ -255,6 +261,9 @@ func (o *Overlay) infoLocked(id NodeID) NodeInfo {
 	}
 	if st := o.stores[id]; st != nil {
 		info.StoredItems = st.Len()
+	}
+	if st := o.replStores[id]; st != nil {
+		info.ReplicaItems = st.Len()
 	}
 	return info
 }
@@ -298,8 +307,21 @@ func (o *Overlay) Crash(fraction float64) int {
 	victims := o.sim.Churn(fraction)
 	for _, id := range victims {
 		delete(o.stores, id)
+		delete(o.replStores, id)
 	}
 	return len(victims)
+}
+
+// CrashNode kills exactly one peer: its shard (and any replica copies it
+// held) are gone, the ring re-stitches around it, and long-range links to
+// it go stale until the next rewiring. With replication, items the victim
+// owned remain readable from its ring successors.
+func (o *Overlay) CrashNode(id NodeID) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.sim.Ring().Kill(id)
+	delete(o.stores, id)
+	delete(o.replStores, id)
 }
 
 // Lookup routes to the owner of key from a random peer.
@@ -337,12 +359,22 @@ func (o *Overlay) Measure() Measurement {
 	return o.sim.Measure(o.sim.Net().Len() > o.sim.Net().AliveCount())
 }
 
-// storeFor returns (creating if needed) the store of peer id.
+// storeFor returns (creating if needed) the primary store of peer id.
 func (o *Overlay) storeFor(id NodeID) *storage.Store {
 	st := o.stores[id]
 	if st == nil {
 		st = &storage.Store{}
 		o.stores[id] = st
+	}
+	return st
+}
+
+// replStoreFor returns (creating if needed) the replica store of peer id.
+func (o *Overlay) replStoreFor(id NodeID) *storage.Store {
+	st := o.replStores[id]
+	if st == nil {
+		st = &storage.Store{}
+		o.replStores[id] = st
 	}
 	return st
 }

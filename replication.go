@@ -4,42 +4,48 @@ import "fmt"
 
 // Replication: the paper's data layer is an index, so a crashed peer takes
 // its shard with it. PutReplicated stores copies on the owner's ring
-// successors, and GetReplicated falls back along the same chain — the
-// standard successor-list replication of ring overlays, provided as the
-// bundled extension for crash-tolerant reads.
+// successors, GetReplicated falls back along the same chain, and
+// DeleteReplicated propagates removals down it — the standard
+// successor-list replication of ring overlays, provided as the bundled
+// extension for crash-tolerant reads. The Client facade applies the same
+// semantics to every operation when built with WithReplicas, giving the
+// simulator and the live runtime one durability contract.
 //
-// Replication is per-write: copies are placed at write time and re-placed
-// on rewrite. A membership change between write and read shifts the
-// successor chain by at most the number of joins/crashes in between, which
-// the read-side fallback absorbs as long as fewer than `replicas`
-// consecutive chain members are lost.
+// Copies live in separate replica stores, so range queries and join
+// migrations only ever see the primary shard. Replication is per-write:
+// copies are placed at write time and re-placed on rewrite. A membership
+// change between write and read shifts the successor chain by at most the
+// number of joins/crashes in between, which the read-side fallback absorbs
+// as long as fewer than `replicas` consecutive chain members are lost.
 
-// PutReplicated stores value under key at the key's owner and on the next
-// replicas-1 alive ring successors. replicas < 1 is treated as 1.
+// PutReplicated stores value under key at the key's owner and pushes
+// copies to the next replicas-1 alive ring successors. replicas < 1 is
+// treated as 1.
 func (o *Overlay) PutReplicated(key Key, value []byte, replicas int) (PutResult, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.putReplicatedLocked(key, value, replicas)
+}
+
+func (o *Overlay) putReplicatedLocked(key Key, value []byte, replicas int) (PutResult, error) {
 	if replicas < 1 {
 		replicas = 1
 	}
-	o.mu.Lock()
-	defer o.mu.Unlock()
 	route := o.lookupLocked(key)
 	if !route.Found {
 		return PutResult{}, fmt.Errorf("oscar: put %v: routing failed", key)
 	}
 	res := PutResult{Owner: route.Owner, Cost: route.Cost()}
+	res.Replaced = o.storeFor(route.Owner).Put(key, value)
 	cur := route.Owner
-	for i := 0; i < replicas; i++ {
-		replaced := o.storeFor(cur).Put(key, value)
-		if i == 0 {
-			res.Replaced = replaced
-		} else {
-			res.Cost++ // one hop along the successor chain per copy
-		}
+	for i := 1; i < replicas; i++ {
 		next := o.sim.Net().Node(cur).Succ
 		if next == cur || next == route.Owner {
 			break // wrapped around a tiny overlay
 		}
 		cur = next
+		o.replStoreFor(cur).Put(key, value)
+		res.Cost++ // one hop along the successor chain per copy
 	}
 	return res, nil
 }
@@ -47,23 +53,34 @@ func (o *Overlay) PutReplicated(key Key, value []byte, replicas int) (PutResult,
 // GetReplicated fetches the value for key, falling back along up to
 // replicas-1 ring successors of the owner when the primary misses (for
 // example because the peer holding it crashed and a stale-arc neighbour now
-// owns the key).
+// owns the key). Each chain member is checked for a primary item first and
+// a replica copy second.
 func (o *Overlay) GetReplicated(key Key, replicas int) (value []byte, found bool, cost int, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	_, value, found, cost, err = o.getReplicatedLocked(key, replicas)
+	return value, found, cost, err
+}
+
+func (o *Overlay) getReplicatedLocked(key Key, replicas int) (servedBy NodeID, value []byte, found bool, cost int, err error) {
 	if replicas < 1 {
 		replicas = 1
 	}
-	o.mu.Lock()
-	defer o.mu.Unlock()
 	route := o.lookupLocked(key)
 	if !route.Found {
-		return nil, false, route.Cost(), fmt.Errorf("oscar: get %v: routing failed", key)
+		return 0, nil, false, route.Cost(), fmt.Errorf("oscar: get %v: routing failed", key)
 	}
 	cost = route.Cost()
 	cur := route.Owner
 	for i := 0; i < replicas; i++ {
 		if st := o.stores[cur]; st != nil {
 			if v, ok := st.Get(key); ok {
-				return v, true, cost, nil
+				return cur, v, true, cost, nil
+			}
+		}
+		if st := o.replStores[cur]; st != nil {
+			if v, ok := st.Get(key); ok {
+				return cur, v, true, cost, nil
 			}
 		}
 		next := o.sim.Net().Node(cur).Succ
@@ -73,5 +90,41 @@ func (o *Overlay) GetReplicated(key Key, replicas int) (value []byte, found bool
 		cur = next
 		cost++
 	}
-	return nil, false, cost, nil
+	return route.Owner, nil, false, cost, nil
+}
+
+// DeleteReplicated removes the item under key at the key's owner and from
+// the replica copies on the next replicas-1 ring successors. Existed
+// reports whether any copy was removed.
+func (o *Overlay) DeleteReplicated(key Key, replicas int) (DeleteResult, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.deleteReplicatedLocked(key, replicas)
+}
+
+func (o *Overlay) deleteReplicatedLocked(key Key, replicas int) (DeleteResult, error) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	route := o.lookupLocked(key)
+	if !route.Found {
+		return DeleteResult{}, fmt.Errorf("oscar: delete %v: routing failed", key)
+	}
+	res := DeleteResult{Owner: route.Owner, Cost: route.Cost()}
+	cur := route.Owner
+	for i := 0; i < replicas; i++ {
+		if st := o.stores[cur]; st != nil && st.Delete(key) {
+			res.Existed = true
+		}
+		if st := o.replStores[cur]; st != nil && st.Delete(key) {
+			res.Existed = true
+		}
+		next := o.sim.Net().Node(cur).Succ
+		if next == cur || next == route.Owner {
+			break
+		}
+		cur = next
+		res.Cost++
+	}
+	return res, nil
 }

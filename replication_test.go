@@ -30,16 +30,23 @@ func TestReplicationPlacesCopiesOnSuccessors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Owner and its two successors each hold a copy.
-	cur := res.Owner
-	for i := 0; i < 3; i++ {
+	// The owner holds the primary item; its two successors hold replica
+	// copies in their replica stores (so range scans never see them).
+	owner := ov.Info(res.Owner)
+	if owner.StoredItems != 1 || owner.ReplicaItems != 0 {
+		t.Errorf("owner holds %d primary / %d replica items, want 1/0", owner.StoredItems, owner.ReplicaItems)
+	}
+	cur := owner.Successor
+	for i := 1; i < 3; i++ {
 		info := ov.Info(cur)
-		if info.StoredItems != 1 {
-			t.Errorf("replica %d (node %d) holds %d items", i, cur, info.StoredItems)
+		if info.StoredItems != 0 || info.ReplicaItems != 1 {
+			t.Errorf("replica %d (node %d) holds %d primary / %d replica items, want 0/1",
+				i, cur, info.StoredItems, info.ReplicaItems)
 		}
 		cur = info.Successor
 	}
-	if ov.Info(cur).StoredItems != 0 {
+	next := ov.Info(cur)
+	if next.StoredItems != 0 || next.ReplicaItems != 0 {
 		t.Error("a fourth copy exists")
 	}
 }
@@ -70,6 +77,27 @@ func TestReplicationSurvivesCrashes(t *testing.T) {
 		t.Errorf("only %d/%d items survive 25%% crashes with %d replicas", foundReplicated, items, replicas)
 	}
 	t.Logf("survived: %d/%d", foundReplicated, items)
+}
+
+func TestDeleteReplicatedClearsChain(t *testing.T) {
+	ov := buildSmall(t, Config{Size: 200})
+	key := KeyFromFloat(0.33)
+	if _, err := ov.PutReplicated(key, []byte("gone"), 3); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ov.DeleteReplicated(key, 3)
+	if err != nil || !res.Existed {
+		t.Fatalf("delete: %+v err=%v", res, err)
+	}
+	// No copy survives anywhere on the chain.
+	if _, found, _, err := ov.GetReplicated(key, 3); err != nil || found {
+		t.Fatalf("item survived replicated delete: found=%v err=%v", found, err)
+	}
+	// Deleting again reports absence.
+	res, err = ov.DeleteReplicated(key, 3)
+	if err != nil || res.Existed {
+		t.Fatalf("second delete: %+v err=%v", res, err)
+	}
 }
 
 func TestReplicationDegenerateArgs(t *testing.T) {

@@ -13,7 +13,19 @@ import (
 // are honoured at operation entry (a cancelled context aborts the call
 // before any routing happens).
 func (o *Overlay) Client() Client {
-	return &simClient{ov: o}
+	return o.ReplicatedClient(1)
+}
+
+// ReplicatedClient returns the Client facade with the given replication
+// factor: every Put places copies on the owner's replicas-1 ring
+// successors, Delete clears the same chain, and Get falls back through it
+// — the same durability contract the live runtime implements under
+// WithReplicas. replicas < 1 is treated as 1.
+func (o *Overlay) ReplicatedClient(replicas int) Client {
+	if replicas < 1 {
+		replicas = 1
+	}
+	return &simClient{ov: o, replicas: replicas}
 }
 
 // simClient adapts the simulator Overlay to the Client interface. Each
@@ -21,8 +33,9 @@ func (o *Overlay) Client() Client {
 // are one atomic step — the in-process analogue of the owner executing the
 // data op locally.
 type simClient struct {
-	ov     *Overlay
-	closed atomic.Bool
+	ov       *Overlay
+	replicas int
+	closed   atomic.Bool
 }
 
 // begin gates every operation on the context and the closed flag.
@@ -49,12 +62,11 @@ func (c *simClient) Put(ctx context.Context, key Key, value []byte) (PutResponse
 	o := c.ov
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	route := o.lookupLocked(key)
-	if !route.Found {
-		return PutResponse{Cost: route.Cost()}, fmt.Errorf("%w: put %v", ErrRoutingFailed, key)
+	res, err := o.putReplicatedLocked(key, value, c.replicas)
+	if err != nil {
+		return PutResponse{Cost: res.Cost}, fmt.Errorf("%w: put %v", ErrRoutingFailed, key)
 	}
-	replaced := o.storeFor(route.Owner).Put(key, value)
-	return PutResponse{Owner: c.ownerLocked(route.Owner), Cost: route.Cost(), Replaced: replaced}, nil
+	return PutResponse{Owner: c.ownerLocked(res.Owner), Cost: res.Cost, Replaced: res.Replaced}, nil
 }
 
 func (c *simClient) Get(ctx context.Context, key Key) (GetResponse, error) {
@@ -64,18 +76,16 @@ func (c *simClient) Get(ctx context.Context, key Key) (GetResponse, error) {
 	o := c.ov
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	route := o.lookupLocked(key)
-	if !route.Found {
-		return GetResponse{Cost: route.Cost()}, fmt.Errorf("%w: get %v", ErrRoutingFailed, key)
+	servedBy, value, found, cost, err := o.getReplicatedLocked(key, c.replicas)
+	if err != nil {
+		return GetResponse{Cost: cost}, fmt.Errorf("%w: get %v", ErrRoutingFailed, key)
 	}
-	out := GetResponse{Owner: c.ownerLocked(route.Owner), Cost: route.Cost()}
-	if st := o.stores[route.Owner]; st != nil {
-		if v, ok := st.Get(key); ok {
-			out.Value = v
-			return out, nil
-		}
+	out := GetResponse{Owner: c.ownerLocked(servedBy), Cost: cost}
+	if !found {
+		return out, fmt.Errorf("%w: %v", ErrNotFound, key)
 	}
-	return out, fmt.Errorf("%w: %v", ErrNotFound, key)
+	out.Value = value
+	return out, nil
 }
 
 func (c *simClient) Delete(ctx context.Context, key Key) (DeleteResponse, error) {
@@ -85,15 +95,15 @@ func (c *simClient) Delete(ctx context.Context, key Key) (DeleteResponse, error)
 	o := c.ov
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	route := o.lookupLocked(key)
-	if !route.Found {
-		return DeleteResponse{Cost: route.Cost()}, fmt.Errorf("%w: delete %v", ErrRoutingFailed, key)
+	res, err := o.deleteReplicatedLocked(key, c.replicas)
+	if err != nil {
+		return DeleteResponse{Cost: res.Cost}, fmt.Errorf("%w: delete %v", ErrRoutingFailed, key)
 	}
-	out := DeleteResponse{Owner: c.ownerLocked(route.Owner), Cost: route.Cost()}
-	if st := o.stores[route.Owner]; st != nil && st.Delete(key) {
-		return out, nil
+	out := DeleteResponse{Owner: c.ownerLocked(res.Owner), Cost: res.Cost}
+	if !res.Existed {
+		return out, fmt.Errorf("%w: %v", ErrNotFound, key)
 	}
-	return out, fmt.Errorf("%w: %v", ErrNotFound, key)
+	return out, nil
 }
 
 func (c *simClient) RangeQuery(ctx context.Context, start, end Key, limit int) (RangeResponse, error) {
@@ -128,6 +138,7 @@ func (c *simClient) Info(ctx context.Context) (InfoResponse, error) {
 	return InfoResponse{
 		Backend:     "simulator",
 		Peers:       c.ov.Size(),
+		Replicas:    c.replicas,
 		StoredItems: c.ov.StoredItems(),
 	}, nil
 }
