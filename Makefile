@@ -6,7 +6,7 @@ GO ?= go
 # to keep CI fast (the full suite still runs race-free in `test`).
 RACE_PKGS = ./internal/transport/... ./internal/p2p/...
 
-.PHONY: all build test race bench bench-replication fmt fmt-check vet examples conformance ci
+.PHONY: all build test race bench bench-replication bench-antientropy fmt fmt-check vet examples conformance ci
 
 all: build
 
@@ -26,16 +26,24 @@ examples:
 	$(GO) build ./examples/... ./cmd/...
 
 # Cross-backend conformance: the identical scenario table against the
-# simulator Client and the live Client (in-memory fabric and TCP), plus
-# the crash-durability contract (write with r=3, kill the owner, lose
-# nothing), race detector on.
+# simulator Client and the live Client (in-memory fabric and TCP), the
+# crash-durability contract (write with r=3, kill the owner, lose
+# nothing), the divergence-heal contract (corrupt a replica, anti-entropy
+# repairs exactly the divergence, deletes stay deleted), and the ring-size
+# estimate on a ring past the old 128-peer walk cap — race detector on.
 conformance:
-	$(GO) test -race -run 'TestConformance|TestCrashDurability|TestLookupCancelled|TestRangeQueryCancelled' . ./internal/p2p/
+	$(GO) test -race -run 'TestConformance|TestCrashDurability|TestDivergenceHeal|TestRingSizeEstimate|TestLookupCancelled|TestRangeQueryCancelled' . ./internal/p2p/
 
 # Replication bench smoke: the replicated write path compiles and runs on
 # both backends (shape check; CI uploads the numbers with the full bench).
 bench-replication:
 	$(GO) test -run=NONE -bench='PutReplicated' -benchtime=1x .
+
+# Anti-entropy bench smoke: the arc-digest maintenance cost (incremental vs
+# rebuild) and one digest-sync repair pass over a live chain.
+bench-antientropy:
+	$(GO) test -run=NONE -bench='ArcDigest' -benchtime=1x ./internal/storage/
+	$(GO) test -run=NONE -bench='AntiEntropySync' -benchtime=1x ./internal/p2p/
 
 # Bench smoke: compile and run every benchmark once (shape check, not a
 # measurement). Full measurements: `go test -bench=. -benchtime=2s ./...`.
@@ -51,4 +59,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test examples race conformance bench-replication bench
+ci: fmt-check vet build test examples race conformance bench-replication bench-antientropy bench

@@ -1,0 +1,118 @@
+package oscar
+
+import (
+	"github.com/oscar-overlay/oscar/internal/antientropy"
+	"github.com/oscar-overlay/oscar/internal/storage"
+)
+
+// Anti-entropy on the simulator: the same digest protocol the live runtime
+// runs over RPCs — leaf-vector comparison, key-level diff of mismatched
+// buckets, targeted repair — executed in-process against the simulator's
+// shard and replica stores. It exists for conformance parity: the
+// divergence-heal contract (sync converges, transfers only the diverged
+// keys, deleted keys stay deleted) is asserted against every backend, and
+// both backends share internal/antientropy for the digest and diff logic,
+// so the contract is one implementation deep.
+
+// AntiEntropy runs one digest-driven repair pass over every alive peer's
+// replica chain, with the given replication factor, and returns what it
+// repaired. Traffic accounting mirrors the live runtime: an in-sync chain
+// member costs one digest comparison and moves nothing.
+func (o *Overlay) AntiEntropy(replicas int) SyncStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if replicas < 2 {
+		return SyncStats{}
+	}
+	var total SyncStats
+	net := o.sim.Net()
+	for _, id := range net.AliveIDs() {
+		node := net.Node(id)
+		if node.Pred == id || net.Node(node.Pred).Key == node.Key {
+			continue // arc undefined (one-peer ring or degenerate keys)
+		}
+		arc := Range{Start: net.Node(node.Pred).Key + 1, End: node.Key + 1}
+		owner := o.storeFor(id)
+		cur := id
+		for i := 1; i < replicas; i++ {
+			next := net.Node(cur).Succ
+			if next == cur || next == id {
+				break // wrapped around a tiny overlay
+			}
+			cur = next
+			total.add(syncStores(owner, o.replStoreFor(cur), arc))
+		}
+	}
+	o.syncStats.add(total)
+	return total
+}
+
+func (s *SyncStats) add(o SyncStats) {
+	s.Rounds += o.Rounds
+	s.KeysPushed += o.KeysPushed
+	s.TombstonesPushed += o.TombstonesPushed
+	s.Dropped += o.Dropped
+}
+
+// syncStores reconciles one replica store against the owner's arc, exactly
+// as the live protocol does over the wire: compare digest leaf vectors,
+// diff the per-key states of mismatched buckets, apply the minimal plan.
+func syncStores(owner, replica *storage.Store, arc Range) SyncStats {
+	st := SyncStats{Rounds: 1}
+	depth := antientropy.DefaultDepth
+	diff := antientropy.DiffLeaves(owner.Digest(arc, depth), replica.Digest(arc, depth))
+	if len(diff) == 0 {
+		return st
+	}
+	ownStates := antientropy.FilterBuckets(owner.SyncStates(arc), depth, diff)
+	replStates := antientropy.FilterBuckets(replica.SyncStates(arc), depth, diff)
+	plan := antientropy.Diff(ownStates, replStates)
+	for _, k := range plan.Push {
+		if v, ok := owner.Get(k); ok {
+			replica.Put(k, v)
+			st.KeysPushed++
+		}
+	}
+	for _, k := range plan.Tombs {
+		if at, ok := owner.Tombstone(k); ok {
+			replica.SetTombstone(k, at)
+			st.TombstonesPushed++
+		}
+	}
+	for _, k := range plan.Drop {
+		replica.Drop(k)
+		st.Dropped++
+	}
+	return st
+}
+
+// Tombstones returns the number of deletes remembered (and not yet
+// TTL-collected) across all peers' stores.
+func (o *Overlay) Tombstones() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	total := 0
+	for _, st := range o.stores {
+		total += st.TombstoneCount()
+	}
+	for _, st := range o.replStores {
+		total += st.TombstoneCount()
+	}
+	return total
+}
+
+// GCTombstones discards tombstones recorded before cutoff (unix nanos)
+// from every peer's stores and returns how many were collected — the
+// simulator counterpart of the live runtime's TTL collection.
+func (o *Overlay) GCTombstones(cutoff int64) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	dropped := 0
+	for _, st := range o.stores {
+		dropped += st.GCTombstones(cutoff)
+	}
+	for _, st := range o.replStores {
+		dropped += st.GCTombstones(cutoff)
+	}
+	return dropped
+}

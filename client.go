@@ -112,16 +112,40 @@ type LookupResponse struct {
 	Cost int
 }
 
+// SyncStats reports anti-entropy work: the digest-driven repair passes
+// that keep replica chains convergent. Every counter tracks divergence,
+// never arc size — an in-sync chain member costs one digest exchange and
+// moves nothing.
+type SyncStats struct {
+	// Rounds is the number of owner→replica digest exchanges opened.
+	Rounds int
+	// KeysPushed is the number of items shipped to replicas that were
+	// missing them or held stale values.
+	KeysPushed int
+	// TombstonesPushed is the number of deletes propagated to replicas
+	// that had missed them.
+	TombstonesPushed int
+	// Dropped is the number of stray replica keys (no owner record)
+	// replicas were told to forget.
+	Dropped int
+}
+
 // InfoResponse is a snapshot of the backend's view of the overlay. The
 // simulator has global knowledge; a live node reports only its local state.
 type InfoResponse struct {
 	// Backend names the implementation: "simulator" or "p2p".
 	Backend string
-	// Peers is the number of alive peers. The simulator knows it exactly; a
-	// live node estimates it by walking the ring clockwise via successor
-	// pointers, which is exact on small healthy rings (up to 128 peers) and
-	// -1 when the walk cannot complete (a larger ring, or one mid-heal).
+	// Peers is the number of alive peers. The simulator knows it exactly.
+	// A live node reports an exact successor-pointer ring walk while the
+	// gossip size estimate says the ring is small enough (up to 128 peers),
+	// and the gossip estimate itself beyond that — an honest estimate at
+	// any scale instead of the former -1. Treat it as an estimate either
+	// way: concurrent joins and crashes skew both sources.
 	Peers int
+	// SizeEstimate is the raw gossip-maintained ring-size estimate a live
+	// node blends from successor-list density and neighbour exchanges (the
+	// exact count on the simulator). Peers derives from it.
+	SizeEstimate float64
 	// Replicas is the replication factor r the client writes with: every
 	// item is stored at its owner and on the owner's r-1 ring successors
 	// (1 = no replication).
@@ -142,6 +166,14 @@ type InfoResponse struct {
 	// ReplicaItems is the number of replica copies the serving peer holds
 	// for its predecessors' arcs (live backend only).
 	ReplicaItems int
+	// Tombstones is the number of deletes remembered for anti-entropy and
+	// not yet TTL-collected (the serving peer's on the live backend, the
+	// overlay total on the simulator).
+	Tombstones int
+	// AntiEntropy accumulates the backend's digest-sync repair work: the
+	// serving peer's lifetime totals on the live backend, the overlay's on
+	// the simulator.
+	AntiEntropy SyncStats
 }
 
 // options collects the functional construction options shared by NewClient
@@ -159,6 +191,7 @@ type options struct {
 	stabilizeRounds   int
 	replicas          int
 	autoMaintenance   time.Duration
+	antiEntropy       time.Duration
 }
 
 // Option customises client construction. The zero configuration builds a
@@ -216,6 +249,18 @@ func WithReplicas(r int) Option { return func(o *options) { o.replicas = r } }
 // Node.StartMaintenance yourself. Live backend only.
 func WithAutoMaintenance(interval time.Duration) Option {
 	return func(o *options) { o.autoMaintenance = interval }
+}
+
+// WithAntiEntropy starts the periodic digest sync on every node
+// StartCluster boots (live backend, with WithAutoMaintenance): each node,
+// as the owner of its arc, reconciles its replica chain against
+// Merkle-style arc digests every interval and ships only diverged keys —
+// repairing writes a replica missed, deletes that raced a crash, and stray
+// copies, without re-pushing arcs. Requires WithReplicas(r > 1) to have
+// any effect. Zero (the default) leaves periodic sync off; membership
+// changes still trigger the same incremental repair from stabilisation.
+func WithAntiEntropy(interval time.Duration) Option {
+	return func(o *options) { o.antiEntropy = interval }
 }
 
 func buildOptions(opts []Option) options {

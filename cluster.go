@@ -25,7 +25,8 @@ type Cluster struct {
 // first node creates the overlay, the rest join through it, then the
 // cluster stabilises and wires long-range links. Options follow NewClient
 // (WithSeed, WithKeys, WithDegrees, WithStabilizeRounds, WithReplicas,
-// WithAutoMaintenance); the context bounds the whole boot sequence.
+// WithAutoMaintenance, WithAntiEntropy); the context bounds the whole boot
+// sequence.
 func StartCluster(ctx context.Context, size int, opts ...Option) (*Cluster, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("oscar: cluster size %d", size)
@@ -58,6 +59,7 @@ func StartCluster(ctx context.Context, size int, opts ...Option) (*Cluster, erro
 			DisablePowerOfTwo: o.disablePowerOfTwo,
 			Replicas:          o.replicas,
 			AutoMaintenance:   o.autoMaintenance,
+			AntiEntropy:       o.antiEntropy,
 			Seed:              o.seed + int64(i),
 		})
 		if i > 0 {

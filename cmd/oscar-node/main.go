@@ -18,10 +18,17 @@
 //	delete <frac>         remove the value
 //	range <lo> <hi>       list items with keys in [lo, hi)
 //	lookup <frac>         route to the key's owner
-//	info                  print ring pointers, links, stored items
+//	info                  print ring pointers, links, stored items,
+//	                      tombstones, ring-size estimate, sync stats
 //	stabilize             run one maintenance round
+//	sync                  run one anti-entropy pass over the replica chain
 //	rewire                rebuild long-range links
 //	quit
+//
+// With -replicas r > 1 the node replicates its arc to its r-1 ring
+// successors; -anti-entropy sets how often it digest-syncs that chain in
+// the background (repairing divergence without re-shipping arcs) and
+// -tombstone-ttl bounds how long deletes are remembered for that repair.
 package main
 
 import (
@@ -52,6 +59,8 @@ func main() {
 		maxIn       = flag.Int("max-in", 16, "in-link budget (ρmax_in)")
 		maxOut      = flag.Int("max-out", 16, "out-link budget (ρmax_out)")
 		replicas    = flag.Int("replicas", 1, "replication factor r: copies on the owner's r-1 ring successors")
+		antiEntropy = flag.Duration("anti-entropy", time.Minute, "digest-sync the replica chain this often (0 = manual `sync` only; needs -replicas > 1 and a running maintenance loop)")
+		tombTTL     = flag.Duration("tombstone-ttl", 10*time.Minute, "remember deletes this long for anti-entropy repair")
 		interval    = flag.Duration("stabilize", 2*time.Second, "stabilisation interval (0 = manual)")
 		rewireEvery = flag.Int("rewire-every", 5, "rebuild long links every N stabilisations (0 = manual)")
 		poolSize    = flag.Int("pool", 2, "persistent connections per peer")
@@ -71,15 +80,17 @@ func main() {
 	}
 
 	node, err := oscar.StartNode(oscar.NodeConfig{
-		Listen:      *listen,
-		Key:         key,
-		MaxIn:       *maxIn,
-		MaxOut:      *maxOut,
-		Replicas:    *replicas,
-		Seed:        time.Now().UnixNano(),
-		PoolSize:    *poolSize,
-		CallTimeout: *callTimeout,
-		IdleTimeout: *idleTimeout,
+		Listen:       *listen,
+		Key:          key,
+		MaxIn:        *maxIn,
+		MaxOut:       *maxOut,
+		Replicas:     *replicas,
+		AntiEntropy:  *antiEntropy,
+		TombstoneTTL: *tombTTL,
+		Seed:         time.Now().UnixNano(),
+		PoolSize:     *poolSize,
+		CallTimeout:  *callTimeout,
+		IdleTimeout:  *idleTimeout,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -171,15 +182,29 @@ func execute(ctx context.Context, node *oscar.Node, args []string) error {
 		fmt.Printf("self  %s key=%s\n", info.Self.Addr, info.Self.Key)
 		fmt.Printf("succ  %s key=%s\n", info.Successor.Addr, info.Successor.Key)
 		fmt.Printf("pred  %s key=%s\n", info.Predecessor.Addr, info.Predecessor.Key)
-		fmt.Printf("links out=%d in=%d items=%d replicas=%d (r=%d)\n",
-			info.OutLinks, info.InLinks, info.StoredItems, info.ReplicaItems, info.Replicas)
+		fmt.Printf("links out=%d in=%d items=%d replicas=%d (r=%d) tombstones=%d\n",
+			info.OutLinks, info.InLinks, info.StoredItems, info.ReplicaItems, info.Replicas, info.Tombstones)
 		if info.Peers >= 0 {
-			fmt.Printf("peers %d (ring-walk estimate)\n", info.Peers)
+			fmt.Printf("peers %d (gossip estimate %.1f)\n", info.Peers, info.SizeEstimate)
+		}
+		ae := info.AntiEntropy
+		if ae.Rounds > 0 {
+			fmt.Printf("anti-entropy: %d rounds, %d keys pushed, %d tombstones, %d dropped\n",
+				ae.Rounds, ae.KeysPushed, ae.TombstonesPushed, ae.Dropped)
 		}
 		return nil
 
 	case "stabilize":
 		node.Stabilize(ctx)
+		return nil
+
+	case "sync":
+		stats, err := node.AntiEntropy(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("synced: %d rounds, %d keys pushed, %d tombstones, %d dropped\n",
+			stats.Rounds, stats.KeysPushed, stats.TombstonesPushed, stats.Dropped)
 		return nil
 
 	case "rewire":

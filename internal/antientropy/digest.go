@@ -1,0 +1,234 @@
+// Package antientropy is the digest layer of the replication subsystem: a
+// Merkle-style summary of a key arc that lets an arc owner and its replicas
+// agree on what they hold by exchanging O(1) metadata instead of the arc
+// itself, plus the diff planner that turns two summaries into the minimal
+// repair (push the missing/stale keys, propagate the missed deletes, drop
+// the strays).
+//
+// The tree is fixed-depth over keyspace sub-ranges: the identifier circle is
+// cut into 1<<depth equal buckets by the top bits of the key, and each leaf
+// is an XOR set-digest of the per-key state hashes in its bucket. XOR makes
+// the digest incrementally maintainable — adding and removing a key are the
+// same O(1) toggle — and makes every interior level of the tree the XOR of
+// its children, so only the leaves (and the root, for a one-word summary)
+// ever need to be materialised or shipped. A leaf vector is depth-8 by
+// default: 256 words, two kilobytes on the wire, one frame regardless of
+// how many million items the arc holds.
+//
+// Per-key hashes deliberately exclude timestamps: a tombstone hashes the
+// same on every node no matter when each learned of the delete, so two
+// stores that agree on *state* (live values and deleted keys) produce equal
+// digests even though their tombstone clocks differ.
+package antientropy
+
+import (
+	"sort"
+
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+)
+
+// DefaultDepth is the tree depth used by the overlay protocol: 1<<8 = 256
+// leaf buckets, a 2 KiB leaf vector per digest exchange.
+const DefaultDepth = 8
+
+// FNV-1a 64-bit parameters (hash/fnv unrolled: the per-item hash is the
+// replication hot path and must not allocate).
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// tombSentinel separates the tombstone hash domain from the value domain, so
+// a live item whose value happens to encode "deleted" never collides with
+// the tombstone of the same key.
+const (
+	itemSentinel byte = 0x00
+	tombSentinel byte = 0x01
+)
+
+func fnvKey(h uint64, k keyspace.Key) uint64 {
+	for shift := 56; shift >= 0; shift -= 8 {
+		h = (h ^ uint64(byte(k>>uint(shift)))) * fnvPrime
+	}
+	return h
+}
+
+// ItemHash digests one live item's state: key plus value. Two stores hold
+// the same item exactly when their ItemHashes agree.
+func ItemHash(k keyspace.Key, v []byte) uint64 {
+	h := fnvKey(fnvOffset, k)
+	h = (h ^ uint64(itemSentinel)) * fnvPrime
+	for _, b := range v {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	return h
+}
+
+// TombHash digests one deleted key's state. It covers the key only — not
+// the deletion time — so every node that has applied the delete computes
+// the same hash regardless of when it learned of it.
+func TombHash(k keyspace.Key) uint64 {
+	h := fnvKey(fnvOffset, k)
+	h = (h ^ uint64(tombSentinel)) * fnvPrime
+	return h
+}
+
+// Bucket returns the leaf index of k in a depth-deep tree: the top `depth`
+// bits of the key.
+func Bucket(depth int, k keyspace.Key) int {
+	return int(uint64(k) >> (64 - uint(depth)))
+}
+
+// State is one key's replication state as reported during a sync pull: the
+// digest of what a store holds for the key, and whether that state is a
+// tombstone. It is the wire unit of the key-level diff round.
+type State struct {
+	Key     keyspace.Key `json:"key"`
+	Hash    uint64       `json:"hash"`
+	Deleted bool         `json:"deleted,omitempty"`
+}
+
+// Tree is the incrementally-maintained digest of one store. The zero value
+// is not usable; create with NewTree. Not safe for concurrent use — callers
+// guard it with the lock that guards the store it summarises.
+type Tree struct {
+	depth  int
+	leaves []uint64
+}
+
+// NewTree returns an empty digest tree with 1<<depth leaf buckets.
+func NewTree(depth int) *Tree {
+	return &Tree{depth: depth, leaves: make([]uint64, 1<<uint(depth))}
+}
+
+// Depth returns the tree depth.
+func (t *Tree) Depth() int { return t.depth }
+
+// Apply toggles one key-state hash in k's bucket. XOR is its own inverse:
+// call it with a state's hash once to add the state and once more to remove
+// it, and with old then new to replace one state with another.
+func (t *Tree) Apply(k keyspace.Key, h uint64) {
+	t.leaves[Bucket(t.depth, k)] ^= h
+}
+
+// Leaves returns a copy of the leaf vector.
+func (t *Tree) Leaves() []uint64 {
+	return append([]uint64(nil), t.leaves...)
+}
+
+// Root folds the leaf vector into the one-word tree root. With an XOR
+// set-digest every interior node is the XOR of its children, so the root is
+// derivable from the leaves and equal roots mean equal trees with the same
+// (overwhelming) probability as equal leaf vectors mean equal buckets.
+func (t *Tree) Root() uint64 {
+	var r uint64
+	for _, l := range t.leaves {
+		r ^= l
+	}
+	return r
+}
+
+// DiffLeaves returns the bucket indices where the two leaf vectors differ.
+// A short vector reads as zero-padded, so comparing against nil reports
+// every non-empty bucket of the other side.
+func DiffLeaves(a, b []uint64) []int {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	var diff []int
+	for i := 0; i < n; i++ {
+		var va, vb uint64
+		if i < len(a) {
+			va = a[i]
+		}
+		if i < len(b) {
+			vb = b[i]
+		}
+		if va != vb {
+			diff = append(diff, i)
+		}
+	}
+	return diff
+}
+
+// FilterBuckets keeps the states whose keys fall in one of the given leaf
+// buckets. The input order is preserved.
+func FilterBuckets(states []State, depth int, buckets []int) []State {
+	want := make(map[int]bool, len(buckets))
+	for _, b := range buckets {
+		want[b] = true
+	}
+	var out []State
+	for _, s := range states {
+		if want[Bucket(depth, s.Key)] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Plan is the minimal repair that brings a replica's view of an arc into
+// agreement with its owner's: Push lists owner keys the replica is missing
+// or holds stale, Tombs lists owner deletes the replica has not applied,
+// and Drop lists replica state (stray items or expired tombstones) with no
+// owner counterpart at all.
+type Plan struct {
+	Push  []keyspace.Key
+	Tombs []keyspace.Key
+	Drop  []keyspace.Key
+}
+
+// Empty reports whether the plan requires no repair.
+func (p Plan) Empty() bool {
+	return len(p.Push) == 0 && len(p.Tombs) == 0 && len(p.Drop) == 0
+}
+
+// Size returns the number of keys the plan touches.
+func (p Plan) Size() int { return len(p.Push) + len(p.Tombs) + len(p.Drop) }
+
+// Diff computes the repair plan from the owner's authoritative states and
+// the states a replica reported for the same key range. Both slices are
+// sorted by key in place if they are not already.
+func Diff(owner, replica []State) Plan {
+	sortStates(owner)
+	sortStates(replica)
+	var p Plan
+	i, j := 0, 0
+	for i < len(owner) || j < len(replica) {
+		switch {
+		case j == len(replica) || (i < len(owner) && owner[i].Key < replica[j].Key):
+			// Owner-only state: the replica never saw this key (or missed
+			// its delete entirely).
+			p = p.addOwner(owner[i])
+			i++
+		case i == len(owner) || replica[j].Key < owner[i].Key:
+			// Replica-only state: nothing at the owner to back it — a stray
+			// copy or a tombstone the owner has already collected.
+			p.Drop = append(p.Drop, replica[j].Key)
+			j++
+		default: // same key
+			if owner[i].Hash != replica[j].Hash {
+				p = p.addOwner(owner[i])
+			}
+			i++
+			j++
+		}
+	}
+	return p
+}
+
+func (p Plan) addOwner(s State) Plan {
+	if s.Deleted {
+		p.Tombs = append(p.Tombs, s.Key)
+	} else {
+		p.Push = append(p.Push, s.Key)
+	}
+	return p
+}
+
+func sortStates(s []State) {
+	if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i].Key < s[j].Key }) {
+		sort.Slice(s, func(i, j int) bool { return s[i].Key < s[j].Key })
+	}
+}

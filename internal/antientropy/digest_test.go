@@ -1,0 +1,159 @@
+package antientropy
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+)
+
+func TestHashesDistinguishStates(t *testing.T) {
+	k := keyspace.FromFloat(0.3)
+	if ItemHash(k, []byte("a")) == ItemHash(k, []byte("b")) {
+		t.Error("different values hash equal")
+	}
+	if ItemHash(k, []byte("a")) == ItemHash(keyspace.FromFloat(0.4), []byte("a")) {
+		t.Error("different keys hash equal")
+	}
+	if ItemHash(k, nil) == TombHash(k) {
+		t.Error("empty item collides with tombstone")
+	}
+	if ItemHash(k, []byte("x")) != ItemHash(k, []byte("x")) {
+		t.Error("hash not deterministic")
+	}
+	// The tombstone hash must not depend on anything but the key: every
+	// node that applied the delete digests identically.
+	if TombHash(k) != TombHash(k) {
+		t.Error("tombstone hash not deterministic")
+	}
+}
+
+func TestBucketPartitionsCircle(t *testing.T) {
+	if got := Bucket(8, 0); got != 0 {
+		t.Errorf("Bucket(8, 0) = %d", got)
+	}
+	if got := Bucket(8, keyspace.MaxKey); got != 255 {
+		t.Errorf("Bucket(8, max) = %d", got)
+	}
+	if got := Bucket(8, keyspace.FromFloat(0.5)); got != 128 {
+		t.Errorf("Bucket(8, 0.5) = %d", got)
+	}
+	if got := Bucket(1, keyspace.FromFloat(0.75)); got != 1 {
+		t.Errorf("Bucket(1, 0.75) = %d", got)
+	}
+}
+
+func TestTreeToggleSemantics(t *testing.T) {
+	tr := NewTree(4)
+	k1, k2 := keyspace.FromFloat(0.1), keyspace.FromFloat(0.9)
+	h1, h2 := ItemHash(k1, []byte("v1")), ItemHash(k2, []byte("v2"))
+
+	tr.Apply(k1, h1)
+	tr.Apply(k2, h2)
+	if tr.Root() == 0 {
+		t.Fatal("non-empty tree has zero root")
+	}
+
+	// Removing both states restores the empty digest.
+	tr.Apply(k1, h1)
+	tr.Apply(k2, h2)
+	if tr.Root() != 0 {
+		t.Error("toggling all states out left a non-zero root")
+	}
+	for i, l := range tr.Leaves() {
+		if l != 0 {
+			t.Errorf("leaf %d non-zero after full removal", i)
+		}
+	}
+
+	// Replace: toggle old out, new in; equals a tree built fresh.
+	tr.Apply(k1, h1)
+	tr.Apply(k1, h1)
+	tr.Apply(k1, ItemHash(k1, []byte("v1b")))
+	fresh := NewTree(4)
+	fresh.Apply(k1, ItemHash(k1, []byte("v1b")))
+	if !reflect.DeepEqual(tr.Leaves(), fresh.Leaves()) {
+		t.Error("replace path diverges from fresh build")
+	}
+}
+
+func TestTreeOrderIndependence(t *testing.T) {
+	keys := []keyspace.Key{
+		keyspace.FromFloat(0.11), keyspace.FromFloat(0.52),
+		keyspace.FromFloat(0.521), keyspace.FromFloat(0.97),
+	}
+	a, b := NewTree(8), NewTree(8)
+	for _, k := range keys {
+		a.Apply(k, ItemHash(k, []byte("v")))
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		b.Apply(keys[i], ItemHash(keys[i], []byte("v")))
+	}
+	if !reflect.DeepEqual(a.Leaves(), b.Leaves()) {
+		t.Error("digest depends on insertion order")
+	}
+}
+
+func TestDiffLeaves(t *testing.T) {
+	a := []uint64{1, 2, 3, 0}
+	b := []uint64{1, 9, 3, 0}
+	if got := DiffLeaves(a, b); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("diff = %v", got)
+	}
+	if got := DiffLeaves(a, a); got != nil {
+		t.Errorf("self-diff = %v", got)
+	}
+	// nil reads as all-zero: every non-empty bucket of the other side.
+	if got := DiffLeaves(a, nil); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("diff vs nil = %v", got)
+	}
+}
+
+func TestDiffPlan(t *testing.T) {
+	k := func(f float64) keyspace.Key { return keyspace.FromFloat(f) }
+	owner := []State{
+		{Key: k(0.1), Hash: ItemHash(k(0.1), []byte("same"))},
+		{Key: k(0.2), Hash: ItemHash(k(0.2), []byte("fresh"))},   // stale at replica
+		{Key: k(0.3), Hash: ItemHash(k(0.3), []byte("missing"))}, // absent at replica
+		{Key: k(0.4), Hash: TombHash(k(0.4)), Deleted: true},     // replica missed the delete
+		{Key: k(0.5), Hash: TombHash(k(0.5)), Deleted: true},     // both deleted: agree
+	}
+	replica := []State{
+		{Key: k(0.1), Hash: ItemHash(k(0.1), []byte("same"))},
+		{Key: k(0.2), Hash: ItemHash(k(0.2), []byte("stale"))},
+		{Key: k(0.4), Hash: ItemHash(k(0.4), []byte("resurrected"))},
+		{Key: k(0.5), Hash: TombHash(k(0.5)), Deleted: true},
+		{Key: k(0.6), Hash: ItemHash(k(0.6), []byte("stray"))}, // no owner state
+	}
+	p := Diff(owner, replica)
+	if !reflect.DeepEqual(p.Push, []keyspace.Key{k(0.2), k(0.3)}) {
+		t.Errorf("push = %v", p.Push)
+	}
+	if !reflect.DeepEqual(p.Tombs, []keyspace.Key{k(0.4)}) {
+		t.Errorf("tombs = %v", p.Tombs)
+	}
+	if !reflect.DeepEqual(p.Drop, []keyspace.Key{k(0.6)}) {
+		t.Errorf("drop = %v", p.Drop)
+	}
+	if p.Size() != 4 || p.Empty() {
+		t.Errorf("size = %d, empty = %v", p.Size(), p.Empty())
+	}
+	if !Diff(nil, nil).Empty() {
+		t.Error("empty diff not empty")
+	}
+}
+
+func TestFilterBuckets(t *testing.T) {
+	states := []State{
+		{Key: keyspace.FromFloat(0.01)}, // bucket 2 at depth 8
+		{Key: keyspace.FromFloat(0.5)},  // bucket 128
+		{Key: keyspace.FromFloat(0.99)}, // bucket 253
+	}
+	got := FilterBuckets(states, 8, []int{128, 253})
+	if len(got) != 2 || got[0].Key != states[1].Key || got[1].Key != states[2].Key {
+		t.Errorf("filter = %v", got)
+	}
+	if got := FilterBuckets(states, 8, nil); got != nil {
+		t.Errorf("empty bucket set kept %v", got)
+	}
+}

@@ -7,8 +7,10 @@ import (
 )
 
 // Maintenance runs a node's periodic background work: ring stabilisation
-// every interval, and a full rewiring pass every rewireEvery intervals
-// (0 disables rewiring). Stop it with Stop; stopping is idempotent.
+// every interval, a full rewiring pass every rewireEvery intervals (0
+// disables rewiring), and — when the node is configured with an
+// AntiEntropy interval — a digest sync of the replica chain on its own
+// cadence. Stop it with Stop; stopping is idempotent.
 type Maintenance struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -50,6 +52,28 @@ func (n *Node) StartMaintenance(interval time.Duration, rewireEvery int) *Mainte
 			}
 		}
 	}()
+	if ae := n.cfg.AntiEntropy; ae > 0 && n.cfg.Replicas > 1 {
+		// Anti-entropy runs on its own ticker: its cadence is a durability
+		// knob (how long silent divergence can live), independent of how
+		// aggressively the ring is repaired.
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			ticker := time.NewTicker(ae)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-m.stop:
+					return
+				case <-ticker.C:
+					if n.isDown() {
+						return
+					}
+					n.AntiEntropy(ctx)
+				}
+			}
+		}()
+	}
 	return m
 }
 

@@ -65,6 +65,64 @@ func TestMaintenanceHealsRing(t *testing.T) {
 	}
 }
 
+// TestMaintenanceRunsAntiEntropy lets the background anti-entropy ticker
+// (rather than a manual AntiEntropy call) repair a diverged replica.
+func TestMaintenanceRunsAntiEntropy(t *testing.T) {
+	fabric := transport.NewFabric()
+	var nodes []*Node
+	for i := 0; i < 4; i++ {
+		n := NewNode(fabric.Endpoint(), Config{
+			Key: keyspace.FromFloat(float64(i)/4 + 0.1), Replicas: 2,
+			AntiEntropy: 10 * time.Millisecond, Seed: int64(i),
+		})
+		if i > 0 {
+			if err := n.Join(context.Background(), nodes[0].Self().Addr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	for round := 0; round < 4; round++ {
+		for _, n := range nodes {
+			n.Stabilize(context.Background())
+		}
+	}
+	owner := nodes[1] // key 0.35
+	k := owner.Self().Key - 5
+	if _, err := nodes[0].Put(context.Background(), k, []byte("copy")); err != nil {
+		t.Fatal(err)
+	}
+	replica := nodeByAddr(t, nodes, owner.SuccList()[0].Addr)
+	if _, ok := replica.ReplicaValue(k); !ok {
+		t.Fatal("write push did not reach the replica")
+	}
+	replica.DropReplica(k)
+
+	var maints []*Maintenance
+	for _, n := range nodes {
+		maints = append(maints, n.StartMaintenance(5*time.Millisecond, 0))
+	}
+	defer func() {
+		for _, m := range maints {
+			m.Stop()
+		}
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if v, ok := replica.ReplicaValue(k); ok && string(v) == "copy" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background anti-entropy did not repair the replica in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 func TestMaintenanceStopIdempotent(t *testing.T) {
 	fabric := transport.NewFabric()
 	n := NewNode(fabric.Endpoint(), Config{Key: 1})

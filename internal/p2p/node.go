@@ -13,7 +13,9 @@ package p2p
 import (
 	"math/rand"
 	"sync"
+	"time"
 
+	"github.com/oscar-overlay/oscar/internal/antientropy"
 	"github.com/oscar-overlay/oscar/internal/keyspace"
 	"github.com/oscar-overlay/oscar/internal/storage"
 	"github.com/oscar-overlay/oscar/internal/transport"
@@ -40,6 +42,18 @@ type Config struct {
 	// crash loses routing entries but no data as long as fewer than r
 	// consecutive ring members fail together. Default 1 (no replication).
 	Replicas int
+	// AntiEntropy, when positive, is the cadence of the periodic digest
+	// sync: the maintenance loop runs an AntiEntropy pass against the
+	// replica chain every interval, repairing divergence that no membership
+	// change surfaced (a replica that missed a write push, a delete that
+	// raced a crash). Zero leaves periodic sync off; membership-change
+	// repair in Stabilize still runs.
+	AntiEntropy time.Duration
+	// TombstoneTTL bounds how long a delete is remembered for anti-entropy
+	// purposes. It must exceed the anti-entropy interval by a comfortable
+	// margin: a tombstone only needs to survive until every replica has
+	// applied it. Default 10 minutes.
+	TombstoneTTL time.Duration
 	// Seed drives the node's local randomness.
 	Seed int64
 }
@@ -65,6 +79,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Replicas < 1 {
 		c.Replicas = 1
+	}
+	if c.TombstoneTTL == 0 {
+		c.TombstoneTTL = 10 * time.Minute
 	}
 }
 
@@ -105,9 +122,14 @@ type Node struct {
 	// successor. An empty list means the node is (or believes it is) a
 	// one-peer ring. Stabilize refreshes the tail from the live successor.
 	succs []transport.PeerRef
-	pred  transport.PeerRef
-	out   []transport.PeerRef
-	in    map[transport.Addr]keyspace.Key
+	// succsWrapped records that the last list refresh stopped because the
+	// ring wrapped back to this node — the list provably covers the whole
+	// ring, so its length is an exact peer count. A short list without
+	// this flag (fresh join, post-crash fallback) proves nothing.
+	succsWrapped bool
+	pred         transport.PeerRef
+	out          []transport.PeerRef
+	in           map[transport.Addr]keyspace.Key
 	// store holds the arc the node owns: (pred, self].
 	store storage.Store
 	// replStore holds copies of predecessors' arcs pushed by their owners;
@@ -117,7 +139,19 @@ type Node struct {
 	// lastChain snapshots the replica targets of the previous stabilisation
 	// round; a difference triggers re-replication of the local arc.
 	lastChain []transport.Addr
-	down      bool
+	// sizeEst is the gossip-maintained ring-size estimate: a blend of the
+	// node's own successor-list density estimate and its neighbours'
+	// estimates, exchanged on succ_list traffic. 0 until the first
+	// stabilisation.
+	sizeEst float64
+	// lastGCPred and gcTick schedule the replica-collection walk: a
+	// predecessor change (or the periodic fallback reaching zero) makes
+	// the next stabilisation run it.
+	lastGCPred transport.Addr
+	gcTick     int
+	// stats accumulates anti-entropy work over the node's lifetime.
+	stats SyncStats
+	down  bool
 
 	rnd *lockedRand
 }
@@ -135,6 +169,10 @@ func NewNode(tr transport.Transport, cfg Config) *Node {
 		rnd:  &lockedRand{r: rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.Key)))},
 	}
 	n.pred = n.self
+	// The primary store carries the incrementally-maintained arc digest:
+	// the store holds exactly the owned arc, so its leaf vector is the
+	// owner-side summary every sync round starts from.
+	n.store.EnableDigest(antientropy.DefaultDepth)
 	tr.Serve(n.handle)
 	return n
 }
@@ -167,6 +205,7 @@ func (n *Node) succLocked() transport.PeerRef {
 // new closer successor precedes the old one) until the next Stabilize
 // refreshes the list from p itself.
 func (n *Node) setSuccLocked(p transport.PeerRef) {
+	n.succsWrapped = false // provisional list: wrap knowledge is stale
 	if p.Addr == "" || p.Addr == n.self.Addr {
 		n.succs = nil
 		return
@@ -248,6 +287,93 @@ func (n *Node) ReplicaItems() int {
 	return n.replStore.Len()
 }
 
+// Tombstones returns the number of tombstones held across the primary and
+// replica stores (deletes remembered for anti-entropy, not yet collected).
+func (n *Node) Tombstones() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.store.TombstoneCount() + n.replStore.TombstoneCount()
+}
+
+// SizeEstimate returns the gossip-maintained ring-size estimate: the blend
+// of this node's successor-list density estimate with its neighbours',
+// refreshed every stabilisation. On rings small enough for the successor
+// list to wrap it is an exact count. 0 means no estimate yet (no
+// stabilisation has run); a one-peer ring reports 1.
+func (n *Node) SizeEstimate() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if local, exact := n.localSizeEstimateLocked(); exact || n.sizeEst == 0 {
+		return local
+	}
+	return n.sizeEst
+}
+
+// localSizeEstimateLocked estimates the ring size from successor-list
+// density: k successors spanning fraction f of the circle imply about k/f
+// peers. When the last list refresh provably wrapped the ring, the list
+// covers every peer, the count is exact, and gossip must not dilute it
+// (exact is returned true). A short list without the wrap proof (fresh
+// join, post-crash fallback) still yields a density estimate — never a
+// confident miscount.
+func (n *Node) localSizeEstimateLocked() (est float64, exact bool) {
+	k := len(n.succs)
+	if k == 0 {
+		return 1, true
+	}
+	if n.succsWrapped {
+		return float64(k + 1), true // whole ring in the list
+	}
+	frac := keyspace.Key(n.self.Key.Distance(n.succs[k-1].Key)).Float()
+	if frac <= 0 {
+		return float64(k + 1), false
+	}
+	return float64(k) / frac, false
+}
+
+// arcLocked returns the arc this node owns, (pred, self]. The arc is only
+// well defined with a known, distinct predecessor: pred == self means the
+// slot was cleared by a failure, and an equal key would read as the full
+// circle.
+func (n *Node) arcLocked() (keyspace.Range, bool) {
+	if n.pred.Addr == "" || n.pred.Addr == n.self.Addr || n.pred.Key == n.self.Key {
+		return keyspace.Range{}, false
+	}
+	return keyspace.Range{Start: n.pred.Key + 1, End: n.self.Key + 1}, true
+}
+
+// InjectReplica plants (or overwrites) a replica copy directly in the
+// node's replica store, bypassing the protocol — a fault-injection hook for
+// divergence tests and harnesses, never used by the overlay itself.
+func (n *Node) InjectReplica(k keyspace.Key, v []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.replStore.Put(k, v)
+}
+
+// DropReplica erases every trace of k (copy and tombstone) from the node's
+// replica store — the fault-injection counterpart of InjectReplica.
+func (n *Node) DropReplica(k keyspace.Key) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.replStore.Drop(k)
+}
+
+// ReplicaValue reads a replica copy directly (test/inspection hook).
+func (n *Node) ReplicaValue(k keyspace.Key) ([]byte, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.replStore.Get(k)
+}
+
+// ReplicaDeleted reports whether the replica store remembers k as deleted.
+func (n *Node) ReplicaDeleted(k keyspace.Key) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.replStore.Tombstone(k)
+	return ok
+}
+
 // Close takes the node off the network (a crash: no graceful handover).
 func (n *Node) Close() error {
 	n.mu.Lock()
@@ -281,10 +407,25 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 
 	case transport.OpSuccList:
 		// One RPC answers both stabilisation questions: the responder's
-		// predecessor (Peer) and its successor list (Peers).
+		// predecessor (Peer) and its successor list (Peers). The exchange
+		// doubles as one gossip round of ring-size estimation: fold the
+		// caller's estimate into ours and return the result (push-pull
+		// averaging preserves the mean and spreads every local density
+		// estimate across the ring). An exact local count — the list wraps
+		// the whole ring — overrides gossip instead of blending into it.
+		if local, exact := n.localSizeEstimateLocked(); exact {
+			n.sizeEst = local
+		} else if req.SizeEst > 0 {
+			if n.sizeEst == 0 {
+				n.sizeEst = req.SizeEst
+			} else {
+				n.sizeEst = (n.sizeEst + req.SizeEst) / 2
+			}
+		}
 		return &transport.Response{
 			OK: true, Peer: n.pred,
-			Peers: append([]transport.PeerRef(nil), n.succs...),
+			Peers:   append([]transport.PeerRef(nil), n.succs...),
+			SizeEst: n.sizeEst,
 		}
 
 	case transport.OpNotify:
@@ -349,25 +490,49 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 	case transport.OpReplicate:
 		// Owner→replica push, bypassing routing: copies land in the replica
 		// store so they never pollute range scans or migrations of the arc
-		// this node owns. A push that names the owner's arc (re-replication
-		// after a membership change) is authoritative for it: stale copies
-		// in that arc — including deletes this replica missed — are dropped
-		// before the fresh set lands. Single-item write pushes carry no
-		// range (the zero Range reads as the full circle, never a real arc).
-		if !req.Range.IsFull() {
-			n.replStore.ExtractRange(req.Range)
+		// this node owns. One op carries all three repair verbs of the
+		// anti-entropy plan — upserts (Items), deletes the replica missed
+		// (Tombs: clear the copy, remember the delete), and strays the
+		// owner has no record of (Drop: forget every trace). Write-time
+		// pushes are the single-item degenerate case.
+		for _, k := range req.Drop {
+			n.replStore.Drop(k)
 		}
+		n.replStore.InsertTombstones(req.Tombs)
 		n.replStore.InsertBulk(req.Items)
 		return &transport.Response{OK: true}
 
 	case transport.OpReplicateDel:
-		// A delete propagated along the chain clears both stores: the copy,
-		// and any promoted remnant from an earlier ownership change.
-		found := n.replStore.Delete(req.Key)
-		if n.store.Delete(req.Key) {
+		// A delete propagated along the chain tombstones the copy — so a
+		// later stale push cannot resurrect it silently — and clears any
+		// promoted remnant from an earlier ownership change. The primary
+		// store records the delete only for keys in this node's own arc
+		// (where it is the authority); a foreign key's tombstone would sit
+		// in the maintained arc digest and make every future digest round
+		// against this node's own replicas mismatch until TTL GC.
+		found := n.replStore.SetTombstone(req.Key, time.Now().UnixNano())
+		if arc, ok := n.arcLocked(); ok && arc.Contains(req.Key) {
+			if n.store.Delete(req.Key) {
+				found = true
+			}
+		} else if _, live := n.store.Get(req.Key); live {
+			n.store.Drop(req.Key)
 			found = true
 		}
 		return &transport.Response{OK: true, Found: found}
+
+	case transport.OpDigest:
+		// An arc owner asks what this replica holds of its arc: the digest
+		// leaf vector over the replica store restricted to the arc,
+		// tombstones included. Equal vectors end the sync round right here.
+		return &transport.Response{OK: true, Digest: n.replStore.Digest(req.Range, req.Depth)}
+
+	case transport.OpSyncPull:
+		// Key-level follow-up for the buckets whose digests disagreed: the
+		// per-key states (hash + deleted flag) this replica holds of the
+		// owner's arc in those buckets.
+		states := antientropy.FilterBuckets(n.replStore.SyncStates(req.Range), req.Depth, req.Buckets)
+		return &transport.Response{OK: true, States: states}
 
 	case transport.OpRangeScan:
 		var items []storage.Item
@@ -381,9 +546,12 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 		return &transport.Response{OK: true, Items: items, Peer: n.succLocked()}
 
 	case transport.OpMigrate:
-		// The joining predecessor takes over its arc.
+		// The joining predecessor takes over its arc — items and the
+		// tombstones covering it, so deletes stay deleted across the
+		// ownership change.
 		items := n.store.ExtractRange(req.Range)
-		return &transport.Response{OK: true, Items: items}
+		tombs := n.store.ExtractTombstones(req.Range)
+		return &transport.Response{OK: true, Items: items, Tombs: tombs}
 
 	default:
 		return &transport.Response{OK: false, Err: "unknown op"}

@@ -67,12 +67,14 @@ func (n *Node) Join(ctx context.Context, introducer transport.Addr) error {
 		}
 	}
 
-	// Take over the arc (pred, self] from the successor.
+	// Take over the arc (pred, self] from the successor — the items, and
+	// the tombstones covering it, so deletes survive the ownership change.
 	arc := keyspace.Range{Start: predKey + 1, End: n.self.Key + 1}
 	mig, err := n.tr.CallCtx(ctx, owner.Addr, &transport.Request{Op: transport.OpMigrate, Range: arc, From: n.self})
-	if err == nil && mig.OK && len(mig.Items) > 0 {
+	if err == nil && mig.OK && (len(mig.Items) > 0 || len(mig.Tombs) > 0) {
 		n.mu.Lock()
 		n.store.InsertBulk(mig.Items)
+		n.store.InsertTombstones(mig.Tombs)
 		n.mu.Unlock()
 	}
 
@@ -103,10 +105,27 @@ func (n *Node) Stabilize(ctx context.Context) {
 		succErr  error
 		predDead bool
 	)
+	// Refresh the ring-size estimate before the exchange: fold the local
+	// successor-list density estimate into the gossip value, then piggyback
+	// it on the succ_list RPC (the responder folds it in and returns its
+	// own — one push-pull gossip round per stabilisation, no extra
+	// messages). An exact local count — the list wraps the whole ring —
+	// overrides the gossip value outright.
+	n.mu.Lock()
+	local, exact := n.localSizeEstimateLocked()
+	switch {
+	case exact || n.sizeEst == 0:
+		n.sizeEst = local
+	default:
+		n.sizeEst = 0.75*n.sizeEst + 0.25*local
+	}
+	est := n.sizeEst
+	n.mu.Unlock()
+
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		succResp, succErr = n.tr.CallCtx(ctx, succ.Addr, &transport.Request{Op: transport.OpSuccList})
+		succResp, succErr = n.tr.CallCtx(ctx, succ.Addr, &transport.Request{Op: transport.OpSuccList, SizeEst: est, From: n.self})
 	}()
 	if pred.Addr != n.self.Addr {
 		wg.Add(1)
@@ -137,6 +156,15 @@ func (n *Node) Stabilize(ctx context.Context) {
 		// Successor is dead: walk the successor list for a live entry.
 		n.adoptNextSuccessor(ctx)
 	} else {
+		// Close the gossip round: average in the successor's estimate
+		// (unless our own count is exact — a wrapped list beats gossip).
+		if succResp.SizeEst > 0 {
+			n.mu.Lock()
+			if _, exact := n.localSizeEstimateLocked(); !exact {
+				n.sizeEst = (n.sizeEst + succResp.SizeEst) / 2
+			}
+			n.mu.Unlock()
+		}
 		x := succResp.Peer // the successor's predecessor
 		adopted := false
 		if x.Addr != "" && x.Addr != n.self.Addr && x.Key.Between(n.self.Key, succ.Key) {
@@ -156,6 +184,8 @@ func (n *Node) Stabilize(ctx context.Context) {
 	}
 
 	n.syncReplicas(ctx)
+	n.maybeGCReplicas(ctx)
+	n.gcTombstones()
 }
 
 // refreshSuccList rebuilds the successor list as head followed by head's
@@ -167,12 +197,14 @@ func (n *Node) refreshSuccList(head transport.PeerRef, tail []transport.PeerRef)
 	limit := n.succListLen()
 	list := make([]transport.PeerRef, 0, limit)
 	list = append(list, head)
+	wrapped := false
 	for _, p := range tail {
 		if len(list) >= limit {
 			break
 		}
 		if p.Addr == "" || p.Addr == n.self.Addr {
-			break // the ring wrapped back around to us
+			wrapped = p.Addr == n.self.Addr // the ring wrapped back to us
+			break
 		}
 		if p.Addr == head.Addr {
 			continue
@@ -184,6 +216,7 @@ func (n *Node) refreshSuccList(head transport.PeerRef, tail []transport.PeerRef)
 	// in flight.
 	if n.succLocked().Addr == head.Addr {
 		n.succs = list
+		n.succsWrapped = wrapped
 	}
 }
 
@@ -209,6 +242,7 @@ func (n *Node) adoptNextSuccessor(ctx context.Context) {
 			return false
 		}
 		n.succs = succs
+		n.succsWrapped = false // repaired tail: wrap knowledge is stale
 		return true
 	}
 	if len(list) > 1 {
@@ -266,32 +300,42 @@ func (n *Node) adoptNextSuccessor(ctx context.Context) {
 }
 
 // syncReplicas is the replication upkeep run at the end of every
-// stabilisation round. Two duties: promote replica copies whose keys fell
+// stabilisation round. Three duties: promote replica state whose keys fell
 // into the node's own arc (it inherited them when its predecessor range
-// expanded after a crash), and push the whole local arc to the first r-1
-// successor-list entries whenever that membership — or a promotion —
-// changed what the chain must hold. Pushes are bulk and idempotent;
-// a target that misses one round is caught by the next membership change,
-// which its own death or recovery necessarily triggers.
+// expanded after a crash), digest-sync the replica chain whenever that
+// membership — or a promotion — changed what the chain must hold, and
+// garbage-collect replica state stranded outside the chains this node still
+// serves. Re-replication is incremental: instead of re-pushing the whole
+// arc, the owner compares Merkle-style digests with each chain member and
+// ships only the missing or stale keys, so repair traffic is proportional
+// to the divergence, not the shard. A target that misses one round is
+// caught by the next membership change or anti-entropy tick.
 func (n *Node) syncReplicas(ctx context.Context) {
 	if n.cfg.Replicas <= 1 {
 		return
 	}
 	n.mu.Lock()
-	// The owned arc (pred, self] is only well defined with a known,
-	// distinct predecessor: pred == self means the slot was cleared by a
-	// failure, and an equal key would read as the full circle.
-	var arc keyspace.Range
-	haveArc := n.pred.Addr != "" && n.pred.Addr != n.self.Addr && n.pred.Key != n.self.Key
+	arc, haveArc := n.arcLocked()
 	promoted := 0
 	if haveArc {
-		arc = keyspace.Range{Start: n.pred.Key + 1, End: n.self.Key + 1}
+		// Promote inherited items — absent keys only: a primary copy, when
+		// present, is at least as fresh as any replica of it, and a primary
+		// tombstone means the key is deleted, not missing.
 		for _, it := range n.replStore.ExtractRange(arc) {
-			// Absent keys only: a primary copy, when present, is at least
-			// as fresh as any replica of it.
-			if _, ok := n.store.Get(it.Key); !ok {
+			_, live := n.store.Get(it.Key)
+			_, dead := n.store.Tombstone(it.Key)
+			if !live && !dead {
 				n.store.Put(it.Key, it.Value)
 				promoted++
+			}
+		}
+		// Promote inherited delete knowledge: the previous owner's deletes
+		// must keep holding once this node answers for the arc. A live
+		// primary copy wins (it can only postdate the replica's tombstone
+		// via a fresh write).
+		for _, tb := range n.replStore.ExtractTombstones(arc) {
+			if _, live := n.store.Get(tb.Key); !live {
+				n.store.SetTombstone(tb.Key, tb.At)
 			}
 		}
 	}
@@ -305,32 +349,22 @@ func (n *Node) syncReplicas(ctx context.Context) {
 			}
 		}
 	}
-	var items []storage.Item
 	if changed {
 		chain := make([]transport.Addr, len(targets))
 		for i, p := range targets {
 			chain[i] = p.Addr
 		}
 		n.lastChain = chain
-		items = n.store.Items()
 	}
 	n.mu.Unlock()
 
-	if !changed || len(targets) == 0 || (len(items) == 0 && !haveArc) {
+	if !changed || len(targets) == 0 || !haveArc {
 		return
 	}
-	addrs := make([]transport.Addr, len(targets))
-	for i, p := range targets {
-		addrs[i] = p.Addr
-	}
-	// With a well-defined arc the push is an authoritative sync: replicas
-	// drop whatever else they held of this arc (stale copies, missed
-	// deletes) before installing the fresh set — even an empty one.
-	req := &transport.Request{Op: transport.OpReplicate, Items: items, From: n.self}
-	if haveArc {
-		req.Range = arc
-	}
-	transport.Broadcast(ctx, n.tr, addrs, req)
+	total := n.syncChain(ctx, targets, arc)
+	n.mu.Lock()
+	n.stats.add(total)
+	n.mu.Unlock()
 }
 
 // CountPeers walks the ring clockwise via successor pointers and returns

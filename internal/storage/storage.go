@@ -6,11 +6,27 @@
 // Items are kept in a sorted slice: stores hold one peer's shard (thousands
 // of items, not millions), where binary search plus contiguous memory beats
 // pointer-chasing tree structures.
+//
+// Two replication concerns live here alongside the items:
+//
+//   - Tombstones. Delete does not just remove the item — it records the key
+//     as deleted (with a timestamp for TTL garbage collection), so that
+//     anti-entropy sync and arc re-syncs can distinguish "this replica never
+//     saw the key" from "this key was deleted" and never resurrect deleted
+//     data from a stale copy. A later Put clears the tombstone.
+//
+//   - Digests. A store can maintain an antientropy.Tree summary of its
+//     contents (items and tombstones alike), updated in O(1) on every
+//     mutation, so an arc owner can open a sync round without rehashing its
+//     shard. Stores that don't need it (replica stores, the simulator's
+//     shards) compute digests on demand with Digest instead.
 package storage
 
 import (
 	"sort"
+	"time"
 
+	"github.com/oscar-overlay/oscar/internal/antientropy"
 	"github.com/oscar-overlay/oscar/internal/keyspace"
 )
 
@@ -20,31 +36,65 @@ type Item struct {
 	Value []byte
 }
 
+// Tombstone records one deleted key and when it was deleted (unix
+// nanoseconds, by the clock of the node that recorded it). The timestamp
+// drives TTL garbage collection only — it is deliberately excluded from
+// digests, so two nodes that agree a key is deleted agree on its hash no
+// matter when each learned of the delete.
+type Tombstone struct {
+	Key keyspace.Key `json:"key"`
+	At  int64        `json:"at"`
+}
+
 // Store is one peer's shard, ordered by key. The zero value is an empty
 // store ready to use.
 type Store struct {
-	items []Item // sorted by Key ascending
+	items []Item      // sorted by Key ascending
+	tombs []Tombstone // sorted by Key ascending; disjoint from items
+	// tree, when enabled, is the incrementally-maintained digest of items
+	// and tombstones together.
+	tree *antientropy.Tree
 }
 
-// Len returns the number of items.
+// Len returns the number of live items (tombstones excluded).
 func (s *Store) Len() int { return len(s.items) }
+
+// TombstoneCount returns the number of recorded tombstones.
+func (s *Store) TombstoneCount() int { return len(s.tombs) }
 
 // search returns the index of the first item with key >= k.
 func (s *Store) search(k keyspace.Key) int {
 	return sort.Search(len(s.items), func(i int) bool { return s.items[i].Key >= k })
 }
 
+// searchTomb returns the index of the first tombstone with key >= k.
+func (s *Store) searchTomb(k keyspace.Key) int {
+	return sort.Search(len(s.tombs), func(i int) bool { return s.tombs[i].Key >= k })
+}
+
+// apply toggles a state hash in the digest tree, if one is maintained.
+func (s *Store) apply(k keyspace.Key, h uint64) {
+	if s.tree != nil {
+		s.tree.Apply(k, h)
+	}
+}
+
 // Put inserts or replaces the value for k and reports whether an existing
-// item was replaced. The value slice is stored as-is (callers own it).
+// item was replaced. The value slice is stored as-is (callers own it). A
+// tombstone for k, if any, is cleared: a fresh write supersedes the delete.
 func (s *Store) Put(k keyspace.Key, v []byte) (replaced bool) {
+	s.clearTombstone(k)
 	i := s.search(k)
 	if i < len(s.items) && s.items[i].Key == k {
+		s.apply(k, antientropy.ItemHash(k, s.items[i].Value))
 		s.items[i].Value = v
+		s.apply(k, antientropy.ItemHash(k, v))
 		return true
 	}
 	s.items = append(s.items, Item{})
 	copy(s.items[i+1:], s.items[i:])
 	s.items[i] = Item{Key: k, Value: v}
+	s.apply(k, antientropy.ItemHash(k, v))
 	return false
 }
 
@@ -57,20 +107,118 @@ func (s *Store) Get(k keyspace.Key) ([]byte, bool) {
 	return nil, false
 }
 
-// Delete removes the item with key k and reports whether it existed.
+// Delete removes the item with key k and reports whether it existed. The
+// delete is recorded as a tombstone (whether or not an item existed — the
+// caller may be clearing a copy it cannot see), timestamped now, so sync
+// protocols propagate it instead of resurrecting the key from stale copies.
 func (s *Store) Delete(k keyspace.Key) bool {
+	return s.DeleteAt(k, time.Now().UnixNano())
+}
+
+// DeleteAt is Delete with an explicit tombstone timestamp (unix nanos).
+func (s *Store) DeleteAt(k keyspace.Key, at int64) bool {
+	existed := s.removeItem(k)
+	s.setTomb(k, at)
+	return existed
+}
+
+// removeItem removes the live item for k without recording a tombstone.
+func (s *Store) removeItem(k keyspace.Key) bool {
 	i := s.search(k)
 	if i == len(s.items) || s.items[i].Key != k {
 		return false
 	}
+	s.apply(k, antientropy.ItemHash(k, s.items[i].Value))
 	s.items = append(s.items[:i], s.items[i+1:]...)
 	return true
+}
+
+// setTomb records (or refreshes) the tombstone for k, keeping the newest
+// timestamp. The digest is unchanged when a tombstone already exists: the
+// tombstone hash covers the key only, so refreshing the clock is invisible.
+func (s *Store) setTomb(k keyspace.Key, at int64) {
+	i := s.searchTomb(k)
+	if i < len(s.tombs) && s.tombs[i].Key == k {
+		if at > s.tombs[i].At {
+			s.tombs[i].At = at
+		}
+		return
+	}
+	s.tombs = append(s.tombs, Tombstone{})
+	copy(s.tombs[i+1:], s.tombs[i:])
+	s.tombs[i] = Tombstone{Key: k, At: at}
+	s.apply(k, antientropy.TombHash(k))
+}
+
+// clearTombstone removes the tombstone for k, if any.
+func (s *Store) clearTombstone(k keyspace.Key) bool {
+	i := s.searchTomb(k)
+	if i == len(s.tombs) || s.tombs[i].Key != k {
+		return false
+	}
+	s.apply(k, antientropy.TombHash(k))
+	s.tombs = append(s.tombs[:i], s.tombs[i+1:]...)
+	return true
+}
+
+// SetTombstone applies a delete learned from elsewhere (an owner's
+// anti-entropy push, a replicated delete): the live copy, if any, is
+// removed and the key is marked deleted with the given timestamp (newest
+// wins). It reports whether a live item was removed.
+func (s *Store) SetTombstone(k keyspace.Key, at int64) bool {
+	existed := s.removeItem(k)
+	s.setTomb(k, at)
+	return existed
+}
+
+// Tombstone returns the deletion timestamp for k, if the key is tombstoned.
+func (s *Store) Tombstone(k keyspace.Key) (int64, bool) {
+	i := s.searchTomb(k)
+	if i < len(s.tombs) && s.tombs[i].Key == k {
+		return s.tombs[i].At, true
+	}
+	return 0, false
+}
+
+// InsertTombstones merges learned tombstones into the store (newest
+// timestamp wins), removing any live copies of those keys.
+func (s *Store) InsertTombstones(tombs []Tombstone) {
+	for _, tb := range tombs {
+		s.SetTombstone(tb.Key, tb.At)
+	}
+}
+
+// Drop removes every trace of k — live item and tombstone alike — without
+// recording a delete. It is the cleanup primitive for stray replica state
+// the arc owner has no record of.
+func (s *Store) Drop(k keyspace.Key) {
+	s.removeItem(k)
+	s.clearTombstone(k)
+}
+
+// GCTombstones discards tombstones recorded before cutoff (unix nanos) and
+// returns how many were collected. Run it on a TTL well above the
+// anti-entropy interval: a tombstone only needs to survive until every
+// replica has either applied it or been dropped from the chain.
+func (s *Store) GCTombstones(cutoff int64) int {
+	kept := s.tombs[:0]
+	dropped := 0
+	for _, tb := range s.tombs {
+		if tb.At < cutoff {
+			s.apply(tb.Key, antientropy.TombHash(tb.Key))
+			dropped++
+		} else {
+			kept = append(kept, tb)
+		}
+	}
+	s.tombs = kept
+	return dropped
 }
 
 // Scan visits items whose keys lie in the clockwise arc rg, in clockwise
 // order starting from rg.Start; fn returning false stops the scan. Wrapping
 // arcs are handled (the scan may start near the top of the key space and
-// continue from the bottom).
+// continue from the bottom). Tombstoned keys are not visited.
 func (s *Store) Scan(rg keyspace.Range, fn func(Item) bool) {
 	if len(s.items) == 0 {
 		return
@@ -114,12 +262,14 @@ func (s *Store) Items() []Item {
 
 // ExtractRange removes and returns the items whose keys lie in rg — the
 // migration primitive used when a joining peer takes over part of its
-// successor's arc.
+// successor's arc. Tombstones in rg are not touched; migrate them
+// separately with ExtractTombstones.
 func (s *Store) ExtractRange(rg keyspace.Range) []Item {
 	var out []Item
 	kept := s.items[:0]
 	for _, it := range s.items {
 		if rg.Contains(it.Key) {
+			s.apply(it.Key, antientropy.ItemHash(it.Key, it.Value))
 			out = append(out, it)
 		} else {
 			kept = append(kept, it)
@@ -129,9 +279,84 @@ func (s *Store) ExtractRange(rg keyspace.Range) []Item {
 	return out
 }
 
+// ExtractTombstones removes and returns the tombstones whose keys lie in rg
+// — the delete knowledge travels with the arc it covers.
+func (s *Store) ExtractTombstones(rg keyspace.Range) []Tombstone {
+	var out []Tombstone
+	kept := s.tombs[:0]
+	for _, tb := range s.tombs {
+		if rg.Contains(tb.Key) {
+			s.apply(tb.Key, antientropy.TombHash(tb.Key))
+			out = append(out, tb)
+		} else {
+			kept = append(kept, tb)
+		}
+	}
+	s.tombs = kept
+	return out
+}
+
 // InsertBulk merges items (each keyed uniquely) into the store.
 func (s *Store) InsertBulk(items []Item) {
 	for _, it := range items {
 		s.Put(it.Key, it.Value)
 	}
+}
+
+// EnableDigest attaches (or rebuilds) an incrementally-maintained digest
+// tree of the given depth, seeded from the store's current contents. Every
+// subsequent mutation updates it in O(1).
+func (s *Store) EnableDigest(depth int) {
+	s.tree = antientropy.NewTree(depth)
+	for _, it := range s.items {
+		s.tree.Apply(it.Key, antientropy.ItemHash(it.Key, it.Value))
+	}
+	for _, tb := range s.tombs {
+		s.tree.Apply(tb.Key, antientropy.TombHash(tb.Key))
+	}
+}
+
+// DigestLeaves returns the maintained digest's leaf vector, or nil if
+// EnableDigest was never called.
+func (s *Store) DigestLeaves() []uint64 {
+	if s.tree == nil {
+		return nil
+	}
+	return s.tree.Leaves()
+}
+
+// Digest computes the leaf vector of a depth-deep digest tree over the
+// store's state (items and tombstones) restricted to rg. It is the
+// on-demand counterpart of the maintained tree, used by replica stores
+// answering a digest request for one owner's arc.
+func (s *Store) Digest(rg keyspace.Range, depth int) []uint64 {
+	t := antientropy.NewTree(depth)
+	s.Scan(rg, func(it Item) bool {
+		t.Apply(it.Key, antientropy.ItemHash(it.Key, it.Value))
+		return true
+	})
+	for _, tb := range s.tombs {
+		if rg.Contains(tb.Key) {
+			t.Apply(tb.Key, antientropy.TombHash(tb.Key))
+		}
+	}
+	return t.Leaves()
+}
+
+// SyncStates returns the per-key sync states (live items and tombstones
+// merged) for keys in rg, sorted by key — the key-level unit of the
+// anti-entropy pull round.
+func (s *Store) SyncStates(rg keyspace.Range) []antientropy.State {
+	var out []antientropy.State
+	s.Scan(rg, func(it Item) bool {
+		out = append(out, antientropy.State{Key: it.Key, Hash: antientropy.ItemHash(it.Key, it.Value)})
+		return true
+	})
+	for _, tb := range s.tombs {
+		if rg.Contains(tb.Key) {
+			out = append(out, antientropy.State{Key: tb.Key, Hash: antientropy.TombHash(tb.Key), Deleted: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"sync"
 
+	"github.com/oscar-overlay/oscar/internal/antientropy"
 	"github.com/oscar-overlay/oscar/internal/keyspace"
 	"github.com/oscar-overlay/oscar/internal/storage"
 )
@@ -64,8 +65,16 @@ const (
 	// Replication protocol: the owner of an arc pushes copies of its items
 	// directly to the nodes on its successor list — no routing involved.
 	OpSuccList     Op = "succ_list"     // successor-list snapshot (Peer carries the predecessor)
-	OpReplicate    Op = "replicate"     // owner→replica push of item copies
+	OpReplicate    Op = "replicate"     // owner→replica push of copies, tombstones and drops
 	OpReplicateDel Op = "replicate_del" // owner→replica push of a delete
+
+	// Anti-entropy protocol: the owner of an arc reconciles its replicas
+	// against a Merkle-style digest instead of re-shipping the arc. One
+	// digest exchange detects divergence in O(1) traffic; one pull fetches
+	// the per-key states of the mismatched buckets; targeted replicate
+	// pushes carry only the difference.
+	OpDigest   Op = "digest"    // replica's leaf vector for an owner's arc
+	OpSyncPull Op = "sync_pull" // replica's per-key states in given buckets
 )
 
 // Request is the wire request. One struct covers all ops; unused fields are
@@ -78,9 +87,23 @@ type Request struct {
 	Range keyspace.Range `json:"range,omitempty"`
 	Value []byte         `json:"value,omitempty"`
 	Limit int            `json:"limit,omitempty"`
-	// Items carries bulk item copies for replicate pushes (the owner
-	// re-replicating its whole arc after a membership change).
+	// Items carries item copies for replicate pushes (write-time copies and
+	// anti-entropy repair batches alike).
 	Items []storage.Item `json:"items,omitempty"`
+	// Tombs carries deletes a replica must apply: each key is cleared and
+	// marked deleted (replicate pushes, arc migrations).
+	Tombs []storage.Tombstone `json:"tombs,omitempty"`
+	// Drop lists keys a replica must forget entirely — stray state the arc
+	// owner has no record of (no copy, no tombstone).
+	Drop []keyspace.Key `json:"drop,omitempty"`
+	// Depth is the digest tree depth for digest / sync_pull.
+	Depth int `json:"depth,omitempty"`
+	// Buckets selects the digest leaf buckets a sync_pull asks about.
+	Buckets []int `json:"buckets,omitempty"`
+	// SizeEst piggybacks the sender's ring-size estimate on stabilisation
+	// traffic (succ_list); receivers fold it into their own — the gossip
+	// half of membership estimation. 0 means "no estimate yet".
+	SizeEst float64 `json:"size_est,omitempty"`
 	// Exclude lists peers the query has discovered dead (or routeless);
 	// find_owner skips them — the live analogue of the simulator's
 	// per-query known-dead set.
@@ -98,9 +121,20 @@ type Response struct {
 	Value  []byte         `json:"value,omitempty"`
 	Found  bool           `json:"found,omitempty"`
 	Items  []storage.Item `json:"items,omitempty"`
-	MaxIn  int            `json:"max_in,omitempty"`
-	MaxOut int            `json:"max_out,omitempty"`
-	InDeg  int            `json:"in_deg,omitempty"`
+	// Tombs carries the tombstones of a migrated arc (migrate): the delete
+	// knowledge travels with the items it covers.
+	Tombs []storage.Tombstone `json:"tombs,omitempty"`
+	// Digest is the responder's digest-tree leaf vector for the requested
+	// arc (digest).
+	Digest []uint64 `json:"digest,omitempty"`
+	// States is the responder's per-key sync states for the requested
+	// buckets (sync_pull).
+	States []antientropy.State `json:"states,omitempty"`
+	// SizeEst returns the responder's ring-size estimate on succ_list.
+	SizeEst float64 `json:"size_est,omitempty"`
+	MaxIn   int     `json:"max_in,omitempty"`
+	MaxOut  int     `json:"max_out,omitempty"`
+	InDeg   int     `json:"in_deg,omitempty"`
 }
 
 // Handler processes one incoming request. Handlers run on transport

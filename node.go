@@ -42,6 +42,20 @@ type NodeConfig struct {
 	// stale links to crashed peers are eventually rebuilt too. Zero leaves
 	// maintenance manual (Stabilize / Rewire / StartMaintenance).
 	AutoMaintenance time.Duration
+	// AntiEntropy, when positive (and Replicas > 1), adds a periodic
+	// digest sync to the maintenance loop: every interval the node, as the
+	// owner of its arc, compares Merkle-style arc digests with its replica
+	// chain and ships only the diverged keys — repairing missed writes,
+	// missed deletes and stray copies that no membership change surfaced.
+	// It requires a running maintenance loop (AutoMaintenance or
+	// StartMaintenance). Zero leaves periodic sync off; membership changes
+	// still trigger the same incremental repair from stabilisation.
+	AntiEntropy time.Duration
+	// TombstoneTTL bounds how long deletes are remembered for anti-entropy
+	// (default 10 minutes). Keep it comfortably above the AntiEntropy
+	// interval: a tombstone must survive until every replica has applied
+	// it, or a stale copy could resurrect the key.
+	TombstoneTTL time.Duration
 	// PoolSize is the number of persistent connections per peer (0 =
 	// transport default).
 	PoolSize int
@@ -100,6 +114,8 @@ func startNodeOn(tr transport.Transport, cfg NodeConfig) *Node {
 		WalkSteps:         cfg.WalkSteps,
 		DisablePowerOfTwo: cfg.DisablePowerOfTwo,
 		Replicas:          cfg.Replicas,
+		AntiEntropy:       cfg.AntiEntropy,
+		TombstoneTTL:      cfg.TombstoneTTL,
 		Seed:              cfg.Seed,
 	})
 	n := &Node{inner: inner, tr: tr}
@@ -153,6 +169,27 @@ func (n *Node) Rewire(ctx context.Context) error {
 		return err
 	}
 	return n.mapErr(n.inner.Rewire(ctx))
+}
+
+// AntiEntropy runs one digest sync of this node's arc against its replica
+// chain and returns what it repaired: one digest exchange per chain member,
+// a key-level pull for mismatched digest buckets, and targeted pushes of
+// only the diverged keys. The NodeConfig.AntiEntropy interval runs the
+// same pass periodically in the background.
+func (n *Node) AntiEntropy(ctx context.Context) (SyncStats, error) {
+	if err := n.begin(ctx); err != nil {
+		return SyncStats{}, err
+	}
+	st := n.inner.AntiEntropy(ctx)
+	if err := ctx.Err(); err != nil {
+		return SyncStats{}, err
+	}
+	return SyncStats{
+		Rounds:           st.Rounds,
+		KeysPushed:       st.KeysPushed,
+		TombstonesPushed: st.TombsPushed,
+		Dropped:          st.Dropped,
+	}, nil
 }
 
 // StartMaintenance launches the background maintenance loop: stabilisation
@@ -307,22 +344,36 @@ func (n *Node) Lookup(ctx context.Context, key Key) (LookupResponse, error) {
 	return LookupResponse{Owner: ownerRef(owner), Cost: cost}, nil
 }
 
-// peerCountMaxHops bounds Info's membership walk: rings up to this size
-// report an exact count, larger (or mid-heal) rings report -1.
+// peerCountMaxHops bounds Info's exact membership walk: while the gossip
+// estimate says the ring is at most this big, Info walks the ring for an
+// exact count; beyond it (where a walk would cost O(N) RPCs) the gossip
+// estimate itself is reported.
 const peerCountMaxHops = 128
 
 // Info implements Client. A live node has no global membership table, so
-// Peers comes from walking the ring clockwise via successor pointers — an
-// exact count for small healthy rings (up to peerCountMaxHops peers), -1
-// when the walk cannot complete. Treat it as an estimate: concurrent joins
-// and crashes during the walk can skew it.
+// Peers blends two local sources: the gossip-maintained ring-size estimate
+// (successor-list density averaged over neighbour exchanges, refreshed
+// every stabilisation) decides whether an exact successor-pointer walk is
+// affordable; small rings get the exact count, large rings the estimate —
+// never a -1 and never an O(N) walk at scale. Treat it as an estimate:
+// concurrent joins and crashes skew both sources.
 func (n *Node) Info(ctx context.Context) (InfoResponse, error) {
 	if err := n.begin(ctx); err != nil {
 		return InfoResponse{}, err
 	}
+	est := n.inner.SizeEstimate()
+	peers := -1
+	if est <= peerCountMaxHops {
+		peers = n.inner.CountPeers(ctx, peerCountMaxHops)
+	}
+	if peers < 0 && est > 0 {
+		peers = int(est + 0.5)
+	}
+	sync := n.inner.SyncTotals()
 	return InfoResponse{
 		Backend:      "p2p",
-		Peers:        n.inner.CountPeers(ctx, peerCountMaxHops),
+		Peers:        peers,
+		SizeEstimate: est,
 		Replicas:     n.inner.Replicas(),
 		Self:         ownerRef(n.inner.Self()),
 		Successor:    ownerRef(n.inner.Succ()),
@@ -331,5 +382,12 @@ func (n *Node) Info(ctx context.Context) (InfoResponse, error) {
 		InLinks:      n.inner.InDegree(),
 		StoredItems:  n.inner.StoredItems(),
 		ReplicaItems: n.inner.ReplicaItems(),
+		Tombstones:   n.inner.Tombstones(),
+		AntiEntropy: SyncStats{
+			Rounds:           sync.Rounds,
+			KeysPushed:       sync.KeysPushed,
+			TombstonesPushed: sync.TombsPushed,
+			Dropped:          sync.Dropped,
+		},
 	}, nil
 }

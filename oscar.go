@@ -163,7 +163,10 @@ type Overlay struct {
 	// replicated Client): kept apart from the primary shards so range
 	// queries and migrations never see an item twice.
 	replStores map[NodeID]*storage.Store
-	rnd        *rand.Rand
+	// syncStats accumulates AntiEntropy repair work over the overlay's
+	// lifetime (reported by the Client facade's Info).
+	syncStats SyncStats
+	rnd       *rand.Rand
 }
 
 // Build grows an overlay from scratch to cfg.Size peers, performs one full

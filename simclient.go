@@ -135,11 +135,19 @@ func (c *simClient) Info(ctx context.Context) (InfoResponse, error) {
 	if err := c.begin(ctx); err != nil {
 		return InfoResponse{}, err
 	}
+	o := c.ov
+	size := o.Size()
+	o.mu.Lock()
+	sync := o.syncStats
+	o.mu.Unlock()
 	return InfoResponse{
-		Backend:     "simulator",
-		Peers:       c.ov.Size(),
-		Replicas:    c.replicas,
-		StoredItems: c.ov.StoredItems(),
+		Backend:      "simulator",
+		Peers:        size,
+		SizeEstimate: float64(size),
+		Replicas:     c.replicas,
+		StoredItems:  o.StoredItems(),
+		Tombstones:   o.Tombstones(),
+		AntiEntropy:  sync,
 	}, nil
 }
 
