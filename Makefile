@@ -29,15 +29,19 @@ examples:
 # simulator Client and the live Client (in-memory fabric and TCP), the
 # crash-durability contract (write with r=3, kill the owner, lose
 # nothing), the divergence-heal contract (corrupt a replica, anti-entropy
-# repairs exactly the divergence, deletes stay deleted), and the ring-size
-# estimate on a ring past the old 128-peer walk cap — race detector on.
+# repairs exactly the divergence, deletes stay deleted), the write-concern
+# contract (w=2 succeeds past a dead replica, w=3 fails with honest ack
+# counts), the read-repair contract (a fallback read heals a stale owner
+# by exactly the divergence), and the ring-size estimate on a ring past
+# the old 128-peer walk cap — race detector on.
 conformance:
-	$(GO) test -race -run 'TestConformance|TestCrashDurability|TestDivergenceHeal|TestRingSizeEstimate|TestLookupCancelled|TestRangeQueryCancelled' . ./internal/p2p/
+	$(GO) test -race -run 'TestConformance|TestCrashDurability|TestDivergenceHeal|TestWriteConcern|TestReadRepair|TestRingSizeEstimate|TestLookupCancelled|TestRangeQueryCancelled' . ./internal/p2p/
 
 # Replication bench smoke: the replicated write path compiles and runs on
-# both backends (shape check; CI uploads the numbers with the full bench).
+# both backends, including the ack-awaited write-concern ladder (w=1 vs
+# quorum vs all) whose overhead CI tracks in bench.txt.
 bench-replication:
-	$(GO) test -run=NONE -bench='PutReplicated' -benchtime=1x .
+	$(GO) test -run=NONE -bench='PutReplicated|PutWriteConcern' -benchtime=1x .
 
 # Anti-entropy bench smoke: the arc-digest maintenance cost (incremental vs
 # rebuild) and one digest-sync repair pass over a live chain.

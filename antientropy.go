@@ -86,6 +86,83 @@ func syncStores(owner, replica *storage.Store, arc Range) SyncStats {
 	return st
 }
 
+// readRepairLocked is the simulator mirror of the live read-repair pass: a
+// fallback read was served by a chain member holding state the owner has
+// no record of, so the owner pulls its arc's divergence back from that
+// replica and — if anything was adopted — re-syncs its chain so the
+// trailing members converge on the healed arc. Work lands in the
+// overlay's accumulated sync stats, exactly like scheduled anti-entropy.
+// Callers hold o.mu.
+func (o *Overlay) readRepairLocked(owner, serving NodeID, replicas int) {
+	net := o.sim.Net()
+	node := net.Node(owner)
+	if node.Pred == owner || net.Node(node.Pred).Key == node.Key {
+		return // arc undefined (one-peer ring or degenerate keys)
+	}
+	arc := Range{Start: net.Node(node.Pred).Key + 1, End: node.Key + 1}
+	ownerStore := o.storeFor(owner)
+	st := readRepairStores(ownerStore, o.replStoreFor(serving), arc)
+	if st.KeysPushed+st.TombstonesPushed > 0 {
+		cur := owner
+		for i := 1; i < replicas; i++ {
+			next := net.Node(cur).Succ
+			if next == cur || next == owner {
+				break
+			}
+			cur = next
+			st.add(syncStores(ownerStore, o.replStoreFor(cur), arc))
+		}
+	}
+	o.syncStats.add(st)
+}
+
+// readRepairStores adopts, into the owner's store, arc state the replica
+// holds that the owner lacks entirely — a key with neither a live copy nor
+// a tombstone. The owner stays authoritative on every key it has an
+// opinion on: hash mismatches and tombstoned keys are left alone, so
+// read-repair fills holes but never rolls back a fresher owner write or
+// resurrects an owner's delete. Adopted state counts as
+// KeysPushed/TombstonesPushed — the keys the round moved.
+func readRepairStores(owner, replica *storage.Store, arc Range) SyncStats {
+	st := SyncStats{Rounds: 1}
+	depth := antientropy.DefaultDepth
+	diff := antientropy.DiffLeaves(owner.Digest(arc, depth), replica.Digest(arc, depth))
+	if len(diff) == 0 {
+		return st
+	}
+	ownStates := antientropy.FilterBuckets(owner.SyncStates(arc), depth, diff)
+	replStates := antientropy.FilterBuckets(replica.SyncStates(arc), depth, diff)
+	// Reversed diff: what does the replica hold that the owner should
+	// consider adopting? (Diff's Drop leg is meaningless in this
+	// direction and ignored.)
+	plan := antientropy.Diff(replStates, ownStates)
+	for _, k := range plan.Push {
+		if _, live := owner.Get(k); live {
+			continue
+		}
+		if _, dead := owner.Tombstone(k); dead {
+			continue
+		}
+		if v, ok := replica.Get(k); ok {
+			owner.Put(k, v)
+			st.KeysPushed++
+		}
+	}
+	for _, k := range plan.Tombs {
+		if _, live := owner.Get(k); live {
+			continue
+		}
+		if _, dead := owner.Tombstone(k); dead {
+			continue
+		}
+		if at, ok := replica.Tombstone(k); ok {
+			owner.SetTombstone(k, at)
+			st.TombstonesPushed++
+		}
+	}
+	return st
+}
+
 // Tombstones returns the number of deletes remembered (and not yet
 // TTL-collected) across all peers' stores.
 func (o *Overlay) Tombstones() int {

@@ -426,6 +426,43 @@ func BenchmarkLiveClusterPutReplicated(b *testing.B) {
 	})
 }
 
+// BenchmarkPutWriteConcern times the live replicated write path under the
+// three write-concern regimes: w=1 (owner ack only — the pushes are still
+// awaited, so this is the ack-counting overhead baseline), w=2 (majority
+// quorum of r=3) and w=3 (all copies). The spread between the rows is the
+// price of each durability level; CI tracks it in bench.txt.
+func BenchmarkPutWriteConcern(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		w    int
+	}{{"w1-owner", 1}, {"w2-quorum", 2}, {"w3-all", 3}} {
+		b.Run(bc.name, func(b *testing.B) {
+			c, err := p2p.NewCluster(context.Background(), p2p.ClusterConfig{Size: 24, Seed: 13, Replicas: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			for round := 0; round < 4; round++ {
+				c.StabilizeAll(context.Background())
+			}
+			val := []byte("write-concern")
+			var next atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := next.Add(1)
+					node := c.Nodes[int(i)%len(c.Nodes)]
+					key := keyspace.Key(i * 0x9e3779b97f4a7c15)
+					if _, err := node.PutW(context.Background(), key, val, bc.w); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkOverlayRangeQuery times a 1%-of-circle range query.
 func BenchmarkOverlayRangeQuery(b *testing.B) {
 	ov, err := Build(Config{Size: 800, Seed: 2})

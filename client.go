@@ -3,6 +3,7 @@ package oscar
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 )
 
@@ -50,7 +51,53 @@ var (
 	// ErrUnavailable reports that routing reached the owner but the data
 	// operation itself failed (for example the owner crashed mid-call).
 	ErrUnavailable = errors.New("oscar: peer unavailable")
+	// ErrWriteConcern reports that a write (Put or Delete) reached the
+	// key's owner but collected fewer acknowledgements from owner+chain
+	// than the requested write concern. The write is NOT rolled back — it
+	// holds at the owner and every chain member that acked, and
+	// anti-entropy re-fills the rest — so the error is a durability
+	// report at return time, not an undo. errors.As against
+	// *WriteConcernError recovers the counts.
+	ErrWriteConcern = errors.New("oscar: write concern not satisfied")
 )
+
+// WriteConcernError carries a write's acknowledgement shortfall: Acks
+// members of owner+chain applied the write, Want were required. It
+// matches ErrWriteConcern under errors.Is.
+type WriteConcernError struct {
+	// Acks is how many stores (the owner plus replica chain members)
+	// acknowledged the write.
+	Acks int
+	// Want is the write concern the call required.
+	Want int
+}
+
+func (e *WriteConcernError) Error() string {
+	return fmt.Sprintf("oscar: write concern not satisfied: %d/%d acks", e.Acks, e.Want)
+}
+
+func (e *WriteConcernError) Unwrap() error { return ErrWriteConcern }
+
+// writeConcernKey carries a per-call write concern through a context.
+type writeConcernKey struct{}
+
+// ContextWithWriteConcern returns a context that overrides the client's
+// default write concern for the Put and Delete calls run under it: the
+// call fails with ErrWriteConcern unless at least w members of
+// owner+chain acknowledge the write. It is the per-call companion of the
+// WithWriteConcern client option and NodeConfig.WriteConcern; unlike
+// those, a per-call w is not clamped to the replication factor, so a w no
+// chain can satisfy fails honestly instead of silently degrading.
+func ContextWithWriteConcern(ctx context.Context, w int) context.Context {
+	return context.WithValue(ctx, writeConcernKey{}, w)
+}
+
+// writeConcernFrom extracts the per-call write concern override, or 0 when
+// the context carries none (meaning: use the client's configured default).
+func writeConcernFrom(ctx context.Context) int {
+	w, _ := ctx.Value(writeConcernKey{}).(int)
+	return w
+}
 
 // OwnerRef identifies the peer that served an operation in a
 // backend-neutral way: the key is always set; Addr is the transport
@@ -72,6 +119,11 @@ type PutResponse struct {
 	Cost int
 	// Replaced reports whether an existing value was overwritten.
 	Replaced bool
+	// Acks is how many stores (the owner plus replica chain members)
+	// acknowledged the write — filled whether or not the write concern
+	// was met, so a caller seeing ErrWriteConcern still learns how far
+	// the write got.
+	Acks int
 }
 
 // GetResponse reports a Get.
@@ -90,6 +142,9 @@ type DeleteResponse struct {
 	Owner OwnerRef
 	// Cost is the message cost of the operation.
 	Cost int
+	// Acks is how many stores (the owner plus replica chain members)
+	// acknowledged the delete.
+	Acks int
 }
 
 // RangeResponse reports a RangeQuery.
@@ -150,6 +205,10 @@ type InfoResponse struct {
 	// item is stored at its owner and on the owner's r-1 ring successors
 	// (1 = no replication).
 	Replicas int
+	// WriteConcern is the default number of owner+chain acknowledgements
+	// the client's writes require (1 = the owner's ack alone);
+	// ContextWithWriteConcern overrides it per call.
+	WriteConcern int
 	// Self is the serving peer (zero on the simulator, which has no
 	// distinguished vantage point).
 	Self OwnerRef
@@ -190,6 +249,7 @@ type options struct {
 	walkSteps         int
 	stabilizeRounds   int
 	replicas          int
+	writeConcern      int
 	autoMaintenance   time.Duration
 	antiEntropy       time.Duration
 }
@@ -241,6 +301,17 @@ func WithStabilizeRounds(n int) Option { return func(o *options) { o.stabilizeRo
 // members loses no data once maintenance has re-replicated.
 func WithReplicas(r int) Option { return func(o *options) { o.replicas = r } }
 
+// WithWriteConcern sets the default write concern w (default 1): a Put or
+// Delete succeeds only once at least w members of owner+chain have
+// acknowledged it, and returns ErrWriteConcern — with the achieved and
+// required counts — otherwise. The write is never rolled back on a
+// shortfall; it holds wherever it was acked and anti-entropy converges
+// the rest. w is clamped to the replication factor (WithReplicas), since
+// a chain cannot produce more acks than it has members; use
+// ContextWithWriteConcern for an unclamped per-call requirement. Both
+// backends honour it identically.
+func WithWriteConcern(w int) Option { return func(o *options) { o.writeConcern = w } }
+
 // WithAutoMaintenance starts the background maintenance loop on every
 // node StartCluster boots: ring stabilisation every interval (jittered
 // per node so rounds do not synchronise across the cluster) and a
@@ -291,5 +362,5 @@ func NewClient(opts ...Option) (Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ov.ReplicatedClient(o.replicas), nil
+	return ov.clientWith(o.replicas, o.writeConcern), nil
 }

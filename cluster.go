@@ -58,6 +58,7 @@ func StartCluster(ctx context.Context, size int, opts ...Option) (*Cluster, erro
 			WalkSteps:         o.walkSteps,
 			DisablePowerOfTwo: o.disablePowerOfTwo,
 			Replicas:          o.replicas,
+			WriteConcern:      o.writeConcern,
 			AutoMaintenance:   o.autoMaintenance,
 			AntiEntropy:       o.antiEntropy,
 			Seed:              o.seed + int64(i),

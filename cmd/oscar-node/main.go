@@ -26,9 +26,15 @@
 //	quit
 //
 // With -replicas r > 1 the node replicates its arc to its r-1 ring
-// successors; -anti-entropy sets how often it digest-syncs that chain in
+// successors; -write-concern w makes every put/delete wait for w
+// owner+chain acknowledgements and fail (with the achieved/required
+// counts) when fewer arrive — the write still holds wherever it was
+// acked; -anti-entropy sets how often it digest-syncs that chain in
 // the background (repairing divergence without re-shipping arcs) and
 // -tombstone-ttl bounds how long deletes are remembered for that repair.
+//
+//	# durable writes: 3 copies, majority acks required
+//	oscar-node -listen 127.0.0.1:7001 -key 0.10 -replicas 3 -write-concern 2
 package main
 
 import (
@@ -59,6 +65,7 @@ func main() {
 		maxIn       = flag.Int("max-in", 16, "in-link budget (ρmax_in)")
 		maxOut      = flag.Int("max-out", 16, "out-link budget (ρmax_out)")
 		replicas    = flag.Int("replicas", 1, "replication factor r: copies on the owner's r-1 ring successors")
+		writeCon    = flag.Int("write-concern", 1, "owner+chain acks a put/delete must collect (1 = owner only; clamped to -replicas)")
 		antiEntropy = flag.Duration("anti-entropy", time.Minute, "digest-sync the replica chain this often (0 = manual `sync` only; needs -replicas > 1 and a running maintenance loop)")
 		tombTTL     = flag.Duration("tombstone-ttl", 10*time.Minute, "remember deletes this long for anti-entropy repair")
 		interval    = flag.Duration("stabilize", 2*time.Second, "stabilisation interval (0 = manual)")
@@ -85,6 +92,7 @@ func main() {
 		MaxIn:        *maxIn,
 		MaxOut:       *maxOut,
 		Replicas:     *replicas,
+		WriteConcern: *writeCon,
 		AntiEntropy:  *antiEntropy,
 		TombstoneTTL: *tombTTL,
 		Seed:         time.Now().UnixNano(),
@@ -182,8 +190,8 @@ func execute(ctx context.Context, node *oscar.Node, args []string) error {
 		fmt.Printf("self  %s key=%s\n", info.Self.Addr, info.Self.Key)
 		fmt.Printf("succ  %s key=%s\n", info.Successor.Addr, info.Successor.Key)
 		fmt.Printf("pred  %s key=%s\n", info.Predecessor.Addr, info.Predecessor.Key)
-		fmt.Printf("links out=%d in=%d items=%d replicas=%d (r=%d) tombstones=%d\n",
-			info.OutLinks, info.InLinks, info.StoredItems, info.ReplicaItems, info.Replicas, info.Tombstones)
+		fmt.Printf("links out=%d in=%d items=%d replicas=%d (r=%d, w=%d) tombstones=%d\n",
+			info.OutLinks, info.InLinks, info.StoredItems, info.ReplicaItems, info.Replicas, info.WriteConcern, info.Tombstones)
 		if info.Peers >= 0 {
 			fmt.Printf("peers %d (gossip estimate %.1f)\n", info.Peers, info.SizeEstimate)
 		}
@@ -242,10 +250,14 @@ func execute(ctx context.Context, node *oscar.Node, args []string) error {
 			return err
 		}
 		res, err := node.Put(ctx, k, []byte(strings.Join(args[2:], " ")))
+		if errors.Is(err, oscar.ErrWriteConcern) {
+			fmt.Printf("UNDER-REPLICATED: %v — stored at %s but below the requested durability\n", err, res.Owner.Addr)
+			return nil
+		}
 		if err != nil {
 			return err
 		}
-		fmt.Printf("stored at %s (%d messages, replaced=%v)\n", res.Owner.Addr, res.Cost, res.Replaced)
+		fmt.Printf("stored at %s (%d messages, %d acks, replaced=%v)\n", res.Owner.Addr, res.Cost, res.Acks, res.Replaced)
 		return nil
 
 	case "get":
@@ -280,10 +292,14 @@ func execute(ctx context.Context, node *oscar.Node, args []string) error {
 			fmt.Printf("not found (%d messages)\n", res.Cost)
 			return nil
 		}
+		if errors.Is(err, oscar.ErrWriteConcern) {
+			fmt.Printf("UNDER-REPLICATED: %v — deleted where acked, below the requested durability\n", err)
+			return nil
+		}
 		if err != nil {
 			return err
 		}
-		fmt.Printf("deleted (%d messages)\n", res.Cost)
+		fmt.Printf("deleted (%d messages, %d acks)\n", res.Cost, res.Acks)
 		return nil
 
 	case "range":

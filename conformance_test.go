@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/oscar-overlay/oscar/internal/p2p"
 )
 
 // The conformance suite runs one identical scenario sequence against every
@@ -618,5 +620,461 @@ func runCrashDurability(t *testing.T, h *durabilityHarness) {
 			t.Fatalf("data lost after owner crash + heal: %s", lost)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// writeConcernHarness is one backend under the write-concern contract: a
+// client configured with r=3 and a default write concern of 2, a key
+// whose owner's chain has exactly one member unable to acknowledge by the
+// time the runner writes, and no background maintenance to repair the
+// chain mid-assertion.
+type writeConcernHarness struct {
+	name   string
+	client Client
+	key    Key
+	close  func()
+}
+
+const (
+	writeConcernReplicas = 3
+	writeConcernDefault  = 2
+)
+
+func writeConcernSimHarness(t *testing.T) *writeConcernHarness {
+	t.Helper()
+	// The simulator's ring heals instantly around a crash, so the only way
+	// a chain can come up short of acks is a ring with fewer members than
+	// the chain wants: three peers, one killed, leaves owner + one.
+	ov, err := Build(Config{Size: 3, Seed: 9, Keys: UniformKeys()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := ov.clientWith(writeConcernReplicas, writeConcernDefault)
+	key := KeyFromFloat(0.4)
+	put, err := cl.Put(context.Background(), key, []byte("probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ov.Nodes() {
+		if id != put.Owner.ID {
+			ov.CrashNode(id)
+			break
+		}
+	}
+	return &writeConcernHarness{name: "simulator", client: cl, key: key, close: func() {}}
+}
+
+// liveWriteConcernHarness finds a key whose owner and first replica are
+// both distinct from the client's node, then kills that first replica
+// without letting maintenance repair the chain. closeAll tears the whole
+// cluster down; it runs even when no suitable pair exists.
+func liveWriteConcernHarness(t *testing.T, name string, clientNode *Node, nodes []*Node, closeAll func()) *writeConcernHarness {
+	t.Helper()
+	ctx := context.Background()
+	for f := 0.05; f < 1; f += 0.09 {
+		key := KeyFromFloat(f)
+		res, err := clientNode.Lookup(ctx, key)
+		if err != nil {
+			closeAll()
+			t.Fatal(err)
+		}
+		var owner *Node
+		for _, n := range nodes {
+			if n.Addr() == res.Owner.Addr {
+				owner = n
+			}
+		}
+		if owner == nil {
+			continue
+		}
+		chain := owner.inner.SuccList()
+		if len(chain) < writeConcernReplicas-1 || string(chain[0].Addr) == clientNode.Addr() {
+			continue
+		}
+		for _, n := range nodes {
+			if n.Addr() == string(chain[0].Addr) {
+				_ = n.Close()
+				return &writeConcernHarness{name: name, client: clientNode, key: key, close: closeAll}
+			}
+		}
+	}
+	closeAll()
+	t.Fatal("no suitable key/victim pair found")
+	return nil
+}
+
+func writeConcernMemHarness(t *testing.T) *writeConcernHarness {
+	t.Helper()
+	c, err := StartCluster(context.Background(), 10, WithSeed(14),
+		WithReplicas(writeConcernReplicas),
+		WithWriteConcern(writeConcernDefault),
+		WithStabilizeRounds(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return liveWriteConcernHarness(t, "p2p/mem", c.Node(0), c.Nodes(), func() { _ = c.Close() })
+}
+
+func writeConcernTCPHarness(t *testing.T) *writeConcernHarness {
+	t.Helper()
+	ctx := context.Background()
+	const size = 8
+	var nodes []*Node
+	for i := 0; i < size; i++ {
+		n, err := StartNode(NodeConfig{
+			Listen: "127.0.0.1:0",
+			Key:    KeyFromFloat(float64(i)/size + 0.017),
+			MaxIn:  8, MaxOut: 8,
+			Replicas:     writeConcernReplicas,
+			WriteConcern: writeConcernDefault,
+			Seed:         int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if err := n.Join(ctx, nodes[0].Addr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	for round := 0; round < 5; round++ {
+		for _, n := range nodes {
+			n.Stabilize(ctx)
+		}
+	}
+	return liveWriteConcernHarness(t, "p2p/tcp", nodes[0], nodes, func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	})
+}
+
+// TestWriteConcern is the cross-backend write-concern contract: with r=3
+// and one chain member gone, a write collects exactly two acks — the
+// configured default w=2 succeeds, a per-call w=3 fails with
+// ErrWriteConcern carrying the honest 2/3 counts, and an unsatisfied
+// write still holds everywhere it was acknowledged instead of silently
+// succeeding or silently disappearing.
+func TestWriteConcern(t *testing.T) {
+	harnesses := []func(*testing.T) *writeConcernHarness{
+		writeConcernSimHarness,
+		writeConcernMemHarness,
+		writeConcernTCPHarness,
+	}
+	for _, mk := range harnesses {
+		h := mk(t)
+		t.Run(h.name, func(t *testing.T) {
+			defer h.close()
+			runWriteConcern(t, h)
+		})
+	}
+}
+
+func runWriteConcern(t *testing.T, h *writeConcernHarness) {
+	ctx := context.Background()
+	cl := h.client
+
+	if info, err := cl.Info(ctx); err != nil || info.WriteConcern != writeConcernDefault {
+		t.Fatalf("client reports w=%d (err %v), want %d", info.WriteConcern, err, writeConcernDefault)
+	}
+
+	// The configured default (w=2) is satisfiable by owner + the
+	// surviving replica.
+	put, err := cl.Put(ctx, h.key, []byte("wc-default"))
+	if err != nil {
+		t.Fatalf("put under default w=2 with one dead chain member: %v", err)
+	}
+	if put.Acks != 2 {
+		t.Fatalf("put collected %d acks, want exactly 2 (owner + surviving replica)", put.Acks)
+	}
+
+	// A per-call w=3 cannot be: ErrWriteConcern with the honest counts.
+	put, err = cl.Put(ContextWithWriteConcern(ctx, 3), h.key, []byte("wc-strict"))
+	if !errors.Is(err, ErrWriteConcern) {
+		t.Fatalf("put w=3 = %v, want ErrWriteConcern", err)
+	}
+	var wce *WriteConcernError
+	if !errors.As(err, &wce) {
+		t.Fatalf("write-concern failure %v does not carry *WriteConcernError", err)
+	}
+	if wce.Acks != 2 || wce.Want != 3 {
+		t.Fatalf("write-concern counts = %d/%d, want 2/3", wce.Acks, wce.Want)
+	}
+	if put.Acks != 2 {
+		t.Fatalf("failed put reports %d acks, want 2", put.Acks)
+	}
+
+	// The unsatisfied write was not rolled back: it reads back.
+	got, err := cl.Get(ctx, h.key)
+	if err != nil || !bytes.Equal(got.Value, []byte("wc-strict")) {
+		t.Fatalf("read after failed concern = %q, %v; the write must hold where acked", got.Value, err)
+	}
+
+	// Deletes enforce the same contract, and an unsatisfied delete also
+	// holds where acked.
+	del, err := cl.Delete(ContextWithWriteConcern(ctx, 3), h.key)
+	if !errors.Is(err, ErrWriteConcern) {
+		t.Fatalf("delete w=3 = %v, want ErrWriteConcern", err)
+	}
+	if del.Acks != 2 {
+		t.Fatalf("failed delete reports %d acks, want 2", del.Acks)
+	}
+	if _, err := cl.Get(ctx, h.key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after failed-concern delete = %v, want ErrNotFound (the delete held where acked)", err)
+	}
+}
+
+// readRepairHarness is one backend under the read-repair contract: keys
+// sharing one owner written with r=3, a hook that silently erases some of
+// them from the owner's primary shard, and visibility into the healing
+// side's repair stats and shard.
+type readRepairHarness struct {
+	name   string
+	client Client
+	keys   []Key
+	// dropPrimary erases the keys from the owner's primary shard behind
+	// the protocol's back — the fault read-repair exists to recover from.
+	dropPrimary func(keys []Key)
+	// stats returns the healing side's accumulated anti-entropy stats.
+	stats func() SyncStats
+	// ownerHas reports whether the owner's primary shard holds the key.
+	ownerHas func(k Key) bool
+	close    func()
+}
+
+const readRepairReplicas = 3
+
+func readRepairSimHarness(t *testing.T) *readRepairHarness {
+	t.Helper()
+	ov, err := Build(Config{Size: 64, Seed: 29, Keys: UniformKeys()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := ov.ReplicatedClient(readRepairReplicas)
+	put, err := cl.Put(context.Background(), KeyFromFloat(0.61), []byte("probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerID := put.Owner.ID
+	keys := make([]Key, 6)
+	for i := range keys {
+		keys[i] = put.Owner.Key - Key(i)
+	}
+	return &readRepairHarness{
+		name:   "simulator",
+		client: cl,
+		keys:   keys,
+		dropPrimary: func(ks []Key) {
+			ov.mu.Lock()
+			defer ov.mu.Unlock()
+			for _, k := range ks {
+				ov.storeFor(ownerID).Drop(k)
+			}
+		},
+		stats: func() SyncStats {
+			ov.mu.Lock()
+			defer ov.mu.Unlock()
+			return ov.syncStats
+		},
+		ownerHas: func(k Key) bool {
+			ov.mu.Lock()
+			defer ov.mu.Unlock()
+			_, ok := ov.storeFor(ownerID).Get(k)
+			return ok
+		},
+		close: func() {},
+	}
+}
+
+// liveReadRepairHarness picks an owner whose arc comfortably holds a run
+// of keys below its identifier, writes nothing itself (the runner does),
+// and wires the fault-injection and observation hooks to that owner.
+func liveReadRepairHarness(t *testing.T, name string, nodes []*Node, closeAll func()) *readRepairHarness {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		for _, n := range nodes {
+			n.Stabilize(ctx)
+		}
+	}
+	client := nodes[0]
+	var owner *Node
+	for _, n := range nodes[1:] {
+		res, err := client.Lookup(ctx, n.Key()-8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Owner.Addr == n.Addr() {
+			owner = n
+			break
+		}
+	}
+	if owner == nil {
+		t.Fatal("no node owns a wide enough arc")
+	}
+	keys := make([]Key, 6)
+	for i := range keys {
+		keys[i] = owner.Key() - Key(i)
+	}
+	toSync := func(st p2p.SyncStats) SyncStats {
+		return SyncStats{
+			Rounds:           st.Rounds,
+			KeysPushed:       st.KeysPushed,
+			TombstonesPushed: st.TombsPushed,
+			Dropped:          st.Dropped,
+		}
+	}
+	return &readRepairHarness{
+		name:   name,
+		client: client,
+		keys:   keys,
+		dropPrimary: func(ks []Key) {
+			for _, k := range ks {
+				owner.inner.DropPrimary(k)
+			}
+		},
+		stats: func() SyncStats { return toSync(owner.inner.SyncTotals()) },
+		ownerHas: func(k Key) bool {
+			_, ok := owner.inner.PrimaryValue(k)
+			return ok
+		},
+		close: closeAll,
+	}
+}
+
+func readRepairMemHarness(t *testing.T) *readRepairHarness {
+	t.Helper()
+	c, err := StartCluster(context.Background(), 10, WithSeed(17), WithReplicas(readRepairReplicas))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return liveReadRepairHarness(t, "p2p/mem", c.Nodes(), func() { _ = c.Close() })
+}
+
+func readRepairTCPHarness(t *testing.T) *readRepairHarness {
+	t.Helper()
+	ctx := context.Background()
+	const size = 7
+	var nodes []*Node
+	for i := 0; i < size; i++ {
+		n, err := StartNode(NodeConfig{
+			Listen: "127.0.0.1:0",
+			Key:    KeyFromFloat(float64(i)/size + 0.027),
+			MaxIn:  8, MaxOut: 8,
+			Replicas: readRepairReplicas,
+			Seed:     int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if err := n.Join(ctx, nodes[0].Addr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	return liveReadRepairHarness(t, "p2p/tcp", nodes, func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	})
+}
+
+// TestReadRepair is the cross-backend read-repair contract: an owner that
+// silently lost part of its arc still serves those reads through the
+// chain fallback, and the first such read heals the owner — with repair
+// stats equal to the exact divergence, visible through the same counters
+// as scheduled anti-entropy.
+func TestReadRepair(t *testing.T) {
+	harnesses := []func(*testing.T) *readRepairHarness{
+		readRepairSimHarness,
+		readRepairMemHarness,
+		readRepairTCPHarness,
+	}
+	for _, mk := range harnesses {
+		h := mk(t)
+		t.Run(h.name, func(t *testing.T) {
+			defer h.close()
+			runReadRepair(t, h)
+		})
+	}
+}
+
+func runReadRepair(t *testing.T, h *readRepairHarness) {
+	ctx := context.Background()
+	cl := h.client
+
+	// All keys must share one owner — the harness promised it.
+	first, err := cl.Lookup(ctx, h.keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range h.keys[1:] {
+		got, err := cl.Lookup(ctx, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Owner.Key != first.Owner.Key {
+			t.Fatalf("harness keys span owners (%v vs %v)", got.Owner, first.Owner)
+		}
+	}
+
+	vals := make([][]byte, len(h.keys))
+	for i := range h.keys {
+		vals[i] = []byte(fmt.Sprintf("repair-%d", i))
+		if _, err := cl.Put(ctx, h.keys[i], vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := h.stats()
+
+	// The owner silently loses two keys (divergence = 2).
+	h.dropPrimary(h.keys[:2])
+
+	// The fallback read still serves the right value, from a replica.
+	got, err := cl.Get(ctx, h.keys[0])
+	if err != nil || !bytes.Equal(got.Value, vals[0]) {
+		t.Fatalf("fallback read = %q, %v; want the replica's copy", got.Value, err)
+	}
+
+	// ...and heals the owner: both lost keys return to its shard, and the
+	// repair moved exactly the divergence (2 keys, no tombstones, no
+	// drops). The live backends repair asynchronously, so poll.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		st := h.stats()
+		if h.ownerHas(h.keys[0]) && h.ownerHas(h.keys[1]) && st.KeysPushed-base.KeysPushed >= 2 {
+			if pushed := st.KeysPushed - base.KeysPushed; pushed != 2 {
+				t.Fatalf("read-repair pushed %d keys, want exactly the divergence (2)", pushed)
+			}
+			if tombs := st.TombstonesPushed - base.TombstonesPushed; tombs != 0 {
+				t.Fatalf("read-repair pushed %d tombstones, want 0", tombs)
+			}
+			if dropped := st.Dropped - base.Dropped; dropped != 0 {
+				t.Fatalf("read-repair dropped %d keys, want 0", dropped)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("owner never healed (stats delta %+v, has0=%v has1=%v)",
+				SyncStats{
+					Rounds:           st.Rounds - base.Rounds,
+					KeysPushed:       st.KeysPushed - base.KeysPushed,
+					TombstonesPushed: st.TombstonesPushed - base.TombstonesPushed,
+					Dropped:          st.Dropped - base.Dropped,
+				}, h.ownerHas(h.keys[0]), h.ownerHas(h.keys[1]))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Every key reads back with its exact value after the heal.
+	for i := range h.keys {
+		got, err := cl.Get(ctx, h.keys[i])
+		if err != nil || !bytes.Equal(got.Value, vals[i]) {
+			t.Fatalf("key %d after repair = %q, %v; want %q", i, got.Value, err, vals[i])
+		}
 	}
 }

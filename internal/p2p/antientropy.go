@@ -182,6 +182,160 @@ func (n *Node) syncTarget(ctx context.Context, target transport.PeerRef, arc key
 	return st
 }
 
+// readRepairTimeout bounds one read-repair pass: the pull from the replica
+// that served the fallback read plus the chain re-sync that follows.
+const readRepairTimeout = 30 * time.Second
+
+// readRepairCooldown is the minimum spacing between read-repair passes at
+// one owner. Each pass adopts up to a frame's worth of keys, so a large
+// divergence heals over several nudges at this cadence — while a
+// divergence no pass can close (partitioned replica, stranded state) costs
+// at most one digest exchange per cooldown, not one per fallback read.
+const readRepairCooldown = time.Second
+
+// readRepair is the owner-side read-repair pass, launched by the
+// read_repair handler after a fallback read exposed state this node lacks:
+// digest-pull the arc's divergence back from the replica that served the
+// read, then — if anything was adopted — run the normal owner→chain sync
+// so the trailing chain converges on the healed arc. The pass is bounded
+// (one timeout, one pass per nudge burst) and its work lands in the node's
+// anti-entropy stats, so repairs triggered by reads are as observable as
+// scheduled ones.
+func (n *Node) readRepair(replica transport.PeerRef) {
+	defer func() {
+		n.mu.Lock()
+		n.repairing = false
+		n.mu.Unlock()
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), readRepairTimeout)
+	defer cancel()
+	n.mu.Lock()
+	arc, haveArc := n.arcLocked()
+	targets := n.replicaTargetsLocked()
+	n.mu.Unlock()
+	if !haveArc {
+		return
+	}
+	st := n.pullFromReplica(ctx, replica, arc)
+	if st.KeysPushed+st.TombsPushed > 0 && len(targets) > 0 {
+		st.add(n.syncChain(ctx, targets, arc))
+	}
+	n.mu.Lock()
+	n.stats.add(st)
+	n.mu.Unlock()
+}
+
+// pullFromReplica is the reverse sync round of read-repair: fetch the
+// replica's digest of this node's arc, pull states and values for the
+// mismatched buckets in one RPC, and adopt only what this node lacks
+// entirely — a key with neither a live copy nor a tombstone locally.
+// Everything else keeps the owner's version: on a hash mismatch the owner
+// is authoritative exactly as in forward sync, so read-repair fills holes
+// but never rolls back a fresher write or resurrects an owner's delete.
+// Adopted keys count as KeysPushed/TombsPushed — they are the keys the
+// round moved.
+func (n *Node) pullFromReplica(ctx context.Context, replica transport.PeerRef, arc keyspace.Range) SyncStats {
+	var st SyncStats
+	st.Rounds++
+
+	n.mu.Lock()
+	mine := n.store.DigestLeaves()
+	n.mu.Unlock()
+
+	resp, err := n.tr.CallCtx(ctx, replica.Addr, &transport.Request{
+		Op: transport.OpDigest, Range: arc, Depth: antientropy.DefaultDepth, From: n.self,
+	})
+	st.Messages++
+	if err != nil || !resp.OK {
+		return st
+	}
+	diff := antientropy.DiffLeaves(mine, resp.Digest)
+	st.LeavesDiffed = len(diff)
+	if len(diff) == 0 {
+		return st
+	}
+
+	pull, err := n.tr.CallCtx(ctx, replica.Addr, &transport.Request{
+		Op: transport.OpSyncPull, Range: arc, Depth: antientropy.DefaultDepth,
+		Buckets: diff, Values: true, From: n.self,
+	})
+	st.Messages++
+	if err != nil || !pull.OK {
+		return st
+	}
+
+	shipped := make(map[keyspace.Key]bool, len(pull.Items))
+	n.mu.Lock()
+	for _, it := range pull.Items {
+		shipped[it.Key] = true
+		if !arc.Contains(it.Key) {
+			continue // never let foreign keys into the maintained arc digest
+		}
+		if _, live := n.store.Get(it.Key); live {
+			continue
+		}
+		if _, dead := n.store.Tombstone(it.Key); dead {
+			continue
+		}
+		n.store.Put(it.Key, it.Value)
+		st.KeysPushed++
+	}
+	for _, tb := range pull.Tombs {
+		if !arc.Contains(tb.Key) {
+			continue
+		}
+		if _, live := n.store.Get(tb.Key); live {
+			continue
+		}
+		if _, dead := n.store.Tombstone(tb.Key); dead {
+			continue
+		}
+		n.store.SetTombstone(tb.Key, tb.At)
+		st.TombsPushed++
+	}
+	// The responder bounds the values it ships to one frame's worth;
+	// adoptable keys whose values did not fit are fetched one get RPC
+	// each, capped per pass — every adopted key shrinks the next digest
+	// diff, so even an arc-sized divergence converges over successive
+	// nudges instead of building one response past the frame cap.
+	var want []keyspace.Key
+	for _, s := range pull.States {
+		if s.Deleted || shipped[s.Key] || !arc.Contains(s.Key) {
+			continue
+		}
+		if _, live := n.store.Get(s.Key); live {
+			continue
+		}
+		if _, dead := n.store.Tombstone(s.Key); dead {
+			continue
+		}
+		if len(want) >= maxReplicateItems {
+			break
+		}
+		want = append(want, s.Key)
+	}
+	n.mu.Unlock()
+	for _, k := range want {
+		if ctx.Err() != nil {
+			break
+		}
+		got, err := n.tr.CallCtx(ctx, replica.Addr, &transport.Request{Op: transport.OpGet, Key: k, From: n.self})
+		st.Messages++
+		if err != nil || !got.OK || !got.Found {
+			continue
+		}
+		n.mu.Lock()
+		_, live := n.store.Get(k)
+		_, dead := n.store.Tombstone(k)
+		if !live && !dead {
+			n.store.Put(k, got.Value)
+			st.KeysPushed++
+		}
+		n.mu.Unlock()
+	}
+	return st
+}
+
 // chunkReplicate splits one repair plan into replicate requests bounded by
 // maxReplicateItems / maxReplicateBytes each, so no frame can approach the
 // transport's 16 MiB cap no matter how large the divergence. Tombstones and

@@ -42,6 +42,14 @@ type Config struct {
 	// crash loses routing entries but no data as long as fewer than r
 	// consecutive ring members fail together. Default 1 (no replication).
 	Replicas int
+	// WriteConcern is the default number of acknowledgements — the owner
+	// plus chain members — a Put or Delete must collect before it
+	// succeeds; with fewer the write still lands wherever it was acked
+	// but the call returns ErrWriteConcern carrying the shortfall.
+	// Default 1 (the owner's ack alone, the fire-and-forget-replica
+	// behaviour); values above Replicas are clamped to it, since a chain
+	// can never produce more acks than it has members.
+	WriteConcern int
 	// AntiEntropy, when positive, is the cadence of the periodic digest
 	// sync: the maintenance loop runs an AntiEntropy pass against the
 	// replica chain every interval, repairing divergence that no membership
@@ -79,6 +87,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Replicas < 1 {
 		c.Replicas = 1
+	}
+	if c.WriteConcern < 1 {
+		c.WriteConcern = 1
+	}
+	if c.WriteConcern > c.Replicas {
+		c.WriteConcern = c.Replicas
 	}
 	if c.TombstoneTTL == 0 {
 		c.TombstoneTTL = 10 * time.Minute
@@ -127,9 +141,20 @@ type Node struct {
 	// ring, so its length is an exact peer count. A short list without
 	// this flag (fresh join, post-crash fallback) proves nothing.
 	succsWrapped bool
-	pred         transport.PeerRef
-	out          []transport.PeerRef
-	in           map[transport.Addr]keyspace.Key
+	// succsFreshRounds counts consecutive Stabilize refreshes since the
+	// list was last spliced provisionally (join, notify, crash repair).
+	// Each refresh re-verifies one more tail entry: the head is ping-
+	// verified directly and entry j is head's entry j-1 from the previous
+	// round, so after len(succs) rounds the whole list is known to be
+	// consecutive ring members. Only then does its density feed the
+	// ring-size gossip — a provisional tail predates peers that joined in
+	// between, spans far too much of the circle, and the resulting gross
+	// underestimate is exactly the outlier a harmonic mean is most
+	// sensitive to.
+	succsFreshRounds int
+	pred             transport.PeerRef
+	out              []transport.PeerRef
+	in               map[transport.Addr]keyspace.Key
 	// store holds the arc the node owns: (pred, self].
 	store storage.Store
 	// replStore holds copies of predecessors' arcs pushed by their owners;
@@ -151,7 +176,13 @@ type Node struct {
 	gcTick     int
 	// stats accumulates anti-entropy work over the node's lifetime.
 	stats SyncStats
-	down  bool
+	// repairing dedupes read-repair: a burst of fallback reads against a
+	// stale owner triggers one bounded repair pass, not one per read.
+	// repairedAt additionally rate-limits passes (readRepairCooldown), so
+	// an unclosable divergence cannot turn reads into a digest storm.
+	repairing  bool
+	repairedAt time.Time
+	down       bool
 
 	rnd *lockedRand
 }
@@ -183,6 +214,9 @@ func (n *Node) Self() transport.PeerRef { return n.self }
 // Replicas returns the node's replication factor r.
 func (n *Node) Replicas() int { return n.cfg.Replicas }
 
+// WriteConcern returns the node's default write concern w.
+func (n *Node) WriteConcern() int { return n.cfg.WriteConcern }
+
 // succListLen is the target successor-list length: long enough to resolve
 // the whole replica chain, and never shorter than the repair floor.
 func (n *Node) succListLen() int {
@@ -206,6 +240,7 @@ func (n *Node) succLocked() transport.PeerRef {
 // refreshes the list from p itself.
 func (n *Node) setSuccLocked(p transport.PeerRef) {
 	n.succsWrapped = false // provisional list: wrap knowledge is stale
+	n.succsFreshRounds = 0 // and its density must not feed the gossip
 	if p.Addr == "" || p.Addr == n.self.Addr {
 		n.succs = nil
 		return
@@ -309,20 +344,42 @@ func (n *Node) SizeEstimate() float64 {
 	return n.sizeEst
 }
 
+// harmonicBlend combines two ring-size estimates with weights wa+wb=1 in
+// inverse space: 1/(wa/a + wb/b). A successor-list density estimate k/f
+// is unbiased in its *inverse* (arc fractions f add up to exactly k/N
+// across the ring, however skewed the key spacing), so gossip that
+// averages inverses converges to the harmonic mean of the local
+// estimates — k divided by the true mean arc fraction, i.e. N — where an
+// arithmetic blend inherits the heavy right skew of 1/f and
+// overestimates under uneven spacing.
+func harmonicBlend(a, wa, b, wb float64) float64 {
+	if a <= 0 {
+		return b
+	}
+	if b <= 0 {
+		return a
+	}
+	return 1 / (wa/a + wb/b)
+}
+
 // localSizeEstimateLocked estimates the ring size from successor-list
 // density: k successors spanning fraction f of the circle imply about k/f
 // peers. When the last list refresh provably wrapped the ring, the list
 // covers every peer, the count is exact, and gossip must not dilute it
-// (exact is returned true). A short list without the wrap proof (fresh
-// join, post-crash fallback) still yields a density estimate — never a
-// confident miscount.
+// (exact is returned true) — but the wrap proof is only as good as the
+// tail it rests on, so it must have survived a full re-verification
+// cycle (see succsFreshRounds): a wrap recorded when the ring really was
+// three peers would otherwise keep overriding gossip long after a mass
+// join. A short list without the wrap proof (fresh join, post-crash
+// fallback) still yields a density estimate — never a confident
+// miscount.
 func (n *Node) localSizeEstimateLocked() (est float64, exact bool) {
 	k := len(n.succs)
 	if k == 0 {
 		return 1, true
 	}
-	if n.succsWrapped {
-		return float64(k + 1), true // whole ring in the list
+	if n.succsWrapped && n.succsFreshRounds >= k {
+		return float64(k + 1), true // whole ring in the list, verified
 	}
 	frac := keyspace.Key(n.self.Key.Distance(n.succs[k-1].Key)).Float()
 	if frac <= 0 {
@@ -357,6 +414,23 @@ func (n *Node) DropReplica(k keyspace.Key) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.replStore.Drop(k)
+}
+
+// DropPrimary erases every trace of k (item and tombstone) from the node's
+// primary store, bypassing the protocol — a fault-injection hook that
+// models an owner silently losing state, used by read-repair tests.
+func (n *Node) DropPrimary(k keyspace.Key) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.store.Drop(k)
+}
+
+// PrimaryValue reads the node's primary store directly (test/inspection
+// hook).
+func (n *Node) PrimaryValue(k keyspace.Key) ([]byte, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.store.Get(k)
 }
 
 // ReplicaValue reads a replica copy directly (test/inspection hook).
@@ -410,16 +484,17 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 		// predecessor (Peer) and its successor list (Peers). The exchange
 		// doubles as one gossip round of ring-size estimation: fold the
 		// caller's estimate into ours and return the result (push-pull
-		// averaging preserves the mean and spreads every local density
-		// estimate across the ring). An exact local count — the list wraps
-		// the whole ring — overrides gossip instead of blending into it.
+		// averaging in inverse space preserves the mean of 1/est and
+		// spreads every local density estimate across the ring). An exact
+		// local count — the list wraps the whole ring — overrides gossip
+		// instead of blending into it.
 		if local, exact := n.localSizeEstimateLocked(); exact {
 			n.sizeEst = local
 		} else if req.SizeEst > 0 {
 			if n.sizeEst == 0 {
 				n.sizeEst = req.SizeEst
 			} else {
-				n.sizeEst = (n.sizeEst + req.SizeEst) / 2
+				n.sizeEst = harmonicBlend(n.sizeEst, 0.5, req.SizeEst, 0.5)
 			}
 		}
 		return &transport.Response{
@@ -466,26 +541,38 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 
 	case transport.OpPut:
 		// Peers carries the replica chain the writer must push copies to;
-		// the owner's own replication factor governs its length.
+		// the owner's own replication factor governs its length. Acks is
+		// this store's own acknowledgement — the writer adds the chain's.
 		replaced := n.store.Put(req.Key, req.Value)
-		return &transport.Response{OK: true, Found: replaced, Peers: n.replicaTargetsLocked()}
+		return &transport.Response{OK: true, Found: replaced, Peers: n.replicaTargetsLocked(), Acks: 1}
 
 	case transport.OpGet:
 		// The owned arc is authoritative; the replica store answers for
 		// arcs inherited from a crashed predecessor before promotion, and
-		// for chain-fallback reads while the owner is unreachable.
+		// for chain-fallback reads while the owner is unreachable. On a
+		// miss, Deleted distinguishes "tombstoned here" (an authoritative
+		// delete the reader must not try to fill from replicas) from "no
+		// record" (possibly lost state a fallback read may recover).
 		v, found := n.store.Get(req.Key)
 		if !found {
 			v, found = n.replStore.Get(req.Key)
 		}
-		return &transport.Response{OK: true, Value: v, Found: found}
+		resp := &transport.Response{OK: true, Value: v, Found: found}
+		if !found {
+			_, dead := n.store.Tombstone(req.Key)
+			if !dead {
+				_, dead = n.replStore.Tombstone(req.Key)
+			}
+			resp.Deleted = dead
+		}
+		return resp
 
 	case transport.OpDelete:
 		existed := n.store.Delete(req.Key)
 		if n.replStore.Delete(req.Key) {
 			existed = true
 		}
-		return &transport.Response{OK: true, Found: existed, Peers: n.replicaTargetsLocked()}
+		return &transport.Response{OK: true, Found: existed, Peers: n.replicaTargetsLocked(), Acks: 1}
 
 	case transport.OpReplicate:
 		// Owner→replica push, bypassing routing: copies land in the replica
@@ -500,7 +587,7 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 		}
 		n.replStore.InsertTombstones(req.Tombs)
 		n.replStore.InsertBulk(req.Items)
-		return &transport.Response{OK: true}
+		return &transport.Response{OK: true, Acks: 1}
 
 	case transport.OpReplicateDel:
 		// A delete propagated along the chain tombstones the copy — so a
@@ -519,7 +606,7 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 			n.store.Drop(req.Key)
 			found = true
 		}
-		return &transport.Response{OK: true, Found: found}
+		return &transport.Response{OK: true, Found: found, Acks: 1}
 
 	case transport.OpDigest:
 		// An arc owner asks what this replica holds of its arc: the digest
@@ -530,9 +617,55 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 	case transport.OpSyncPull:
 		// Key-level follow-up for the buckets whose digests disagreed: the
 		// per-key states (hash + deleted flag) this replica holds of the
-		// owner's arc in those buckets.
+		// owner's arc in those buckets. A read-repair pull additionally
+		// asks for the payloads (Values), so one RPC both diffs and heals;
+		// the response stays divergence-proportional — only the mismatched
+		// buckets' keys ride along.
 		states := antientropy.FilterBuckets(n.replStore.SyncStates(req.Range), req.Depth, req.Buckets)
-		return &transport.Response{OK: true, States: states}
+		resp := &transport.Response{OK: true, States: states}
+		if req.Values {
+			// Values are bounded like replicate frames so an arc-sized
+			// divergence cannot build a response past the transport's
+			// frame cap; the requester fetches what did not fit key by
+			// key, and every adopted key shrinks the next diff, so repair
+			// converges over passes. Tombstones are a few words each and
+			// always ship complete.
+			bytes := 0
+			for _, s := range states {
+				if s.Deleted {
+					if at, ok := n.replStore.Tombstone(s.Key); ok {
+						resp.Tombs = append(resp.Tombs, storage.Tombstone{Key: s.Key, At: at})
+					}
+					continue
+				}
+				if len(resp.Items) >= maxReplicateItems || bytes >= maxReplicateBytes {
+					continue
+				}
+				if v, ok := n.replStore.Get(s.Key); ok {
+					resp.Items = append(resp.Items, storage.Item{Key: s.Key, Value: v})
+					bytes += len(v)
+				}
+			}
+		}
+		return resp
+
+	case transport.OpReadRepair:
+		// A reader found state at a replica that this node — the owner it
+		// routed to — has no record of: pull the arc's divergence back
+		// from that replica and then re-sync the chain. The pass runs
+		// asynchronously (the nudge must stay cheap on the read path),
+		// concurrent nudges coalesce into one pass, and a cooldown keeps
+		// a read-heavy workload against a divergence repair cannot close
+		// (a partitioned replica, a key living outside every digest
+		// scope) from degenerating into a continuous digest storm.
+		if req.From.Addr == "" || req.From.Addr == n.self.Addr || n.repairing ||
+			time.Since(n.repairedAt) < readRepairCooldown {
+			return &transport.Response{OK: true}
+		}
+		n.repairing = true
+		n.repairedAt = time.Now()
+		go n.readRepair(req.From)
+		return &transport.Response{OK: true}
 
 	case transport.OpRangeScan:
 		var items []storage.Item
@@ -548,10 +681,15 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 	case transport.OpMigrate:
 		// The joining predecessor takes over its arc — items and the
 		// tombstones covering it, so deletes stay deleted across the
-		// ownership change.
-		items := n.store.ExtractRange(req.Range)
+		// ownership change. Responses are chunked under the same bounds as
+		// replicate pushes (a huge arc must not approach the 16 MiB frame
+		// cap): each call extracts the next bounded batch clockwise and
+		// More tells the joiner to call again. Tombstones are small and
+		// ship with the first chunk (extraction leaves none for later
+		// calls).
+		items, more := n.store.ExtractRangeLimit(req.Range, maxReplicateItems, maxReplicateBytes)
 		tombs := n.store.ExtractTombstones(req.Range)
-		return &transport.Response{OK: true, Items: items, Tombs: tombs}
+		return &transport.Response{OK: true, Items: items, Tombs: tombs, More: more}
 
 	default:
 		return &transport.Response{OK: false, Err: "unknown op"}

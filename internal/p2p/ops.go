@@ -26,6 +26,27 @@ const backtrackFan = 4
 // context cancellation with errors.Is.
 var ErrNoRoute = errors.New("p2p: no route")
 
+// ErrWriteConcern reports that a write reached the key's owner but fewer
+// members of owner+chain acknowledged it than the requested write
+// concern. Match with errors.Is; errors.As against *WriteConcernError
+// recovers the counts.
+var ErrWriteConcern = errors.New("p2p: write concern not satisfied")
+
+// WriteConcernError carries a write's ack shortfall: Acks members of
+// owner+chain acknowledged, Want were required. The write is NOT rolled
+// back — the owner and every acking chain member hold it, and the next
+// anti-entropy pass re-fills the members that missed it — the error
+// reports that durability is below the requested level at return time.
+type WriteConcernError struct {
+	Acks, Want int
+}
+
+func (e *WriteConcernError) Error() string {
+	return fmt.Sprintf("p2p: write concern not satisfied: %d/%d acks", e.Acks, e.Want)
+}
+
+func (e *WriteConcernError) Unwrap() error { return ErrWriteConcern }
+
 // Join enters the overlay through any existing member: it routes to the
 // owner of the node's key (the future successor), splices itself between the
 // owner and the owner's predecessor, migrates its arc's items, and wires its
@@ -63,19 +84,40 @@ func (n *Node) Join(ctx context.Context, introducer transport.Addr) error {
 	}
 	for _, r := range transport.Fanout(ctx, n.tr, targets, notify) {
 		if r.Err != nil {
+			// A cancelled fanout fails every call: surface the caller's
+			// cancellation, never a fabricated dead-peer report.
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 			return fmt.Errorf("p2p: join: notify %s: %w", r.Addr, r.Err)
 		}
 	}
 
 	// Take over the arc (pred, self] from the successor — the items, and
 	// the tombstones covering it, so deletes survive the ownership change.
+	// Migrate responses are chunked (extraction makes repeated calls
+	// progress through the range), so a huge arc arrives in bounded frames.
 	arc := keyspace.Range{Start: predKey + 1, End: n.self.Key + 1}
-	mig, err := n.tr.CallCtx(ctx, owner.Addr, &transport.Request{Op: transport.OpMigrate, Range: arc, From: n.self})
-	if err == nil && mig.OK && (len(mig.Items) > 0 || len(mig.Tombs) > 0) {
-		n.mu.Lock()
-		n.store.InsertBulk(mig.Items)
-		n.store.InsertTombstones(mig.Tombs)
-		n.mu.Unlock()
+	for {
+		mig, err := n.tr.CallCtx(ctx, owner.Addr, &transport.Request{Op: transport.OpMigrate, Range: arc, From: n.self})
+		if err != nil || !mig.OK {
+			// Partial migration: the un-pulled remainder stays in the
+			// successor's primary store, where the successor keeps serving
+			// it until a future join drains the range (chunking already
+			// shrank the blast radius — before it, a lost migrate response
+			// dropped the entire extracted arc). See ROADMAP: migration
+			// leases.
+			break
+		}
+		if len(mig.Items) > 0 || len(mig.Tombs) > 0 {
+			n.mu.Lock()
+			n.store.InsertBulk(mig.Items)
+			n.store.InsertTombstones(mig.Tombs)
+			n.mu.Unlock()
+		}
+		if !mig.More {
+			break
+		}
 	}
 
 	return n.Rewire(ctx)
@@ -109,15 +151,33 @@ func (n *Node) Stabilize(ctx context.Context) {
 	// successor-list density estimate into the gossip value, then piggyback
 	// it on the succ_list RPC (the responder folds it in and returns its
 	// own — one push-pull gossip round per stabilisation, no extra
-	// messages). An exact local count — the list wraps the whole ring —
+	// messages). Blends are harmonic (averaged in inverse space): the
+	// density estimate k/f is unbiased in 1/est, so the gossip converges
+	// to N even under heavily skewed key spacing, where an arithmetic
+	// blend inherits the right skew of 1/f (see harmonicBlend). Only a
+	// fully re-verified list's density is injected (see
+	// succsFreshRounds): a provisional tail's gross underestimate would
+	// dominate harmonic blends for many rounds after the list itself
+	// healed. An exact local count — the list wraps the whole ring —
 	// overrides the gossip value outright.
 	n.mu.Lock()
 	local, exact := n.localSizeEstimateLocked()
 	switch {
-	case exact || n.sizeEst == 0:
+	case exact:
 		n.sizeEst = local
-	default:
-		n.sizeEst = 0.75*n.sizeEst + 0.25*local
+	case n.succsFreshRounds >= len(n.succs):
+		if n.sizeEst == 0 {
+			n.sizeEst = local
+		} else {
+			// The local density is re-injected gently: the verified-list
+			// gate keeps junk out of the history, and the two gossip
+			// exchanges per round (successor + one long-range link) do the
+			// real averaging — a heavier local weight would anchor every
+			// node to its neighbourhood's density instead of the ring
+			// total, exactly the skew failure the harmonic mean exists to
+			// fix.
+			n.sizeEst = harmonicBlend(n.sizeEst, 0.875, local, 0.125)
+		}
 	}
 	est := n.sizeEst
 	n.mu.Unlock()
@@ -156,12 +216,13 @@ func (n *Node) Stabilize(ctx context.Context) {
 		// Successor is dead: walk the successor list for a live entry.
 		n.adoptNextSuccessor(ctx)
 	} else {
-		// Close the gossip round: average in the successor's estimate
-		// (unless our own count is exact — a wrapped list beats gossip).
+		// Close the gossip round: fold in the successor's estimate —
+		// harmonically, like every blend — unless our own count is exact
+		// (a wrapped list beats gossip).
 		if succResp.SizeEst > 0 {
 			n.mu.Lock()
 			if _, exact := n.localSizeEstimateLocked(); !exact {
-				n.sizeEst = (n.sizeEst + succResp.SizeEst) / 2
+				n.sizeEst = harmonicBlend(n.sizeEst, 0.5, succResp.SizeEst, 0.5)
 			}
 			n.mu.Unlock()
 		}
@@ -181,6 +242,30 @@ func (n *Node) Stabilize(ctx context.Context) {
 			n.refreshSuccList(succ, succResp.Peers)
 		}
 		_, _ = n.tr.CallCtx(ctx, n.Succ().Addr, &transport.Request{Op: transport.OpNotify, From: n.self})
+	}
+
+	// Second gossip exchange, with one random long-range link: successor
+	// traffic alone diffuses estimates a hop per round, so under skewed
+	// key spacing every neighbourhood converges to its *local* density
+	// instead of the ring total. The small-world links are an expander —
+	// one far exchange per round brings the global harmonic mean within
+	// O(log N) rounds. The responder treats it as any other succ_list
+	// gossip; the ring fields of its response are ignored.
+	n.mu.Lock()
+	var far transport.PeerRef
+	if len(n.out) > 0 {
+		far = n.out[n.rnd.Intn(len(n.out))]
+	}
+	est = n.sizeEst
+	n.mu.Unlock()
+	if ctx.Err() == nil && far.Addr != "" && far.Addr != n.self.Addr && est > 0 {
+		if resp, err := n.tr.CallCtx(ctx, far.Addr, &transport.Request{Op: transport.OpSuccList, SizeEst: est, From: n.self}); err == nil && resp.OK && resp.SizeEst > 0 {
+			n.mu.Lock()
+			if _, exact := n.localSizeEstimateLocked(); !exact {
+				n.sizeEst = harmonicBlend(n.sizeEst, 0.5, resp.SizeEst, 0.5)
+			}
+			n.mu.Unlock()
+		}
 	}
 
 	n.syncReplicas(ctx)
@@ -217,6 +302,7 @@ func (n *Node) refreshSuccList(head transport.PeerRef, tail []transport.PeerRef)
 	if n.succLocked().Addr == head.Addr {
 		n.succs = list
 		n.succsWrapped = wrapped
+		n.succsFreshRounds++
 	}
 }
 
@@ -243,6 +329,7 @@ func (n *Node) adoptNextSuccessor(ctx context.Context) {
 		}
 		n.succs = succs
 		n.succsWrapped = false // repaired tail: wrap knowledge is stale
+		n.succsFreshRounds = 0 // re-verified from the new head over the next rounds
 		return true
 	}
 	if len(list) > 1 {
@@ -252,6 +339,9 @@ func (n *Node) adoptNextSuccessor(ctx context.Context) {
 			addrs[i] = c.Addr
 		}
 		results := transport.Fanout(ctx, n.tr, addrs, &transport.Request{Op: transport.OpPing})
+		if ctx.Err() != nil {
+			return // cancelled probes are not dead list entries
+		}
 		for i, c := range tail {
 			if !results[i].OK() || c.Addr == n.self.Addr {
 				continue
@@ -283,6 +373,9 @@ func (n *Node) adoptNextSuccessor(ctx context.Context) {
 		addrs[i] = c.Addr
 	}
 	results := transport.Fanout(ctx, n.tr, addrs, &transport.Request{Op: transport.OpPing})
+	if ctx.Err() != nil {
+		return // cancelled sweep: keep the current (possibly stale) head
+	}
 
 	var best transport.PeerRef
 	bestDist := ^uint64(0)
@@ -480,6 +573,9 @@ func (n *Node) backtrack(ctx context.Context, stack *[]transport.Addr, bad *[]tr
 		*stack = (*stack)[:len(*stack)-k]
 		results := transport.Fanout(ctx, n.tr, cands, &transport.Request{Op: transport.OpPing})
 		cost += k
+		if ctx.Err() != nil {
+			return "", cost // cancelled probes prove nothing about the peers
+		}
 		chosen := -1
 		for i := k - 1; i >= 0; i-- { // deepest (most recently pushed) first
 			if results[i].OK() {
@@ -515,6 +611,11 @@ type OpResult struct {
 	Found bool
 	// Value is the stored value (Get).
 	Value []byte
+	// Acks is the number of stores that acknowledged a write (the owner
+	// plus replica chain members), as reported on the wire by the data
+	// and replicate responses — the observable a write concern is
+	// enforced against.
+	Acks int
 }
 
 // dataOp routes to the owner of key and executes one data RPC there. The
@@ -538,35 +639,67 @@ func (n *Node) dataOp(ctx context.Context, key keyspace.Key, req *transport.Requ
 }
 
 // pushReplicas sends one replication request to every chain target in
-// parallel, returning the number of messages spent. Individual failures
-// are tolerated: a target that missed a push is re-filled by the owner's
-// next membership-change re-replication.
-func (n *Node) pushReplicas(ctx context.Context, targets []transport.PeerRef, req *transport.Request) int {
+// parallel, returning the number of messages spent and how many targets
+// acknowledged the push (summed from the wire ack counts, so a misbehaving
+// transport handing back a nil or not-OK response never counts). Failures
+// are tolerated at this layer — the caller decides whether the ack count
+// satisfies its write concern — and a target that missed a push is
+// re-filled by the owner's next membership-change or anti-entropy re-sync.
+func (n *Node) pushReplicas(ctx context.Context, targets []transport.PeerRef, req *transport.Request) (msgs, acks int) {
 	if len(targets) == 0 {
-		return 0
+		return 0, 0
 	}
 	addrs := make([]transport.Addr, len(targets))
 	for i, p := range targets {
 		addrs[i] = p.Addr
 	}
-	transport.Broadcast(ctx, n.tr, addrs, req)
-	return len(addrs)
+	for _, r := range transport.Fanout(ctx, n.tr, addrs, req) {
+		if r.OK() {
+			acks += r.Resp.Acks
+		}
+	}
+	return len(addrs), acks
 }
 
 // Put stores value under key at the key's owner, then pushes copies to the
-// owner's replica chain (the owner's replication factor governs how many).
-// The pushes run in parallel and are awaited — when Put returns, every
-// reachable chain member holds the copy — but individual failures are
-// tolerated: a push to a dead chain entry costs one overlapped call
-// timeout and is healed by the owner's next membership-change re-sync.
+// owner's replica chain (the owner's replication factor governs how many),
+// under the node's configured default write concern. The pushes run in
+// parallel and are awaited — when Put returns, every reachable chain
+// member holds the copy — and the collected acks are checked against the
+// write concern; see PutW.
 func (n *Node) Put(ctx context.Context, key keyspace.Key, value []byte) (OpResult, error) {
+	return n.PutW(ctx, key, value, 0)
+}
+
+// PutW is Put with an explicit write concern w: unless at least w members
+// of owner+chain acknowledged the write, it returns ErrWriteConcern (as a
+// *WriteConcernError carrying acks-got/acks-wanted). The write is not
+// rolled back on a shortfall — it holds wherever it was acked and
+// anti-entropy re-fills the rest — so the error is a durability report,
+// not an undo. w <= 0 uses the node's configured default
+// (Config.WriteConcern); w = 1 is the owner's ack alone. A cancelled
+// context surfaces as the context's error, never as a fabricated
+// write-concern failure.
+func (n *Node) PutW(ctx context.Context, key keyspace.Key, value []byte, w int) (OpResult, error) {
 	res, resp, err := n.dataOp(ctx, key, &transport.Request{Op: transport.OpPut, Key: key, Value: value, From: n.self})
 	if err != nil {
 		return res, err
 	}
-	res.Cost += n.pushReplicas(ctx, resp.Peers, &transport.Request{
+	res.Acks = resp.Acks
+	msgs, acks := n.pushReplicas(ctx, resp.Peers, &transport.Request{
 		Op: transport.OpReplicate, Items: []storage.Item{{Key: key, Value: value}}, From: n.self,
 	})
+	res.Cost += msgs
+	res.Acks += acks
+	if cerr := ctx.Err(); cerr != nil {
+		return res, cerr
+	}
+	if w <= 0 {
+		w = n.cfg.WriteConcern
+	}
+	if res.Acks < w {
+		return res, &WriteConcernError{Acks: res.Acks, Want: w}
+	}
 	return res, nil
 }
 
@@ -575,6 +708,17 @@ func (n *Node) Put(ctx context.Context, key keyspace.Key, value []byte) (OpResul
 // (it crashed between routing and the data RPC) the read falls back
 // through the owner's replica chain, so a crash loses routing entries but
 // no data.
+//
+// The owner's authority is tombstone-scoped: a miss backed by a tombstone
+// is an authoritative delete and ends the read, while a miss with no
+// record at all (an owner that lost or never inherited state) falls back
+// through the chain like an unreachable owner would. The same rule holds
+// along the chain — the first tombstone ends the read as deleted, so a
+// staler copy further down can never resurrect the key. When a replica then
+// answers with the value, the read nudges the live-but-stale owner to
+// read-repair: the owner digest-pulls the arc's divergence back from that
+// replica and re-syncs its trailing chain, asynchronously and counted in
+// its anti-entropy stats — fallback reads heal the data path they expose.
 func (n *Node) Get(ctx context.Context, key keyspace.Key) (OpResult, error) {
 	owner, chain, cost, err := n.lookupChain(ctx, n.self.Addr, key)
 	if err != nil {
@@ -582,6 +726,7 @@ func (n *Node) Get(ctx context.Context, key keyspace.Key) (OpResult, error) {
 	}
 	res := OpResult{Owner: owner, Cost: cost}
 	req := &transport.Request{Op: transport.OpGet, Key: key, From: n.self}
+	ownerStale := false // the owner answered with no copy and no tombstone
 	answered := false
 	var lastErr error
 	for i, t := range append([]transport.PeerRef{owner}, chain...) {
@@ -597,32 +742,76 @@ func (n *Node) Get(ctx context.Context, key keyspace.Key) (OpResult, error) {
 			lastErr = err // unreachable: fall back along the chain
 			continue
 		}
-		if i == 0 || resp.Found {
-			// The owner's answer is authoritative either way; a replica
-			// only answers positively (its copy set may trail the owner's).
-			res.Owner, res.Found, res.Value = t, resp.Found, resp.Value
+		if resp.Found {
+			res.Owner, res.Found, res.Value = t, true, resp.Value
+			if i > 0 && ownerStale {
+				// A replica holds state the live owner has no record of:
+				// one cheap nudge makes the owner pull the divergence.
+				res.Cost++
+				_, _ = n.tr.CallCtx(ctx, owner.Addr, &transport.Request{Op: transport.OpReadRepair, From: t})
+			}
+			return res, nil
+		}
+		if i == 0 {
+			if resp.Deleted {
+				// Tombstoned at the owner: authoritatively deleted, no
+				// chain walk — a replica's stale copy must not resurrect.
+				return res, nil
+			}
+			ownerStale = true
+			continue
+		}
+		if resp.Deleted {
+			// A chain tombstone is delete knowledge too: with the owner
+			// dead or recordless it ends the read, or a staler copy
+			// further down the chain would resurrect the key. A stale
+			// owner is nudged so it adopts the tombstone as well.
+			if ownerStale {
+				res.Cost++
+				_, _ = n.tr.CallCtx(ctx, owner.Addr, &transport.Request{Op: transport.OpReadRepair, From: t})
+			}
 			return res, nil
 		}
 		answered = true // a live replica without the item: keep walking
 	}
-	if answered {
-		// The owner is gone but at least one replica answered: the item is
-		// absent from every copy that survived.
+	if answered || ownerStale {
+		// Every reachable copy agrees the item is absent.
 		return res, nil
 	}
 	return res, fmt.Errorf("p2p: get: owner and replicas unreachable: %v", lastErr)
 }
 
 // Delete removes the item under key at the key's owner and propagates the
-// delete along the owner's replica chain. Found reports whether it existed.
+// delete along the owner's replica chain, under the node's configured
+// default write concern. Found reports whether it existed.
 func (n *Node) Delete(ctx context.Context, key keyspace.Key) (OpResult, error) {
+	return n.DeleteW(ctx, key, 0)
+}
+
+// DeleteW is Delete with an explicit write concern w, under the same
+// contract as PutW: fewer than w acks from owner+chain returns
+// ErrWriteConcern while the delete holds wherever it was acked (and its
+// tombstone propagates to the rest via anti-entropy).
+func (n *Node) DeleteW(ctx context.Context, key keyspace.Key, w int) (OpResult, error) {
 	res, resp, err := n.dataOp(ctx, key, &transport.Request{Op: transport.OpDelete, Key: key, From: n.self})
 	if err != nil {
 		return res, err
 	}
-	res.Cost += n.pushReplicas(ctx, resp.Peers, &transport.Request{
+	res.Acks = resp.Acks
+	msgs, acks := n.pushReplicas(ctx, resp.Peers, &transport.Request{
 		Op: transport.OpReplicateDel, Key: key, From: n.self,
 	})
+	res.Cost += msgs
+	res.Acks += acks
+	if cerr := ctx.Err(); cerr != nil {
+		return res, cerr
+	}
+	if w <= 0 {
+		w = n.cfg.WriteConcern
+	}
+	if res.Acks < w {
+		return res, &WriteConcernError{Acks: res.Acks, Want: w}
+	}
 	return res, nil
 }
 
@@ -680,6 +869,11 @@ func (n *Node) RangeQuery(ctx context.Context, start, end keyspace.Key, limit in
 // links with the admission + power-of-two rules. It returns the number of
 // links established.
 func (n *Node) Rewire(ctx context.Context) error {
+	// Caller-cancel before any work: keep the current links instead of
+	// dropping them ahead of a rebuild that cannot run.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n.mu.Lock()
 	old := n.out
 	n.out = nil

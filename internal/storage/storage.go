@@ -279,6 +279,35 @@ func (s *Store) ExtractRange(rg keyspace.Range) []Item {
 	return out
 }
 
+// ExtractRangeLimit removes and returns items whose keys lie in rg, in
+// clockwise order from rg.Start, stopping after maxItems items or once the
+// accumulated value bytes would exceed maxBytes (at least one item is
+// always extracted when the range is non-empty; a cap <= 0 is no cap).
+// more reports that items remain in the range: because extraction removes
+// what it returns, calling again with the same range yields the next
+// chunk — the pagination primitive for migrating a large arc in bounded
+// frames.
+func (s *Store) ExtractRangeLimit(rg keyspace.Range, maxItems, maxBytes int) (out []Item, more bool) {
+	bytes := 0
+	s.Scan(rg, func(it Item) bool {
+		if maxItems > 0 && len(out) >= maxItems {
+			more = true
+			return false
+		}
+		if maxBytes > 0 && len(out) > 0 && bytes+len(it.Value) > maxBytes {
+			more = true
+			return false
+		}
+		bytes += len(it.Value)
+		out = append(out, it)
+		return true
+	})
+	for _, it := range out {
+		s.removeItem(it.Key)
+	}
+	return out, more
+}
+
 // ExtractTombstones removes and returns the tombstones whose keys lie in rg
 // — the delete knowledge travels with the arc it covers.
 func (s *Store) ExtractTombstones(rg keyspace.Range) []Tombstone {

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"github.com/oscar-overlay/oscar/internal/antientropy"
 	"github.com/oscar-overlay/oscar/internal/keyspace"
 )
 
@@ -186,5 +187,66 @@ func TestExtractInsertRoundTripProperty(t *testing.T) {
 			t.Fatalf("item %v left behind in extracted range", it.Key)
 			return false
 		})
+	}
+}
+
+func TestExtractRangeLimit(t *testing.T) {
+	var s Store
+	s.EnableDigest(8)
+	for i := 0; i < 10; i++ {
+		s.Put(keyspace.Key(100+i), []byte{byte(i)})
+	}
+	rg := keyspace.Range{Start: 100, End: 110}
+
+	// Item cap: clockwise chunks of 4, More set until the range drains.
+	got, more := s.ExtractRangeLimit(rg, 4, 0)
+	if len(got) != 4 || !more {
+		t.Fatalf("first chunk = %d items, more=%v; want 4, true", len(got), more)
+	}
+	for i, it := range got {
+		if it.Key != keyspace.Key(100+i) {
+			t.Fatalf("chunk out of clockwise order: item %d has key %v", i, it.Key)
+		}
+	}
+	got, more = s.ExtractRangeLimit(rg, 4, 0)
+	if len(got) != 4 || !more || got[0].Key != 104 {
+		t.Fatalf("second chunk = %d items from %v, more=%v; want 4 from 104, true", len(got), got[0].Key, more)
+	}
+	got, more = s.ExtractRangeLimit(rg, 4, 0)
+	if len(got) != 2 || more {
+		t.Fatalf("final chunk = %d items, more=%v; want 2, false", len(got), more)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("%d items left after draining the range", s.Len())
+	}
+	// The maintained digest tracked every removal: an emptied store
+	// digests as empty.
+	if diff := antientropy.DiffLeaves(s.DigestLeaves(), nil); len(diff) != 0 {
+		t.Fatalf("digest out of sync after chunked extraction: %d buckets differ", len(diff))
+	}
+
+	// Byte cap: at least one item always moves, then the cap closes the
+	// chunk.
+	for i := 0; i < 4; i++ {
+		s.Put(keyspace.Key(200+i), make([]byte, 100))
+	}
+	rg = keyspace.Range{Start: 200, End: 210}
+	got, more = s.ExtractRangeLimit(rg, 0, 250)
+	if len(got) != 2 || !more {
+		t.Fatalf("byte-capped chunk = %d items, more=%v; want 2, true", len(got), more)
+	}
+	got, more = s.ExtractRangeLimit(rg, 0, 50) // cap below one item
+	if len(got) != 1 || !more {
+		t.Fatalf("tiny byte cap must still move one item: %d items, more=%v", len(got), more)
+	}
+
+	// Wrap-around range: extraction runs clockwise from Start across the
+	// top of the circle.
+	var w Store
+	w.Put(5, []byte("low"))
+	w.Put(^keyspace.Key(0)-1, []byte("high"))
+	got, more = w.ExtractRangeLimit(keyspace.Range{Start: ^keyspace.Key(0) - 2, End: 10}, 1, 0)
+	if len(got) != 1 || !more || got[0].Key != ^keyspace.Key(0)-1 {
+		t.Fatalf("wrap-around chunk = %+v, more=%v; want the high key first", got, more)
 	}
 }

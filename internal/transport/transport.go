@@ -64,6 +64,8 @@ const (
 
 	// Replication protocol: the owner of an arc pushes copies of its items
 	// directly to the nodes on its successor list — no routing involved.
+	// Replication responses carry an ack count (Response.Acks) so writers
+	// can enforce a write concern instead of trusting silence.
 	OpSuccList     Op = "succ_list"     // successor-list snapshot (Peer carries the predecessor)
 	OpReplicate    Op = "replicate"     // owner→replica push of copies, tombstones and drops
 	OpReplicateDel Op = "replicate_del" // owner→replica push of a delete
@@ -75,6 +77,13 @@ const (
 	// pushes carry only the difference.
 	OpDigest   Op = "digest"    // replica's leaf vector for an owner's arc
 	OpSyncPull Op = "sync_pull" // replica's per-key states in given buckets
+
+	// Read-repair protocol: a reader that was served by a replica after
+	// the owner answered without any record of the key nudges the owner
+	// to digest-pull the divergence back from that replica (and then
+	// re-sync its chain). The nudge is cheap and asynchronous; the owner
+	// deduplicates concurrent nudges.
+	OpReadRepair Op = "read_repair" // reader→owner: pull your arc's divergence from From
 )
 
 // Request is the wire request. One struct covers all ops; unused fields are
@@ -100,6 +109,10 @@ type Request struct {
 	Depth int `json:"depth,omitempty"`
 	// Buckets selects the digest leaf buckets a sync_pull asks about.
 	Buckets []int `json:"buckets,omitempty"`
+	// Values asks a sync_pull to return the item values and tombstones of
+	// the selected buckets alongside the per-key states, so a read-repair
+	// pull can diff and heal in one RPC.
+	Values bool `json:"values,omitempty"`
 	// SizeEst piggybacks the sender's ring-size estimate on stabilisation
 	// traffic (succ_list); receivers fold it into their own — the gossip
 	// half of membership estimation. 0 means "no estimate yet".
@@ -115,12 +128,25 @@ type Response struct {
 	OK  bool   `json:"ok"`
 	Err string `json:"err,omitempty"`
 
-	Peer   PeerRef        `json:"peer,omitempty"`
-	Peers  []PeerRef      `json:"peers,omitempty"`
-	Degree int            `json:"degree,omitempty"`
-	Value  []byte         `json:"value,omitempty"`
-	Found  bool           `json:"found,omitempty"`
-	Items  []storage.Item `json:"items,omitempty"`
+	Peer   PeerRef   `json:"peer,omitempty"`
+	Peers  []PeerRef `json:"peers,omitempty"`
+	Degree int       `json:"degree,omitempty"`
+	Value  []byte    `json:"value,omitempty"`
+	Found  bool      `json:"found,omitempty"`
+	// Deleted reports, on a negative get, that the responder holds a
+	// tombstone for the key: the miss is an authoritative delete, not a
+	// hole a fallback read should try to fill from the replica chain.
+	Deleted bool `json:"deleted,omitempty"`
+	// Acks is the number of stores that applied a write-path op (put,
+	// delete, replicate, replicate_del): 1 from the responder itself.
+	// Writers sum it across the owner and the chain to enforce a write
+	// concern.
+	Acks  int            `json:"acks,omitempty"`
+	Items []storage.Item `json:"items,omitempty"`
+	// More reports that a migrate response was truncated to bound the
+	// frame size and the requester must call again for the rest of the
+	// range (each migrate call extracts, so repeated calls progress).
+	More bool `json:"more,omitempty"`
 	// Tombs carries the tombstones of a migrated arc (migrate): the delete
 	// knowledge travels with the items it covers.
 	Tombs []storage.Tombstone `json:"tombs,omitempty"`
@@ -180,6 +206,11 @@ func (r FanoutResult) OK() bool { return r.Err == nil && r.Resp != nil && r.Resp
 // the per-peer results in input order. It is the building block for
 // parallel maintenance RPCs: liveness sweeps, link negotiation, neighbour
 // sampling probes.
+//
+// A cancelled (or expired) context fails every outstanding call, so the
+// results cannot distinguish a dead peer from a caller that gave up.
+// Callers must check ctx.Err() before interpreting failures as dead
+// peers — the same convention the data path follows for single calls.
 func Fanout(ctx context.Context, t Transport, addrs []Addr, req *Request) []FanoutResult {
 	results := make([]FanoutResult, len(addrs))
 	var wg sync.WaitGroup
@@ -198,7 +229,9 @@ func Fanout(ctx context.Context, t Transport, addrs []Addr, req *Request) []Fano
 // Broadcast sends the request to every address in parallel, discarding
 // responses, and reports how many peers answered OK. Use it for
 // notifications whose individual outcomes don't matter (unlink storms,
-// ring announcements).
+// ring announcements). A zero count under a cancelled context means the
+// caller gave up, not that every peer is dead — check ctx.Err() before
+// reading anything into the number.
 func Broadcast(ctx context.Context, t Transport, addrs []Addr, req *Request) int {
 	ok := 0
 	for _, r := range Fanout(ctx, t, addrs, req) {

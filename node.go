@@ -35,6 +35,13 @@ type NodeConfig struct {
 	// writes served by this node honour the owner's factor, and reads fall
 	// back through the owner's chain when it is unreachable.
 	Replicas int
+	// WriteConcern is the default number of owner+chain acknowledgements
+	// a Put or Delete issued through this node must collect to succeed
+	// (default 1: the owner's ack alone). A shortfall returns
+	// ErrWriteConcern with the achieved/required counts while the write
+	// holds wherever it was acked. Clamped to Replicas;
+	// ContextWithWriteConcern overrides it per call, unclamped.
+	WriteConcern int
 	// AutoMaintenance, when positive, starts the background maintenance
 	// loop as soon as the node boots: ring stabilisation every interval
 	// (jittered per node so cluster rounds do not synchronise) and a
@@ -114,6 +121,7 @@ func startNodeOn(tr transport.Transport, cfg NodeConfig) *Node {
 		WalkSteps:         cfg.WalkSteps,
 		DisablePowerOfTwo: cfg.DisablePowerOfTwo,
 		Replicas:          cfg.Replicas,
+		WriteConcern:      cfg.WriteConcern,
 		AntiEntropy:       cfg.AntiEntropy,
 		TombstoneTTL:      cfg.TombstoneTTL,
 		Seed:              cfg.Seed,
@@ -258,11 +266,14 @@ func (n *Node) isClosed() bool {
 // mapErr translates runtime errors into the Client's typed errors.
 // Context errors pass through untranslated.
 func (n *Node) mapErr(err error) error {
+	var wc *p2p.WriteConcernError
 	switch {
 	case err == nil:
 		return nil
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return err
+	case errors.As(err, &wc):
+		return &WriteConcernError{Acks: wc.Acks, Want: wc.Want}
 	case errors.Is(err, p2p.ErrNoRoute):
 		return fmt.Errorf("%w: %v", ErrRoutingFailed, err)
 	default:
@@ -279,8 +290,8 @@ func (n *Node) Put(ctx context.Context, key Key, value []byte) (PutResponse, err
 	if err := n.begin(ctx); err != nil {
 		return PutResponse{}, err
 	}
-	res, err := n.inner.Put(ctx, key, value)
-	out := PutResponse{Owner: ownerRef(res.Owner), Cost: res.Cost, Replaced: res.Replaced}
+	res, err := n.inner.PutW(ctx, key, value, writeConcernFrom(ctx))
+	out := PutResponse{Owner: ownerRef(res.Owner), Cost: res.Cost, Replaced: res.Replaced, Acks: res.Acks}
 	if err != nil {
 		return out, n.mapErr(err)
 	}
@@ -308,8 +319,8 @@ func (n *Node) Delete(ctx context.Context, key Key) (DeleteResponse, error) {
 	if err := n.begin(ctx); err != nil {
 		return DeleteResponse{}, err
 	}
-	res, err := n.inner.Delete(ctx, key)
-	out := DeleteResponse{Owner: ownerRef(res.Owner), Cost: res.Cost}
+	res, err := n.inner.DeleteW(ctx, key, writeConcernFrom(ctx))
+	out := DeleteResponse{Owner: ownerRef(res.Owner), Cost: res.Cost, Acks: res.Acks}
 	if err != nil {
 		return out, n.mapErr(err)
 	}
@@ -375,6 +386,7 @@ func (n *Node) Info(ctx context.Context) (InfoResponse, error) {
 		Peers:        peers,
 		SizeEstimate: est,
 		Replicas:     n.inner.Replicas(),
+		WriteConcern: n.inner.WriteConcern(),
 		Self:         ownerRef(n.inner.Self()),
 		Successor:    ownerRef(n.inner.Succ()),
 		Predecessor:  ownerRef(n.inner.Pred()),

@@ -390,6 +390,9 @@ type PutResult struct {
 	Cost int
 	// Replaced reports whether an existing value was overwritten.
 	Replaced bool
+	// Acks is how many stores applied the write: the owner plus every
+	// replica copy placed (always 1 for the unreplicated Put).
+	Acks int
 }
 
 // Put routes from a random peer to the owner of key and stores the value
@@ -402,7 +405,7 @@ func (o *Overlay) Put(key Key, value []byte) (PutResult, error) {
 		return PutResult{}, fmt.Errorf("oscar: put %v: routing failed", key)
 	}
 	replaced := o.storeFor(route.Owner).Put(key, value)
-	return PutResult{Owner: route.Owner, Cost: route.Cost(), Replaced: replaced}, nil
+	return PutResult{Owner: route.Owner, Cost: route.Cost(), Replaced: replaced, Acks: 1}, nil
 }
 
 // Get routes to the owner of key and returns the stored value, if any,
@@ -428,6 +431,9 @@ type DeleteResult struct {
 	Cost int
 	// Existed reports whether an item was actually removed.
 	Existed bool
+	// Acks is how many stores applied the delete (owner plus chain
+	// members visited; always 1 for the unreplicated Delete).
+	Acks int
 }
 
 // Delete routes to the owner of key and removes the stored item, if any.
@@ -438,7 +444,7 @@ func (o *Overlay) Delete(key Key) (DeleteResult, error) {
 	if !route.Found {
 		return DeleteResult{}, fmt.Errorf("oscar: delete %v: routing failed", key)
 	}
-	res := DeleteResult{Owner: route.Owner, Cost: route.Cost()}
+	res := DeleteResult{Owner: route.Owner, Cost: route.Cost(), Acks: 1}
 	if st := o.stores[route.Owner]; st != nil {
 		res.Existed = st.Delete(key)
 	}

@@ -35,7 +35,7 @@ func (o *Overlay) putReplicatedLocked(key Key, value []byte, replicas int) (PutR
 	if !route.Found {
 		return PutResult{}, fmt.Errorf("oscar: put %v: routing failed", key)
 	}
-	res := PutResult{Owner: route.Owner, Cost: route.Cost()}
+	res := PutResult{Owner: route.Owner, Cost: route.Cost(), Acks: 1}
 	res.Replaced = o.storeFor(route.Owner).Put(key, value)
 	cur := route.Owner
 	for i := 1; i < replicas; i++ {
@@ -46,6 +46,7 @@ func (o *Overlay) putReplicatedLocked(key Key, value []byte, replicas int) (PutR
 		cur = next
 		o.replStoreFor(cur).Put(key, value)
 		res.Cost++ // one hop along the successor chain per copy
+		res.Acks++ // every placed copy is an acknowledged copy
 	}
 	return res, nil
 }
@@ -54,7 +55,11 @@ func (o *Overlay) putReplicatedLocked(key Key, value []byte, replicas int) (PutR
 // replicas-1 ring successors of the owner when the primary misses (for
 // example because the peer holding it crashed and a stale-arc neighbour now
 // owns the key). Each chain member is checked for a primary item first and
-// a replica copy second.
+// a replica copy second. The owner's authority is tombstone-scoped,
+// exactly as on the live runtime: a miss backed by a tombstone ends the
+// read as an authoritative delete, while a recordless miss falls back —
+// and a fallback served by a chain member read-repairs the stale owner
+// (and re-syncs its chain), counted in the overlay's anti-entropy stats.
 func (o *Overlay) GetReplicated(key Key, replicas int) (value []byte, found bool, cost int, err error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -72,16 +77,30 @@ func (o *Overlay) getReplicatedLocked(key Key, replicas int) (servedBy NodeID, v
 	}
 	cost = route.Cost()
 	cur := route.Owner
+	ownerStale := false // the owner has no copy and no tombstone
 	for i := 0; i < replicas; i++ {
-		if st := o.stores[cur]; st != nil {
-			if v, ok := st.Get(key); ok {
-				return cur, v, true, cost, nil
+		v, ok, deleted := o.peekLocked(cur, key)
+		if ok {
+			if i > 0 && ownerStale {
+				o.readRepairLocked(route.Owner, cur, replicas)
 			}
+			return cur, v, true, cost, nil
 		}
-		if st := o.replStores[cur]; st != nil {
-			if v, ok := st.Get(key); ok {
-				return cur, v, true, cost, nil
+		if i == 0 {
+			if deleted {
+				// Tombstoned at the owner: authoritatively deleted — a
+				// replica's stale copy must not resurrect it.
+				return route.Owner, nil, false, cost, nil
 			}
+			ownerStale = true
+		} else if deleted {
+			// A chain tombstone is delete knowledge too: it ends the read
+			// before a staler copy further down can resurrect the key,
+			// and a recordless owner adopts it via read-repair.
+			if ownerStale {
+				o.readRepairLocked(route.Owner, cur, replicas)
+			}
+			return route.Owner, nil, false, cost, nil
 		}
 		next := o.sim.Net().Node(cur).Succ
 		if next == cur || next == route.Owner {
@@ -91,6 +110,28 @@ func (o *Overlay) getReplicatedLocked(key Key, replicas int) (servedBy NodeID, v
 		cost++
 	}
 	return route.Owner, nil, false, cost, nil
+}
+
+// peekLocked checks one peer for key — primary shard first, replica copy
+// second — and whether either store remembers the key as deleted.
+func (o *Overlay) peekLocked(id NodeID, key Key) (v []byte, found, deleted bool) {
+	if st := o.stores[id]; st != nil {
+		if v, ok := st.Get(key); ok {
+			return v, true, false
+		}
+		if _, dead := st.Tombstone(key); dead {
+			deleted = true
+		}
+	}
+	if st := o.replStores[id]; st != nil {
+		if v, ok := st.Get(key); ok {
+			return v, true, false
+		}
+		if _, dead := st.Tombstone(key); dead {
+			deleted = true
+		}
+	}
+	return nil, false, deleted
 }
 
 // DeleteReplicated removes the item under key at the key's owner and from
@@ -119,6 +160,7 @@ func (o *Overlay) deleteReplicatedLocked(key Key, replicas int) (DeleteResult, e
 		if st := o.replStores[cur]; st != nil && st.Delete(key) {
 			res.Existed = true
 		}
+		res.Acks++ // each visited chain member applied the delete
 		next := o.sim.Net().Node(cur).Succ
 		if next == cur || next == route.Owner {
 			break

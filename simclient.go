@@ -22,10 +22,23 @@ func (o *Overlay) Client() Client {
 // — the same durability contract the live runtime implements under
 // WithReplicas. replicas < 1 is treated as 1.
 func (o *Overlay) ReplicatedClient(replicas int) Client {
+	return o.clientWith(replicas, 1)
+}
+
+// clientWith builds the facade with a replication factor and a default
+// write concern (the same normalisation NodeConfig applies: at least 1,
+// at most replicas).
+func (o *Overlay) clientWith(replicas, writeConcern int) Client {
 	if replicas < 1 {
 		replicas = 1
 	}
-	return &simClient{ov: o, replicas: replicas}
+	if writeConcern < 1 {
+		writeConcern = 1
+	}
+	if writeConcern > replicas {
+		writeConcern = replicas
+	}
+	return &simClient{ov: o, replicas: replicas, writeConcern: writeConcern}
 }
 
 // simClient adapts the simulator Overlay to the Client interface. Each
@@ -33,9 +46,19 @@ func (o *Overlay) ReplicatedClient(replicas int) Client {
 // are one atomic step — the in-process analogue of the owner executing the
 // data op locally.
 type simClient struct {
-	ov       *Overlay
-	replicas int
-	closed   atomic.Bool
+	ov           *Overlay
+	replicas     int
+	writeConcern int
+	closed       atomic.Bool
+}
+
+// concern resolves the write concern for one call: the context override
+// when present, the client default otherwise.
+func (c *simClient) concern(ctx context.Context) int {
+	if w := writeConcernFrom(ctx); w > 0 {
+		return w
+	}
+	return c.writeConcern
 }
 
 // begin gates every operation on the context and the closed flag.
@@ -66,7 +89,13 @@ func (c *simClient) Put(ctx context.Context, key Key, value []byte) (PutResponse
 	if err != nil {
 		return PutResponse{Cost: res.Cost}, fmt.Errorf("%w: put %v", ErrRoutingFailed, key)
 	}
-	return PutResponse{Owner: c.ownerLocked(res.Owner), Cost: res.Cost, Replaced: res.Replaced}, nil
+	out := PutResponse{Owner: c.ownerLocked(res.Owner), Cost: res.Cost, Replaced: res.Replaced, Acks: res.Acks}
+	if w := c.concern(ctx); res.Acks < w {
+		// The write holds wherever it was placed; the shortfall is
+		// reported, mirroring the live runtime's contract.
+		return out, &WriteConcernError{Acks: res.Acks, Want: w}
+	}
+	return out, nil
 }
 
 func (c *simClient) Get(ctx context.Context, key Key) (GetResponse, error) {
@@ -99,7 +128,10 @@ func (c *simClient) Delete(ctx context.Context, key Key) (DeleteResponse, error)
 	if err != nil {
 		return DeleteResponse{Cost: res.Cost}, fmt.Errorf("%w: delete %v", ErrRoutingFailed, key)
 	}
-	out := DeleteResponse{Owner: c.ownerLocked(res.Owner), Cost: res.Cost}
+	out := DeleteResponse{Owner: c.ownerLocked(res.Owner), Cost: res.Cost, Acks: res.Acks}
+	if w := c.concern(ctx); res.Acks < w {
+		return out, &WriteConcernError{Acks: res.Acks, Want: w}
+	}
 	if !res.Existed {
 		return out, fmt.Errorf("%w: %v", ErrNotFound, key)
 	}
@@ -145,6 +177,7 @@ func (c *simClient) Info(ctx context.Context) (InfoResponse, error) {
 		Peers:        size,
 		SizeEstimate: float64(size),
 		Replicas:     c.replicas,
+		WriteConcern: c.writeConcern,
 		StoredItems:  o.StoredItems(),
 		Tombstones:   o.Tombstones(),
 		AntiEntropy:  sync,
