@@ -6,7 +6,7 @@ GO ?= go
 # to keep CI fast (the full suite still runs race-free in `test`).
 RACE_PKGS = ./internal/transport/... ./internal/p2p/...
 
-.PHONY: all build test race bench bench-replication bench-antientropy fmt fmt-check vet examples conformance ci
+.PHONY: all build test race bench bench-replication bench-antientropy bench-stream fmt fmt-check vet examples conformance ci
 
 all: build
 
@@ -32,10 +32,12 @@ examples:
 # repairs exactly the divergence, deletes stay deleted), the write-concern
 # contract (w=2 succeeds past a dead replica, w=3 fails with honest ack
 # counts), the read-repair contract (a fallback read heals a stale owner
-# by exactly the divergence), and the ring-size estimate on a ring past
-# the old 128-peer walk cap — race detector on.
+# by exactly the divergence), the ring-size estimate on a ring past
+# the old 128-peer walk cap, and the mid-scan churn contract (a paged
+# scan rides out its serving peer's crash with no loss or duplication) —
+# race detector on.
 conformance:
-	$(GO) test -race -run 'TestConformance|TestCrashDurability|TestDivergenceHeal|TestWriteConcern|TestReadRepair|TestRingSizeEstimate|TestLookupCancelled|TestRangeQueryCancelled' . ./internal/p2p/
+	$(GO) test -race -run 'TestConformance|TestCrashDurability|TestDivergenceHeal|TestWriteConcern|TestReadRepair|TestRingSizeEstimate|TestLookupCancelled|TestRangeQueryCancelled|TestScanChurn' . ./internal/p2p/
 
 # Replication bench smoke: the replicated write path compiles and runs on
 # both backends, including the ack-awaited write-concern ladder (w=1 vs
@@ -48,6 +50,11 @@ bench-replication:
 bench-antientropy:
 	$(GO) test -run=NONE -bench='ArcDigest' -benchtime=1x ./internal/storage/
 	$(GO) test -run=NONE -bench='AntiEntropySync' -benchtime=1x ./internal/p2p/
+
+# Streaming bench smoke: the paged Scan iterator end to end (1k and 100k
+# item arcs) and a 16 MiB blob round trip through a live cluster.
+bench-stream:
+	$(GO) test -run=NONE -bench='BenchmarkScan$$|BenchmarkBlobRoundTrip' -benchtime=1x . | tee bench-stream.txt
 
 # Bench smoke: compile and run every benchmark once (shape check, not a
 # measurement). Full measurements: `go test -bench=. -benchtime=2s ./...`.
@@ -63,4 +70,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test examples race conformance bench-replication bench-antientropy bench
+ci: fmt-check vet build test examples race conformance bench-replication bench-antientropy bench-stream bench

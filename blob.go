@@ -1,0 +1,264 @@
+package oscar
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// DefaultChunkSize is the blob chunk size when WithChunkSize is not given:
+// 1 MiB, a quarter of a scan page's byte bound, so a GetBlob page streams
+// several chunks per round trip while staying far under the 16 MiB frame
+// cap.
+const DefaultChunkSize = 1 << 20
+
+// blobPrefetchChunks is how many verified chunks GetBlob buffers ahead of
+// the reader — the prefetch window that overlaps network fetches with the
+// caller's consumption.
+const blobPrefetchChunks = 4
+
+// castagnoli is the CRC-32C table blob checksums use.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// BlobManifest describes one stored blob: it lives as a JSON value under
+// the blob's base key, and the chunks occupy the contiguous key sub-range
+// [base+1, base+1+Chunks) — one key per chunk, in order — so the whole
+// blob reads back as a single clockwise Scan. Checksums are CRC-32C.
+type BlobManifest struct {
+	// Size is the blob's total byte length.
+	Size int64 `json:"size"`
+	// ChunkSize is the byte length of every chunk except the last.
+	ChunkSize int `json:"chunk_size"`
+	// Chunks is the number of chunk keys following the base key.
+	Chunks int `json:"chunks"`
+	// ChunkCRC holds one CRC-32C per chunk, in key order.
+	ChunkCRC []uint32 `json:"chunk_crc,omitempty"`
+	// CRC is the CRC-32C of the whole blob.
+	CRC uint32 `json:"crc"`
+}
+
+// chunkKey returns the key of blob chunk i: base+1+i, keeping manifest and
+// chunks in one contiguous clockwise sub-range.
+func chunkKey(base Key, i int) Key { return base + 1 + Key(i) }
+
+// BlobOption tunes PutBlob.
+type BlobOption func(*blobConfig)
+
+type blobConfig struct {
+	chunkSize int
+}
+
+// WithChunkSize sets the chunk size PutBlob splits the stream into
+// (default DefaultChunkSize). Smaller chunks smooth streaming and shrink
+// the re-read unit after a failure; larger chunks cut per-chunk overhead.
+// Must be positive, and must stay well under the scan page byte bound
+// (4 MiB) for chunks to stream several to a page.
+func WithChunkSize(n int) BlobOption {
+	return func(c *blobConfig) { c.chunkSize = n }
+}
+
+// putBlob is the shared PutBlob engine: chunks first (so a reader never
+// sees a manifest whose chunks are still missing), manifest last.
+func putBlob(ctx context.Context, c Client, base Key, r io.Reader, opts []BlobOption) (BlobManifest, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := blobConfig{chunkSize: DefaultChunkSize}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.chunkSize <= 0 {
+		return BlobManifest{}, fmt.Errorf("oscar: blob: chunk size must be positive, got %d", cfg.chunkSize)
+	}
+	m := BlobManifest{ChunkSize: cfg.chunkSize}
+	buf := make([]byte, cfg.chunkSize)
+	var whole uint32
+	for i := 0; ; i++ {
+		n, err := io.ReadFull(r, buf)
+		if n > 0 {
+			chunk := make([]byte, n)
+			copy(chunk, buf[:n])
+			if _, perr := c.Put(ctx, chunkKey(base, i), chunk); perr != nil {
+				return m, fmt.Errorf("oscar: blob: put chunk %d: %w", i, perr)
+			}
+			m.ChunkCRC = append(m.ChunkCRC, crc32.Checksum(chunk, castagnoli))
+			m.Chunks++
+			m.Size += int64(n)
+			whole = crc32.Update(whole, castagnoli, chunk)
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			break
+		}
+		if err != nil {
+			return m, fmt.Errorf("oscar: blob: read input: %w", err)
+		}
+	}
+	m.CRC = whole
+	data, err := json.Marshal(m)
+	if err != nil {
+		return m, fmt.Errorf("oscar: blob: encode manifest: %w", err)
+	}
+	if _, err := c.Put(ctx, base, data); err != nil {
+		return m, fmt.Errorf("oscar: blob: put manifest: %w", err)
+	}
+	return m, nil
+}
+
+// BlobReader streams a blob back: an io.ReadCloser fed by a background
+// fetcher that pulls chunk pages through one Scan, verifies every chunk
+// against the manifest, and keeps a small window of verified chunks
+// buffered ahead of the reader. A verification failure (corrupt or missing
+// chunk, whole-blob checksum mismatch) surfaces from Read.
+type BlobReader struct {
+	m      BlobManifest
+	cancel context.CancelFunc
+	ch     <-chan []byte
+	errc   <-chan error
+
+	cur  []byte
+	err  error
+	done bool
+}
+
+// Manifest returns the blob's manifest.
+func (r *BlobReader) Manifest() BlobManifest { return r.m }
+
+// Read implements io.Reader. The final error after the last byte is io.EOF
+// on a fully verified blob, or the verification/transport failure.
+func (r *BlobReader) Read(p []byte) (int, error) {
+	for len(r.cur) == 0 {
+		if r.done {
+			return 0, r.err
+		}
+		v, ok := <-r.ch
+		if !ok {
+			r.done = true
+			if e := <-r.errc; e != nil {
+				r.err = e
+			} else {
+				r.err = io.EOF
+			}
+			return 0, r.err
+		}
+		r.cur = v
+	}
+	n := copy(p, r.cur)
+	r.cur = r.cur[n:]
+	return n, nil
+}
+
+// Close stops the background fetcher. It is safe to call at any point,
+// including mid-stream; subsequent Reads fail.
+func (r *BlobReader) Close() error {
+	r.cancel()
+	if !r.done {
+		r.done = true
+		r.err = errors.New("oscar: blob: reader closed")
+		r.cur = nil
+	}
+	return nil
+}
+
+// getBlob is the shared GetBlob engine.
+func getBlob(ctx context.Context, c Client, base Key) (*BlobReader, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := c.Get(ctx, base)
+	if err != nil {
+		return nil, fmt.Errorf("oscar: blob: manifest: %w", err)
+	}
+	var m BlobManifest
+	if err := json.Unmarshal(res.Value, &m); err != nil {
+		return nil, fmt.Errorf("oscar: blob: bad manifest at %v: %w", base, err)
+	}
+	if m.Chunks < 0 || len(m.ChunkCRC) != m.Chunks || (m.Chunks > 0 && m.ChunkSize <= 0) {
+		return nil, fmt.Errorf("oscar: blob: corrupt manifest at %v: %d chunks, %d checksums", base, m.Chunks, len(m.ChunkCRC))
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	ch := make(chan []byte, blobPrefetchChunks)
+	errc := make(chan error, 1)
+	r := &BlobReader{m: m, cancel: cancel, ch: ch, errc: errc}
+	go func() {
+		defer close(ch)
+		errc <- fetchBlobChunks(cctx, c, base, m, ch)
+	}()
+	return r, nil
+}
+
+// fetchBlobChunks streams and verifies a blob's chunks into ch: one Scan
+// over the contiguous chunk sub-range, each chunk checked for position,
+// size and CRC as it arrives, and the whole-blob CRC checked at the end.
+func fetchBlobChunks(ctx context.Context, c Client, base Key, m BlobManifest, ch chan<- []byte) error {
+	if m.Chunks == 0 {
+		if m.CRC != 0 || m.Size != 0 {
+			return fmt.Errorf("oscar: blob: corrupt manifest: empty blob with nonzero size/crc")
+		}
+		return nil
+	}
+	next := 0
+	var whole uint32
+	sc := c.Scan(ctx, chunkKey(base, 0), chunkKey(base, m.Chunks))
+	for sc.Next() {
+		it := sc.Item()
+		if next >= m.Chunks || it.Key != chunkKey(base, next) {
+			return fmt.Errorf("oscar: blob: chunk %d: expected key %v, got %v (missing or stray chunk)", next, chunkKey(base, next), it.Key)
+		}
+		wantLen := m.ChunkSize
+		if next == m.Chunks-1 {
+			wantLen = int(m.Size - int64(m.Chunks-1)*int64(m.ChunkSize))
+		}
+		if len(it.Value) != wantLen {
+			return fmt.Errorf("oscar: blob: chunk %d: %d bytes, want %d", next, len(it.Value), wantLen)
+		}
+		if crc := crc32.Checksum(it.Value, castagnoli); crc != m.ChunkCRC[next] {
+			return fmt.Errorf("oscar: blob: chunk %d: checksum mismatch (%08x != %08x)", next, crc, m.ChunkCRC[next])
+		}
+		whole = crc32.Update(whole, castagnoli, it.Value)
+		select {
+		case ch <- it.Value:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		next++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("oscar: blob: scan chunks: %w", err)
+	}
+	if next != m.Chunks {
+		return fmt.Errorf("oscar: blob: %d of %d chunks found", next, m.Chunks)
+	}
+	if whole != m.CRC {
+		return fmt.Errorf("oscar: blob: whole-blob checksum mismatch (%08x != %08x)", whole, m.CRC)
+	}
+	return nil
+}
+
+// deleteBlob is the shared DeleteBlob engine: chunks first, manifest last,
+// so a crash mid-delete leaves the manifest behind and the delete can be
+// retried.
+func deleteBlob(ctx context.Context, c Client, base Key) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := c.Get(ctx, base)
+	if err != nil {
+		return fmt.Errorf("oscar: blob: manifest: %w", err)
+	}
+	var m BlobManifest
+	if err := json.Unmarshal(res.Value, &m); err != nil {
+		return fmt.Errorf("oscar: blob: bad manifest at %v: %w", base, err)
+	}
+	for i := 0; i < m.Chunks; i++ {
+		if _, err := c.Delete(ctx, chunkKey(base, i)); err != nil && !errors.Is(err, ErrNotFound) {
+			return fmt.Errorf("oscar: blob: delete chunk %d: %w", i, err)
+		}
+	}
+	if _, err := c.Delete(ctx, base); err != nil && !errors.Is(err, ErrNotFound) {
+		return fmt.Errorf("oscar: blob: delete manifest: %w", err)
+	}
+	return nil
+}

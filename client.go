@@ -4,16 +4,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"time"
 )
 
-// Client is the unified public surface of the overlay: the same six
+// Client is the unified public surface of the overlay: the same
 // operations against either backend — the in-process simulator
 // (NewClient) or the live message-passing runtime (StartNode /
 // StartCluster). Every method takes a context whose cancellation or
 // deadline aborts the operation, and failures surface as typed errors
-// (ErrNotFound, ErrRoutingFailed, ErrClosed, ErrUnavailable) that callers
-// test with errors.Is.
+// (ErrNotFound, ErrRoutingFailed, ErrClosed, ErrUnavailable,
+// ErrBadRange) that callers test with errors.Is.
 //
 // Implementations are safe for concurrent use by multiple goroutines.
 type Client interface {
@@ -25,10 +26,38 @@ type Client interface {
 	// Delete removes the item under key at the key's owner. A missing key
 	// is ErrNotFound (the response still carries the routing cost).
 	Delete(ctx context.Context, key Key) (DeleteResponse, error)
+	// Scan streams the items with keys in the clockwise arc [start, end)
+	// in clockwise key order, pulling frame-bounded pages (at most 512
+	// items / 4 MiB per page) from one shard owner at a time — the scan
+	// never materialises more than one page per hop in memory. start > end
+	// wraps around the top of the identifier circle; start == end is
+	// rejected with ErrBadRange (on the Scanner, since Scan itself cannot
+	// fail). Construction is lazy: no messages are sent until the first
+	// Next. Iterate with Next/Item/Err or range over All.
+	Scan(ctx context.Context, start, end Key, opts ...ScanOption) *Scanner
 	// RangeQuery returns up to limit items with keys in the clockwise arc
 	// [start, end), in clockwise key order. start > end wraps around the
-	// top of the identifier circle. limit <= 0 means no limit.
+	// top of the identifier circle. limit <= 0 means no limit; start ==
+	// end is ErrBadRange.
+	//
+	// Deprecated: RangeQuery buffers the whole result in memory. Use Scan,
+	// which streams page by page; RangeQuery is a thin wrapper over it and
+	// returns byte-identical results.
 	RangeQuery(ctx context.Context, start, end Key, limit int) (RangeResponse, error)
+	// PutBlob chunks the stream r into fixed-size pieces stored under the
+	// contiguous key sub-range [base+1, base+1+chunks) with a JSON manifest
+	// at base, so a whole blob reads back as one Scan. The returned
+	// manifest carries per-chunk and whole-blob checksums.
+	PutBlob(ctx context.Context, base Key, r io.Reader, opts ...BlobOption) (BlobManifest, error)
+	// GetBlob opens the blob stored at base for streaming reads: chunks
+	// are prefetched ahead of the reader via a single Scan, verified
+	// against the manifest's checksums, and reassembled in order. The
+	// caller must Close the reader.
+	GetBlob(ctx context.Context, base Key) (*BlobReader, error)
+	// DeleteBlob removes a blob's chunks and then its manifest. A missing
+	// manifest is ErrNotFound; a partially deleted blob (crash mid-delete)
+	// still has its manifest and can be re-deleted.
+	DeleteBlob(ctx context.Context, base Key) error
 	// Lookup routes to the owner of key without touching the data layer.
 	Lookup(ctx context.Context, key Key) (LookupResponse, error)
 	// Info reports a snapshot of the backend's view of the overlay.
@@ -51,6 +80,10 @@ var (
 	// ErrUnavailable reports that routing reached the owner but the data
 	// operation itself failed (for example the owner crashed mid-call).
 	ErrUnavailable = errors.New("oscar: peer unavailable")
+	// ErrBadRange reports a degenerate scan range: start == end, which in
+	// range semantics denotes the full circle — a footgun for a streaming
+	// read, so scans refuse it. Split a full-circle read into two halves.
+	ErrBadRange = errors.New("oscar: bad range")
 	// ErrWriteConcern reports that a write (Put or Delete) reached the
 	// key's owner but collected fewer acknowledgements from owner+chain
 	// than the requested write concern. The write is NOT rolled back — it

@@ -17,6 +17,9 @@
 //	get <frac>            fetch the value
 //	delete <frac>         remove the value
 //	range <lo> <hi>       list items with keys in [lo, hi)
+//	scan <lo> <hi> [n]    stream items in [lo, hi) page by page (limit n)
+//	putblob <frac> <file> store a file as a chunked blob based at <frac>
+//	getblob <frac> <out>  stream a blob back into a file, verifying checksums
 //	lookup <frac>         route to the key's owner
 //	info                  print ring pointers, links, stored items,
 //	                      tombstones, ring-size estimate, sync stats
@@ -43,6 +46,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -322,6 +326,92 @@ func execute(ctx context.Context, node *oscar.Node, args []string) error {
 			fmt.Printf("  %s = %q\n", it.Key, it.Value)
 		}
 		fmt.Printf("%d items from %d peers (%d messages)\n", len(res.Items), res.PeersScanned, res.Cost)
+		return nil
+
+	case "scan":
+		if len(args) != 3 && len(args) != 4 {
+			return fmt.Errorf("usage: scan <lo> <hi> [limit]")
+		}
+		lo, err := parseFrac(args[1])
+		if err != nil {
+			return err
+		}
+		hi, err := parseFrac(args[2])
+		if err != nil {
+			return err
+		}
+		var opts []oscar.ScanOption
+		if len(args) == 4 {
+			limit, err := strconv.Atoi(args[3])
+			if err != nil {
+				return fmt.Errorf("bad limit %q", args[3])
+			}
+			opts = append(opts, oscar.WithLimit(limit))
+		}
+		count := 0
+		sc := node.Scan(ctx, lo, hi, opts...)
+		for sc.Next() {
+			it := sc.Item()
+			fmt.Printf("  %s = %q\n", it.Key, it.Value)
+			count++
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		st := sc.Stats()
+		fmt.Printf("%d items streamed in %d pages from %d peers (%d messages)\n", count, st.Pages, st.PeersScanned, st.Cost)
+		return nil
+
+	case "putblob":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: putblob <frac> <file>")
+		}
+		base, err := parseFrac(args[1])
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(args[2])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		start := time.Now()
+		m, err := node.PutBlob(ctx, base, f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("stored %d bytes as %d chunks under [%s, %s) in %v (crc %08x)\n",
+			m.Size, m.Chunks, base, base+oscar.Key(m.Chunks)+1, time.Since(start).Round(time.Millisecond), m.CRC)
+		return nil
+
+	case "getblob":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: getblob <frac> <out-file>")
+		}
+		base, err := parseFrac(args[1])
+		if err != nil {
+			return err
+		}
+		br, err := node.GetBlob(ctx, base)
+		if err != nil {
+			return err
+		}
+		defer br.Close()
+		out, err := os.Create(args[2])
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		n, err := io.Copy(out, br)
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("after %d bytes: %w", n, err)
+		}
+		m := br.Manifest()
+		fmt.Printf("streamed %d bytes (%d chunks, verified crc %08x) to %s in %v\n",
+			n, m.Chunks, m.CRC, args[2], time.Since(start).Round(time.Millisecond))
 		return nil
 
 	default:

@@ -296,6 +296,131 @@ func runConformance(t *testing.T, h *conformanceHarness) {
 		}
 	})
 
+	// Scan must agree with RangeQuery byte for byte on every backend —
+	// including when forced to page, to wrap around the circle, and to
+	// stop at a limit.
+	t.Run("scan-matches-range", func(t *testing.T) {
+		cases := []struct {
+			name     string
+			lo, hi   float64
+			limit    int
+			pageSize int
+		}{
+			{"plain", 0.2, 0.5, 0, 0},
+			{"paged", 0.2, 0.5, 0, 3},
+			{"limit", 0.2, 0.5, 5, 0},
+			{"paged-limit", 0.2, 0.5, 5, 2},
+			{"wraparound", 0.9, 0.1, 0, 0},
+			{"wraparound-paged", 0.9, 0.1, 0, 3},
+			{"wraparound-limit", 0.9, 0.1, 3, 1},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				lo, hi := KeyFromFloat(tc.lo), KeyFromFloat(tc.hi)
+				want, err := cl.RangeQuery(ctx, lo, hi, tc.limit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := []ScanOption{WithLimit(tc.limit)}
+				if tc.pageSize > 0 {
+					opts = append(opts, WithPageSize(tc.pageSize))
+				}
+				var got []Item
+				sc := cl.Scan(ctx, lo, hi, opts...)
+				for sc.Next() {
+					got = append(got, sc.Item())
+				}
+				if err := sc.Err(); err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want.Items) {
+					t.Fatalf("scan = %d items, range query = %d", len(got), len(want.Items))
+				}
+				for i := range got {
+					if got[i].Key != want.Items[i].Key || !bytes.Equal(got[i].Value, want.Items[i].Value) {
+						t.Fatalf("scan item %d = (%v, %q), range query has (%v, %q)",
+							i, got[i].Key, got[i].Value, want.Items[i].Key, want.Items[i].Value)
+					}
+				}
+				if tc.pageSize > 0 && len(want.Items) > tc.pageSize && sc.Stats().Pages < 2 {
+					t.Fatalf("page size %d over %d items fetched only %d page(s)",
+						tc.pageSize, len(want.Items), sc.Stats().Pages)
+				}
+			})
+		}
+	})
+
+	t.Run("scan-iterator", func(t *testing.T) {
+		// The range-over-func adapter yields the same stream as Next/Item,
+		// and breaking out stops the scan early without an error.
+		var got []Item
+		for it, err := range cl.Scan(ctx, KeyFromFloat(0.2), KeyFromFloat(0.5)).All() {
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, it)
+		}
+		if len(got) != 12 {
+			t.Fatalf("All yielded %d items, want 12", len(got))
+		}
+		n := 0
+		for _, err := range cl.Scan(ctx, KeyFromFloat(0.2), KeyFromFloat(0.5), WithPageSize(2)).All() {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n++; n == 3 {
+				break
+			}
+		}
+		if n != 3 {
+			t.Fatalf("broke after %d items, want 3", n)
+		}
+	})
+
+	t.Run("scan-bad-range", func(t *testing.T) {
+		// start == end denotes the full circle in range semantics; the
+		// streaming API refuses the footgun with a typed error on both
+		// surfaces.
+		k := KeyFromFloat(0.4)
+		sc := cl.Scan(ctx, k, k)
+		if sc.Next() {
+			t.Fatal("degenerate scan yielded an item")
+		}
+		if !errors.Is(sc.Err(), ErrBadRange) {
+			t.Fatalf("degenerate scan err = %v, want ErrBadRange", sc.Err())
+		}
+		if _, err := cl.RangeQuery(ctx, k, k, 0); !errors.Is(err, ErrBadRange) {
+			t.Fatalf("degenerate range query = %v, want ErrBadRange", err)
+		}
+	})
+
+	t.Run("scan-skips-deleted", func(t *testing.T) {
+		// Fraction 10/40 = 0.25 sits inside [0.2, 0.5): a tombstone must
+		// hide it from the stream.
+		victim := KeyFromFloat(10.0 / items)
+		if _, err := cl.Delete(ctx, victim); err != nil {
+			t.Fatal(err)
+		}
+		sc := cl.Scan(ctx, KeyFromFloat(0.2), KeyFromFloat(0.5))
+		n := 0
+		for sc.Next() {
+			if sc.Item().Key == victim {
+				t.Fatal("deleted key leaked into the scan")
+			}
+			n++
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if n != 11 {
+			t.Fatalf("scan after delete = %d items, want 11", n)
+		}
+		// Restore the item for the subtests that follow.
+		if _, err := cl.Put(ctx, victim, []byte{10}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
 	t.Run("concurrent-clients", func(t *testing.T) {
 		const workers, opsPer = 8, 12
 		var wg sync.WaitGroup
@@ -347,6 +472,9 @@ func runConformance(t *testing.T, h *conformanceHarness) {
 		}
 		if _, err := cl.RangeQuery(cctx, key, KeyFromFloat(0.6), 0); !errors.Is(err, context.Canceled) {
 			t.Errorf("cancelled range = %v, want context.Canceled", err)
+		}
+		if sc := cl.Scan(cctx, key, KeyFromFloat(0.6)); sc.Next() || !errors.Is(sc.Err(), context.Canceled) {
+			t.Errorf("cancelled scan err = %v, want context.Canceled", sc.Err())
 		}
 		if _, err := cl.Info(cctx); !errors.Is(err, context.Canceled) {
 			t.Errorf("cancelled info = %v, want context.Canceled", err)
@@ -408,6 +536,9 @@ func runConformance(t *testing.T, h *conformanceHarness) {
 		}
 		if _, err := cl.Put(ctx, key, nil); !errors.Is(err, ErrClosed) {
 			t.Errorf("put on closed client = %v, want ErrClosed", err)
+		}
+		if sc := cl.Scan(ctx, key, KeyFromFloat(0.6)); sc.Next() || !errors.Is(sc.Err(), ErrClosed) {
+			t.Errorf("scan on closed client err = %v, want ErrClosed", sc.Err())
 		}
 	})
 }
@@ -1076,5 +1207,102 @@ func runReadRepair(t *testing.T, h *readRepairHarness) {
 		if err != nil || !bytes.Equal(got.Value, vals[i]) {
 			t.Fatalf("key %d after repair = %q, %v; want %q", i, got.Value, err, vals[i])
 		}
+	}
+}
+
+// TestScanChurn is the mid-scan churn contract: a paged scan whose serving
+// arc owner is killed between pages resumes through the owner's replica
+// chain — the cursor loses nothing and duplicates nothing. It reuses the
+// crash-durability harnesses (r=3, auto-maintenance on the live fabrics)
+// and forces tiny pages so the kill lands between fetches.
+func TestScanChurn(t *testing.T) {
+	harnesses := []func(*testing.T) *durabilityHarness{
+		durabilitySimHarness,
+		durabilityMemHarness,
+		durabilityTCPHarness,
+	}
+	for _, mk := range harnesses {
+		h := mk(t)
+		t.Run(h.name, func(t *testing.T) {
+			defer h.close()
+			runScanChurn(t, h)
+		})
+	}
+}
+
+func runScanChurn(t *testing.T, h *durabilityHarness) {
+	ctx := context.Background()
+	cl := h.client
+
+	self, err := cl.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Items across most of the circle, replicated with r=3.
+	const items = 40
+	lo, hi := KeyFromFloat(0.05), KeyFromFloat(0.95)
+	want := make(map[Key]byte, items)
+	for i := 0; i < items; i++ {
+		k := KeyFromFloat(0.05 + 0.9*float64(i)/items)
+		if _, err := cl.Put(ctx, k, []byte{byte(i)}); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		want[k] = byte(i)
+	}
+
+	// Stream with 3-item pages; a third of the way in, kill the peer that
+	// owns the very next cursor position — the one serving the current
+	// shard, whose replica chain the session learned when it routed there.
+	sc := cl.Scan(ctx, lo, hi, WithPageSize(3))
+	seen := make(map[Key]byte, items)
+	var prev Key
+	killed := false
+	count := 0
+	for sc.Next() {
+		it := sc.Item()
+		if _, dup := seen[it.Key]; dup {
+			t.Fatalf("key %v streamed twice", it.Key)
+		}
+		wantVal, ok := want[it.Key]
+		if !ok {
+			t.Fatalf("stray key %v in scan", it.Key)
+		}
+		if len(it.Value) != 1 || it.Value[0] != wantVal {
+			t.Fatalf("key %v = %v, want [%d]", it.Key, it.Value, wantVal)
+		}
+		if count > 0 && lo.Distance(it.Key) <= lo.Distance(prev) {
+			t.Fatalf("scan out of clockwise order: %v after %v", it.Key, prev)
+		}
+		seen[it.Key] = it.Value[0]
+		prev = it.Key
+		count++
+		if !killed && count >= items/3 {
+			route, err := cl.Lookup(ctx, it.Key+1)
+			if err != nil {
+				t.Fatalf("lookup next cursor: %v", err)
+			}
+			// Never kill the node serving the client; try again one item
+			// later — some other peer owns the rest of the range.
+			if self.Backend == "simulator" || route.Owner.Addr != self.Self.Addr {
+				h.kill(t, route.Owner)
+				killed = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan failed after churn (streamed %d items): %v", count, err)
+	}
+	if !killed {
+		t.Fatal("never found a victim to kill — scenario did not exercise churn")
+	}
+	if count != items {
+		missing := 0
+		for k := range want {
+			if _, ok := seen[k]; !ok {
+				missing++
+			}
+		}
+		t.Fatalf("scan under churn returned %d/%d items (%d missing)", count, items, missing)
 	}
 }

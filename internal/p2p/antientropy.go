@@ -11,12 +11,14 @@ import (
 	"github.com/oscar-overlay/oscar/internal/transport"
 )
 
-// Chunking bounds for one replicate push frame. The transport caps frames
-// at 16 MiB; staying an order of magnitude under it leaves room for JSON
-// framing and keeps a slow receiver from stalling one giant frame.
+// Chunking bounds for one replicate push frame — the storage layer's
+// shared page bounds, which scan pages and migrate responses use too. The
+// transport caps frames at 16 MiB; staying an order of magnitude under it
+// leaves room for JSON framing and keeps a slow receiver from stalling one
+// giant frame.
 const (
-	maxReplicateItems = 512
-	maxReplicateBytes = 4 << 20
+	maxReplicateItems = storage.PageMaxItems
+	maxReplicateBytes = storage.PageMaxBytes
 )
 
 // SyncStats counts anti-entropy work. Each field is a total over whatever

@@ -667,16 +667,39 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 		go n.readRepair(req.From)
 		return &transport.Response{OK: true}
 
-	case transport.OpRangeScan:
-		var items []storage.Item
-		n.store.Scan(req.Range, func(it storage.Item) bool {
-			if req.Limit > 0 && len(items) >= req.Limit {
-				return false
-			}
-			items = append(items, it)
-			return true
-		})
-		return &transport.Response{OK: true, Items: items, Peer: n.succLocked()}
+	case transport.OpScan:
+		// One page of a streaming arc scan, clockwise from the cursor
+		// (Range.Start), non-destructive and frame-bounded like replicate
+		// pushes. The page merges the primary shard with the replica store
+		// (tombstones honoured, primary wins), clipped to the arc this node
+		// can serve authoritatively: keys clockwise up to its own position.
+		// The clip is what makes the merged view safe — a chain member
+		// standing in for a dead predecessor still covers that arc (the
+		// dead peer's keys are clockwise before its own), while a healthy
+		// node never leaks its replica copies of live predecessors across
+		// the circle, which would skip every shard in between. More +
+		// Cursor tell the requester to call again here before hopping to
+		// Peer (the successor).
+		rg := req.Range
+		selfEnd := n.self.Key + 1
+		if rg.Start == selfEnd {
+			// The cursor starts exactly past this node's arc: nothing to
+			// serve here (and no clip — Start==End would mean full circle).
+			return &transport.Response{OK: true, Peer: n.succLocked()}
+		}
+		if rg.Start.Distance(selfEnd) < rg.Start.Distance(rg.End) {
+			rg.End = selfEnd
+		}
+		maxItems := maxReplicateItems
+		if req.Limit > 0 && req.Limit < maxItems {
+			maxItems = req.Limit
+		}
+		items, more := storage.ScanPageMerged(&n.store, &n.replStore, rg, maxItems, maxReplicateBytes)
+		resp := &transport.Response{OK: true, Items: items, More: more, Peer: n.succLocked()}
+		if more && len(items) > 0 {
+			resp.Cursor = items[len(items)-1].Key + 1
+		}
+		return resp
 
 	case transport.OpMigrate:
 		// The joining predecessor takes over its arc — items and the

@@ -825,43 +825,46 @@ type RangeResult struct {
 
 // RangeQuery collects up to limit items with keys in [start, end), walking
 // shards clockwise from the owner of start. limit <= 0 means unlimited.
-// Cancelling the context aborts the scan between shards.
+// Cancelling the context aborts the scan between pages. It is a buffering
+// wrapper over a ScanSession: large results should use the session (or the
+// public Scan API) directly and stream page by page.
 func (n *Node) RangeQuery(ctx context.Context, start, end keyspace.Key, limit int) (RangeResult, error) {
+	var res RangeResult
 	rg := keyspace.Range{Start: start, End: end}
-	owner, cost, err := n.Lookup(ctx, start)
-	res := RangeResult{Cost: cost}
-	if err != nil {
-		return res, err
-	}
-	cur := owner
-	for hop := 0; hop < maxRouteHops; hop++ {
-		if err := ctx.Err(); err != nil {
-			return res, err
-		}
+	s := n.NewScanSession(start, end)
+	cursor := start
+	for {
 		want := 0
 		if limit > 0 {
 			want = limit - len(res.Items)
-		}
-		resp, err := n.tr.CallCtx(ctx, cur.Addr, &transport.Request{Op: transport.OpRangeScan, Range: rg, Limit: want, From: n.self})
-		res.Cost++
-		if err != nil || !resp.OK {
-			if cerr := ctx.Err(); cerr != nil {
-				return res, cerr
+			if want <= 0 {
+				return res, nil
 			}
-			return res, fmt.Errorf("p2p: range: shard %s unreachable: %v", cur.Addr, err)
 		}
-		res.PeersScanned++
-		res.Items = append(res.Items, resp.Items...)
+		chunk, err := s.NextPage(ctx, cursor, want)
+		res.Cost += chunk.Cost
+		res.PeersScanned += chunk.Peers
+		if err != nil {
+			return res, err
+		}
+		res.Items = append(res.Items, chunk.Items...)
 		if limit > 0 && len(res.Items) >= limit {
+			res.Items = res.Items[:limit]
 			return res, nil
 		}
-		if !rg.Contains(cur.Key) || resp.Peer.Addr == cur.Addr {
-			// This shard's arc extends past the range end: done.
+		if chunk.Done {
 			return res, nil
 		}
-		cur = resp.Peer // successor, as reported by the scan
+		if len(chunk.Items) == 0 {
+			// NextPage only returns an empty non-done chunk after advancing
+			// shards internally; the cursor is unchanged.
+			continue
+		}
+		cursor = chunk.Items[len(chunk.Items)-1].Key + 1
+		if !rg.Contains(cursor) {
+			return res, nil
+		}
 	}
-	return res, fmt.Errorf("p2p: range: did not terminate")
 }
 
 // Rewire rebuilds the node's long-range links: release current ones,

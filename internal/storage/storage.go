@@ -30,6 +30,16 @@ import (
 	"github.com/oscar-overlay/oscar/internal/keyspace"
 )
 
+// Page bounds shared by every frame-bounded bulk transfer of the data
+// layer: replicate pushes, migrate responses and scan pages alike stop at
+// PageMaxItems items or once the accumulated value bytes would pass
+// PageMaxBytes — an order of magnitude under the transport's 16 MiB frame
+// cap, so no single response can approach it.
+const (
+	PageMaxItems = 512
+	PageMaxBytes = 4 << 20
+)
+
 // Item is one stored record.
 type Item struct {
 	Key   keyspace.Key
@@ -250,6 +260,132 @@ func (s *Store) Scan(rg keyspace.Range, fn func(Item) bool) {
 	for i := 0; i < len(s.items) && s.items[i].Key < rg.End; i++ {
 		if !fn(s.items[i]) {
 			return
+		}
+	}
+}
+
+// ScanPage returns up to maxItems items (whose accumulated value bytes
+// stay within maxBytes) with keys in rg, in clockwise order from rg.Start,
+// without removing them — the non-destructive sibling of ExtractRangeLimit
+// and the single-store page of a streaming scan. At least one item ships
+// when the range holds any (a single oversized value still pages), and a
+// cap <= 0 is no cap. more reports that at least one further item remains
+// in the range past the returned page; resume from the last returned key
+// plus one.
+func (s *Store) ScanPage(rg keyspace.Range, maxItems, maxBytes int) (out []Item, more bool) {
+	bytes := 0
+	s.Scan(rg, func(it Item) bool {
+		if maxItems > 0 && len(out) >= maxItems {
+			more = true
+			return false
+		}
+		if maxBytes > 0 && len(out) > 0 && bytes+len(it.Value) > maxBytes {
+			more = true
+			return false
+		}
+		bytes += len(it.Value)
+		out = append(out, it)
+		return true
+	})
+	return out, more
+}
+
+// rangeViews returns up to two subslice views of s.items covering rg in
+// clockwise order from rg.Start (two when the arc wraps the top of the
+// circle). The views alias the store's backing array — read-only, valid
+// until the next mutation.
+func (s *Store) rangeViews(rg keyspace.Range) [][]Item {
+	if s == nil || len(s.items) == 0 {
+		return nil
+	}
+	i := s.search(rg.Start)
+	if rg.IsFull() {
+		return [][]Item{s.items[i:], s.items[:i]}
+	}
+	if rg.Start < rg.End {
+		return [][]Item{s.items[i:s.search(rg.End)]}
+	}
+	return [][]Item{s.items[i:], s.items[:s.search(rg.End)]}
+}
+
+// pageWalker pulls items one at a time from a store's clockwise range
+// views — the pull-style iterator a two-store merge needs.
+type pageWalker struct {
+	parts [][]Item
+}
+
+func (w *pageWalker) peek() (Item, bool) {
+	for len(w.parts) > 0 {
+		if len(w.parts[0]) == 0 {
+			w.parts = w.parts[1:]
+			continue
+		}
+		return w.parts[0][0], true
+	}
+	return Item{}, false
+}
+
+func (w *pageWalker) advance() { w.parts[0] = w.parts[0][1:] }
+
+// ScanPageMerged returns one bounded page of the clockwise merge of two
+// stores restricted to rg, from rg.Start: primary items win key
+// collisions, and a fallback item is suppressed when the primary holds a
+// tombstone for its key — the primary's delete is authoritative, the same
+// per-key rule the chain-fallback read path applies. It is the page
+// primitive of the streaming scan: a node serves its own shard merged with
+// its replica store, so a chain member can answer for a dead owner's arc
+// and an owner that inherited un-promoted replica state serves it too.
+//
+// Bounds behave like ScanPage (maxItems items, maxBytes accumulated value
+// bytes, at least one item when any qualifies, cap <= 0 is no cap), and
+// more is exact: it is true only when a further emittable item exists, so
+// a resumer never spins on an empty page.
+func ScanPageMerged(primary, fallback *Store, rg keyspace.Range, maxItems, maxBytes int) (out []Item, more bool) {
+	if primary == nil {
+		primary = &Store{}
+	}
+	p := &pageWalker{parts: primary.rangeViews(rg)}
+	f := &pageWalker{parts: fallback.rangeViews(rg)}
+	bytes := 0
+	for {
+		it, ok := nextMerged(p, f, rg.Start, primary)
+		if !ok {
+			return out, false
+		}
+		if maxItems > 0 && len(out) >= maxItems {
+			return out, true
+		}
+		if maxBytes > 0 && len(out) > 0 && bytes+len(it.Value) > maxBytes {
+			return out, true
+		}
+		bytes += len(it.Value)
+		out = append(out, it)
+	}
+}
+
+// nextMerged pops the next emittable item of the two-store clockwise
+// merge: ordering is by clockwise distance from start, duplicate keys keep
+// the primary's copy, and fallback-only keys tombstoned at the primary are
+// skipped entirely.
+func nextMerged(p, f *pageWalker, start keyspace.Key, primary *Store) (Item, bool) {
+	for {
+		pi, pok := p.peek()
+		fi, fok := f.peek()
+		switch {
+		case !pok && !fok:
+			return Item{}, false
+		case pok && (!fok || start.Distance(pi.Key) <= start.Distance(fi.Key)):
+			p.advance()
+			if fok && fi.Key == pi.Key {
+				f.advance() // duplicate copy: the primary's value wins
+			}
+			return pi, true
+		default:
+			f.advance()
+			if _, dead := primary.Tombstone(fi.Key); dead {
+				continue // authoritatively deleted at the primary
+			}
+			return fi, true
 		}
 	}
 }

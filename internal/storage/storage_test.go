@@ -250,3 +250,130 @@ func TestExtractRangeLimit(t *testing.T) {
 		t.Fatalf("wrap-around chunk = %+v, more=%v; want the high key first", got, more)
 	}
 }
+
+func TestScanPage(t *testing.T) {
+	var s Store
+	for i := 0; i < 10; i++ {
+		s.Put(keyspace.Key(100+i), []byte{byte(i)})
+	}
+	rg := keyspace.Range{Start: 100, End: 110}
+
+	// Item cap: clockwise pages of 4, More until the range is covered —
+	// and unlike extraction, the store is untouched.
+	got, more := s.ScanPage(rg, 4, 0)
+	if len(got) != 4 || !more || got[0].Key != 100 {
+		t.Fatalf("first page = %d items from %v, more=%v; want 4 from 100, true", len(got), got[0].Key, more)
+	}
+	got, more = s.ScanPage(keyspace.Range{Start: got[3].Key + 1, End: 110}, 0, 0)
+	if len(got) != 6 || more || got[0].Key != 104 {
+		t.Fatalf("rest = %d items, more=%v; want 6, false", len(got), more)
+	}
+	if s.Len() != 10 {
+		t.Fatalf("scan mutated the store: %d items left", s.Len())
+	}
+
+	// Byte cap: at least one item per page, even under a tiny cap.
+	var b Store
+	for i := 0; i < 4; i++ {
+		b.Put(keyspace.Key(200+i), make([]byte, 100))
+	}
+	got, more = b.ScanPage(keyspace.Range{Start: 200, End: 210}, 0, 250)
+	if len(got) != 2 || !more {
+		t.Fatalf("byte-capped page = %d items, more=%v; want 2, true", len(got), more)
+	}
+	got, more = b.ScanPage(keyspace.Range{Start: 200, End: 210}, 0, 50)
+	if len(got) != 1 || !more {
+		t.Fatalf("tiny byte cap must still return one item: %d, more=%v", len(got), more)
+	}
+
+	// A deleted key is invisible to pages.
+	s.Delete(105)
+	got, _ = s.ScanPage(rg, 0, 0)
+	if len(got) != 9 {
+		t.Fatalf("page after delete = %d items, want 9", len(got))
+	}
+}
+
+func TestScanPageMerged(t *testing.T) {
+	var primary, fallback Store
+	// Primary owns evens, fallback (a replica view) holds odds plus a
+	// stale copy of key 102 that must lose to the primary.
+	for i := 100; i < 110; i += 2 {
+		primary.Put(keyspace.Key(i), []byte("p"))
+	}
+	for i := 101; i < 110; i += 2 {
+		fallback.Put(keyspace.Key(i), []byte("f"))
+	}
+	fallback.Put(102, []byte("stale"))
+
+	rg := keyspace.Range{Start: 100, End: 110}
+	got, more := ScanPageMerged(&primary, &fallback, rg, 0, 0)
+	if more {
+		t.Fatal("small merged range reported more")
+	}
+	if len(got) != 10 {
+		t.Fatalf("merged = %d items, want 10", len(got))
+	}
+	for i, it := range got {
+		if it.Key != keyspace.Key(100+i) {
+			t.Fatalf("merged out of order at %d: key %v", i, it.Key)
+		}
+	}
+	if !bytes.Equal(got[2].Value, []byte("p")) {
+		t.Fatalf("primary must win duplicate key 102, got %q", got[2].Value)
+	}
+
+	// A primary tombstone hides the fallback's copy entirely.
+	primary.Put(103, []byte("x"))
+	primary.Delete(103)
+	got, _ = ScanPageMerged(&primary, &fallback, rg, 0, 0)
+	for _, it := range got {
+		if it.Key == 103 {
+			t.Fatalf("tombstoned key 103 leaked from the fallback: %q", it.Value)
+		}
+	}
+	if len(got) != 9 {
+		t.Fatalf("merged after tombstone = %d items, want 9", len(got))
+	}
+
+	// More is exact: a page cut right before only-tombstoned or
+	// duplicate leftovers must not claim more.
+	got, more = ScanPageMerged(&primary, &fallback, rg, 9, 0)
+	if len(got) != 9 || more {
+		t.Fatalf("page of 9 = %d items, more=%v; want 9, false", len(got), more)
+	}
+
+	// Paged resume via cursor covers everything exactly once.
+	var all []Item
+	cursor := keyspace.Key(100)
+	for {
+		page, more := ScanPageMerged(&primary, &fallback, keyspace.Range{Start: cursor, End: 110}, 3, 0)
+		all = append(all, page...)
+		if !more {
+			break
+		}
+		cursor = page[len(page)-1].Key + 1
+	}
+	if len(all) != 9 {
+		t.Fatalf("cursor walk = %d items, want 9", len(all))
+	}
+
+	// Nil / empty stores are fine on either side.
+	// (Without a primary there is no tombstone for 103 and no duplicate
+	// winner for 102, so all 6 fallback items are live.)
+	if got, _ := ScanPageMerged(nil, &fallback, rg, 0, 0); len(got) != 6 {
+		t.Fatalf("nil primary = %d items, want all 6 fallback items", len(got))
+	}
+	if got, _ := ScanPageMerged(&primary, nil, rg, 0, 0); len(got) != 5 {
+		t.Fatalf("nil fallback = %d items, want the primary's 5", len(got))
+	}
+
+	// Wrap-around merged range.
+	var hi, lo Store
+	hi.Put(^keyspace.Key(0)-1, []byte("high"))
+	lo.Put(3, []byte("low"))
+	got, _ = ScanPageMerged(&hi, &lo, keyspace.Range{Start: ^keyspace.Key(0) - 5, End: 10}, 0, 0)
+	if len(got) != 2 || got[0].Key != ^keyspace.Key(0)-1 || got[1].Key != 3 {
+		t.Fatalf("wrap-around merged = %+v", got)
+	}
+}

@@ -59,8 +59,14 @@ const (
 	OpPut       Op = "put"        // store an item (owner only)
 	OpGet       Op = "get"        // fetch an item (owner or replica)
 	OpDelete    Op = "delete"     // remove an item (owner only)
-	OpRangeScan Op = "range_scan" // scan the local shard
-	OpMigrate   Op = "migrate"    // hand over items in a range (join)
+	// OpScan is one page of a streaming arc scan: the responder returns up
+	// to a frame-bounded page of live items in the requested range from its
+	// merged view (own shard plus replica copies, tombstones honoured),
+	// clockwise from Range.Start — the cursor. More with a resume Cursor
+	// asks the requester to call the same peer again before hopping to the
+	// successor (Peer). Non-destructive, unlike migrate.
+	OpScan    Op = "scan"    // one cursor-paged scan step over the local merged view
+	OpMigrate Op = "migrate" // hand over items in a range (join)
 
 	// Replication protocol: the owner of an arc pushes copies of its items
 	// directly to the nodes on its successor list — no routing involved.
@@ -143,10 +149,15 @@ type Response struct {
 	// concern.
 	Acks  int            `json:"acks,omitempty"`
 	Items []storage.Item `json:"items,omitempty"`
-	// More reports that a migrate response was truncated to bound the
-	// frame size and the requester must call again for the rest of the
-	// range (each migrate call extracts, so repeated calls progress).
+	// More reports that a migrate or scan response was truncated to bound
+	// the frame size and the requester must call again for the rest of the
+	// range (migrate extracts, so repeated calls progress; scan resumes
+	// from Cursor).
 	More bool `json:"more,omitempty"`
+	// Cursor is the resume key of a truncated scan page (set when More):
+	// the next scan request against the same range continues from here —
+	// one past the last returned item.
+	Cursor keyspace.Key `json:"cursor,omitempty"`
 	// Tombs carries the tombstones of a migrated arc (migrate): the delete
 	// knowledge travels with the items it covers.
 	Tombs []storage.Tombstone `json:"tombs,omitempty"`

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -330,17 +331,55 @@ func (n *Node) Delete(ctx context.Context, key Key) (DeleteResponse, error) {
 	return out, nil
 }
 
-// RangeQuery implements Client.
-func (n *Node) RangeQuery(ctx context.Context, start, end Key, limit int) (RangeResponse, error) {
+// Scan implements Client: a paged streaming read over [start, end). Each
+// page is one cursor-carrying scan RPC against the shard owner (or, when
+// the owner dies mid-scan, a member of its replica chain — the cursor
+// resumes through the chain's replica copies without loss).
+func (n *Node) Scan(ctx context.Context, start, end Key, opts ...ScanOption) *Scanner {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := n.begin(ctx); err != nil {
-		return RangeResponse{}, err
+		return failedScanner(err)
 	}
-	res, err := n.inner.RangeQuery(ctx, start, end, limit)
-	out := RangeResponse{Items: res.Items, Cost: res.Cost, PeersScanned: res.PeersScanned}
-	if err != nil {
-		return out, n.mapErr(err)
+	sess := n.inner.NewScanSession(start, end)
+	return newScanner(ctx, start, end, opts, func(ctx context.Context, cursor Key, want int) (scanChunk, error) {
+		if n.isClosed() {
+			return scanChunk{}, ErrClosed
+		}
+		chunk, err := sess.NextPage(ctx, cursor, want)
+		out := scanChunk{items: chunk.Items, done: chunk.Done, cost: chunk.Cost, peers: chunk.Peers}
+		if err != nil {
+			return out, n.mapErr(err)
+		}
+		return out, nil
+	})
+}
+
+// RangeQuery implements Client.
+//
+// Deprecated: use Scan — RangeQuery buffers the whole result in memory
+// and is now a thin wrapper over the same paged scan.
+func (n *Node) RangeQuery(ctx context.Context, start, end Key, limit int) (RangeResponse, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return out, nil
+	return drainScanner(n.Scan(ctx, start, end, WithLimit(limit)))
+}
+
+// PutBlob implements Client.
+func (n *Node) PutBlob(ctx context.Context, base Key, r io.Reader, opts ...BlobOption) (BlobManifest, error) {
+	return putBlob(ctx, n, base, r, opts)
+}
+
+// GetBlob implements Client.
+func (n *Node) GetBlob(ctx context.Context, base Key) (*BlobReader, error) {
+	return getBlob(ctx, n, base)
+}
+
+// DeleteBlob implements Client.
+func (n *Node) DeleteBlob(ctx context.Context, base Key) error {
+	return deleteBlob(ctx, n, base)
 }
 
 // Lookup implements Client.

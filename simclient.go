@@ -3,7 +3,10 @@ package oscar
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync/atomic"
+
+	"github.com/oscar-overlay/oscar/internal/storage"
 )
 
 // Client returns the context-first Client facade over this overlay. The
@@ -138,15 +141,124 @@ func (c *simClient) Delete(ctx context.Context, key Key) (DeleteResponse, error)
 	return out, nil
 }
 
-func (c *simClient) RangeQuery(ctx context.Context, start, end Key, limit int) (RangeResponse, error) {
+// simScanSession is the simulator's shard walker behind Scan: one merged
+// page per call under the overlay mutex, so a long scan interleaves with
+// writes and churn between pages exactly like the live backend.
+type simScanSession struct {
+	c  *simClient
+	rg Range
+
+	cur     NodeID
+	have    bool
+	counted bool
+}
+
+func (s *simScanSession) nextPage(cursor Key, want int) (scanChunk, error) {
+	o := s.c.ov
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var out scanChunk
+	rem := Range{Start: cursor, End: s.rg.End}
+	net := o.sim.Net()
+	maxItems := storage.PageMaxItems
+	if want > 0 && want < maxItems {
+		maxItems = want
+	}
+	for hops := 0; hops <= net.Len()+1; hops++ {
+		// A shard owner that died between pages: re-route the cursor. The
+		// new owner's replica store carries the dead peer's arc, so the
+		// resumed page loses nothing (the sim analogue of chain fallback).
+		if s.have && !net.Node(s.cur).Alive {
+			s.have = false
+		}
+		if !s.have {
+			route := o.lookupLocked(cursor)
+			out.cost += route.Cost()
+			if !route.Found {
+				return out, fmt.Errorf("%w: scan at %v", ErrRoutingFailed, cursor)
+			}
+			s.cur, s.have, s.counted = route.Owner, true, false
+		}
+		node := net.Node(s.cur)
+		// Clip the merged view to the arc this peer serves
+		// authoritatively — keys clockwise up to its own position — so
+		// replica copies of live predecessors across the circle never
+		// leak into the page and skip the shards in between (the same
+		// clip the live OpScan handler applies).
+		clipped := rem
+		selfEnd := node.Key + 1
+		var items []Item
+		more := false
+		if rem.Start != selfEnd {
+			if rem.Start.Distance(selfEnd) < rem.Start.Distance(rem.End) {
+				clipped.End = selfEnd
+			}
+			items, more = storage.ScanPageMerged(o.storeFor(s.cur), o.replStoreFor(s.cur), clipped, maxItems, storage.PageMaxBytes)
+		}
+		out.cost++
+		if !s.counted {
+			out.peers++
+			s.counted = true
+		}
+		out.items = items
+		if more {
+			return out, nil
+		}
+		if node.Succ == s.cur || !rem.Contains(node.Key) {
+			out.done = true
+			return out, nil
+		}
+		s.cur, s.counted = node.Succ, false
+		if len(items) > 0 {
+			return out, nil
+		}
+		// Empty shard: keep walking within this page call.
+	}
+	return out, fmt.Errorf("oscar: scan did not terminate")
+}
+
+// Scan implements Client over the simulator: the same paged walk as the
+// live backend, against the overlay's in-process shards.
+func (c *simClient) Scan(ctx context.Context, start, end Key, opts ...ScanOption) *Scanner {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := c.begin(ctx); err != nil {
-		return RangeResponse{}, err
+		return failedScanner(err)
 	}
-	res, err := c.ov.RangeQuery(start, end, limit)
-	if err != nil {
-		return RangeResponse{}, fmt.Errorf("%w: range [%v, %v): %v", ErrRoutingFailed, start, end, err)
+	sess := &simScanSession{c: c, rg: Range{Start: start, End: end}}
+	return newScanner(ctx, start, end, opts, func(ctx context.Context, cursor Key, want int) (scanChunk, error) {
+		if c.closed.Load() {
+			return scanChunk{}, ErrClosed
+		}
+		return sess.nextPage(cursor, want)
+	})
+}
+
+// RangeQuery implements Client.
+//
+// Deprecated: use Scan — RangeQuery buffers the whole result in memory
+// and is now a thin wrapper over the same paged scan.
+func (c *simClient) RangeQuery(ctx context.Context, start, end Key, limit int) (RangeResponse, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return RangeResponse{Items: res.Items, Cost: res.Cost, PeersScanned: res.PeersScanned}, nil
+	return drainScanner(c.Scan(ctx, start, end, WithLimit(limit)))
+}
+
+// PutBlob implements Client.
+func (c *simClient) PutBlob(ctx context.Context, base Key, r io.Reader, opts ...BlobOption) (BlobManifest, error) {
+	return putBlob(ctx, c, base, r, opts)
+}
+
+// GetBlob implements Client.
+func (c *simClient) GetBlob(ctx context.Context, base Key) (*BlobReader, error) {
+	return getBlob(ctx, c, base)
+}
+
+// DeleteBlob implements Client.
+func (c *simClient) DeleteBlob(ctx context.Context, base Key) error {
+	return deleteBlob(ctx, c, base)
 }
 
 func (c *simClient) Lookup(ctx context.Context, key Key) (LookupResponse, error) {
