@@ -6,7 +6,7 @@ GO ?= go
 # to keep CI fast (the full suite still runs race-free in `test`).
 RACE_PKGS = ./internal/transport/... ./internal/p2p/...
 
-.PHONY: all build test race bench bench-replication bench-antientropy bench-stream fmt fmt-check vet examples conformance ci
+.PHONY: all build test race bench bench-replication bench-antientropy bench-stream bench-wal fmt fmt-check vet examples conformance ci
 
 all: build
 
@@ -33,11 +33,13 @@ examples:
 # contract (w=2 succeeds past a dead replica, w=3 fails with honest ack
 # counts), the read-repair contract (a fallback read heals a stale owner
 # by exactly the divergence), the ring-size estimate on a ring past
-# the old 128-peer walk cap, and the mid-scan churn contract (a paged
-# scan rides out its serving peer's crash with no loss or duplication) —
-# race detector on.
+# the old 128-peer walk cap, the mid-scan churn contract (a paged
+# scan rides out its serving peer's crash with no loss or duplication),
+# and the restart-durability contract (crash a durable owner mid-WAL,
+# restart it on the same data dir, lose no acked write, resurrect no
+# delete, re-ship only the downtime delta) — race detector on.
 conformance:
-	$(GO) test -race -run 'TestConformance|TestCrashDurability|TestDivergenceHeal|TestWriteConcern|TestReadRepair|TestRingSizeEstimate|TestLookupCancelled|TestRangeQueryCancelled|TestScanChurn' . ./internal/p2p/
+	$(GO) test -race -run 'TestConformance|TestCrashDurability|TestDivergenceHeal|TestWriteConcern|TestReadRepair|TestRingSizeEstimate|TestLookupCancelled|TestRangeQueryCancelled|TestScanChurn|TestRestartDurability|TestDeleteSurvivesRestart' . ./internal/p2p/
 
 # Replication bench smoke: the replicated write path compiles and runs on
 # both backends, including the ack-awaited write-concern ladder (w=1 vs
@@ -56,6 +58,13 @@ bench-antientropy:
 bench-stream:
 	$(GO) test -run=NONE -bench='BenchmarkScan$$|BenchmarkBlobRoundTrip' -benchtime=1x . | tee bench-stream.txt
 
+# Durability bench smoke: WAL append cost under each fsync policy plus
+# cold recovery (snapshot load + replay) at 10k and 100k keys; the raw
+# log and a JSON rendering both land in the CI artifact.
+bench-wal:
+	$(GO) test -run=NONE -bench='BenchmarkWALAppend|BenchmarkRecovery' -benchtime=1x ./internal/wal/ | tee bench-wal.txt
+	$(GO) run ./cmd/oscar-benchjson -o BENCH_durability.json < bench-wal.txt
+
 # Bench smoke: compile and run every benchmark once (shape check, not a
 # measurement). Full measurements: `go test -bench=. -benchtime=2s ./...`.
 bench:
@@ -70,4 +79,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test examples race conformance bench-replication bench-antientropy bench-stream bench
+ci: fmt-check vet build test examples race conformance bench-replication bench-antientropy bench-stream bench-wal bench

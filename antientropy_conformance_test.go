@@ -306,10 +306,14 @@ func TestRingSizeEstimate(t *testing.T) {
 	nodes := make([]*Node, size)
 	for i := 0; i < size; i++ {
 		f := (float64(i) + 0.25*math.Sin(float64(i)*1.7)) / size
-		nodes[i] = startNodeOn(fabric.Endpoint(), NodeConfig{
+		var err error
+		nodes[i], err = startNodeOn(fabric.Endpoint(), NodeConfig{
 			Key:  KeyFromFloat(f),
 			Seed: int64(i),
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if i > 0 {
 			if err := nodes[i].Join(ctx, nodes[i-1].Addr()); err != nil {
 				t.Fatal(err)

@@ -337,12 +337,15 @@ func BenchmarkLiveClusterPutGetTCP(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		n := p2p.NewNode(ep, p2p.Config{
+		n, err := p2p.NewNode(ep, p2p.Config{
 			Key:    keyspace.FromFloat(float64(i)/size + 0.01),
 			MaxIn:  8,
 			MaxOut: 8,
 			Seed:   int64(i),
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if i > 0 {
 			if err := n.Join(context.Background(), nodes[0].Self().Addr); err != nil {
 				b.Fatal(err)

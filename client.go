@@ -266,6 +266,17 @@ type InfoResponse struct {
 	// serving peer's lifetime totals on the live backend, the overlay's on
 	// the simulator.
 	AntiEntropy SyncStats
+	// Durable reports the serving peer runs with a data directory (WAL +
+	// compacted snapshots; see NodeConfig.DataDir / WithDataDir).
+	Durable bool
+	// WALBytes and WALFrames are the size and intact frame count of the
+	// serving peer's write-ahead log since its last snapshot — the replay
+	// cost of a crash right now (durable live backend only).
+	WALBytes  int64
+	WALFrames int
+	// LastSnapshot is when the serving peer last wrote a compacted
+	// snapshot (zero if never, or not durable).
+	LastSnapshot time.Time
 }
 
 // options collects the functional construction options shared by NewClient
@@ -285,6 +296,8 @@ type options struct {
 	writeConcern      int
 	autoMaintenance   time.Duration
 	antiEntropy       time.Duration
+	dataDir           string
+	fsync             string
 }
 
 // Option customises client construction. The zero configuration builds a
@@ -344,6 +357,18 @@ func WithReplicas(r int) Option { return func(o *options) { o.replicas = r } }
 // ContextWithWriteConcern for an unclamped per-call requirement. Both
 // backends honour it identically.
 func WithWriteConcern(w int) Option { return func(o *options) { o.writeConcern = w } }
+
+// WithDataDir makes cluster nodes durable (StartCluster only): node i
+// logs every storage mutation to a write-ahead log under dir/node-i and
+// compacts it into snapshots, so a node restarted on the same
+// subdirectory recovers its shard instead of re-filling it over the
+// network. The simulator ignores it.
+func WithDataDir(dir string) Option { return func(o *options) { o.dataDir = dir } }
+
+// WithFsync selects the WAL fsync policy ("always", "interval", or
+// "never") for durable cluster nodes; see NodeConfig.Fsync. Only
+// meaningful together with WithDataDir.
+func WithFsync(policy string) Option { return func(o *options) { o.fsync = policy } }
 
 // WithAutoMaintenance starts the background maintenance loop on every
 // node StartCluster boots: ring stabilisation every interval (jittered

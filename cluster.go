@@ -3,6 +3,7 @@ package oscar
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 
 	"github.com/oscar-overlay/oscar/internal/degreedist"
 	"github.com/oscar-overlay/oscar/internal/keydist"
@@ -50,7 +51,7 @@ func StartCluster(ctx context.Context, size int, opts ...Option) (*Cluster, erro
 	c := &Cluster{fabric: transport.NewFabric()}
 	for i := 0; i < size; i++ {
 		caps := degrees.Sample(capRand)
-		node := startNodeOn(c.fabric.Endpoint(), NodeConfig{
+		cfg := NodeConfig{
 			Key:               keys.Sample(keyRand),
 			MaxIn:             caps,
 			MaxOut:            caps,
@@ -62,7 +63,16 @@ func StartCluster(ctx context.Context, size int, opts ...Option) (*Cluster, erro
 			AutoMaintenance:   o.autoMaintenance,
 			AntiEntropy:       o.antiEntropy,
 			Seed:              o.seed + int64(i),
-		})
+		}
+		if o.dataDir != "" {
+			cfg.DataDir = filepath.Join(o.dataDir, fmt.Sprintf("node-%d", i))
+			cfg.Fsync = o.fsync
+		}
+		node, err := startNodeOn(c.fabric.Endpoint(), cfg)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("oscar: cluster node %d: %w", i, err)
+		}
 		if i > 0 {
 			if err := node.Join(ctx, c.nodes[0].Addr()); err != nil {
 				_ = node.Close()
@@ -97,7 +107,10 @@ func (c *Cluster) Nodes() []*Node { return append([]*Node(nil), c.nodes...) }
 // AddNode boots one more node on the cluster's fabric and joins it through
 // the cluster's first open node.
 func (c *Cluster) AddNode(ctx context.Context, cfg NodeConfig) (*Node, error) {
-	node := startNodeOn(c.fabric.Endpoint(), cfg)
+	node, err := startNodeOn(c.fabric.Endpoint(), cfg)
+	if err != nil {
+		return nil, err
+	}
 	for _, peer := range c.nodes {
 		if !peer.isClosed() {
 			if err := node.Join(ctx, peer.Addr()); err != nil {

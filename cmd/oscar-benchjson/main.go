@@ -1,0 +1,105 @@
+// oscar-benchjson converts `go test -bench` output on stdin into a JSON
+// array on a file (or stdout), so CI can publish benchmark numbers as a
+// machine-readable artifact next to the raw text log.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. ./internal/wal/ | oscar-benchjson -o BENCH_durability.json
+//
+// Each benchmark result line
+//
+//	BenchmarkWALAppend/policy=always-8   1226   995034 ns/op   128.66 MB/s
+//
+// becomes one object: {"name": "WALAppend/policy=always", "procs": 8,
+// "iterations": 1226, "ns_per_op": 995034, "metrics": {"MB/s": 128.66}}.
+// Non-benchmark lines are ignored, so piping the whole `go test` output
+// through is fine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "oscar-benchjson:", err)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oscar-benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "oscar-benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine decodes one `go test -bench` result line. The format is
+// stable: name, iteration count, then metric pairs of (value, unit).
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 0
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: name, Procs: procs, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = v
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = map[string]float64{}
+		}
+		r.Metrics[unit] = v
+	}
+	return r, true
+}

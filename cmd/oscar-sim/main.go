@@ -22,7 +22,7 @@ import (
 	"github.com/oscar-overlay/oscar/internal/keydist"
 	"github.com/oscar-overlay/oscar/internal/metrics"
 	"github.com/oscar-overlay/oscar/internal/sim"
-	"github.com/oscar-overlay/oscar/internal/snapshot"
+	"github.com/oscar-overlay/oscar/internal/simsnapshot"
 )
 
 func main() {
@@ -128,7 +128,7 @@ func main() {
 			log.Fatal(err)
 		}
 		label := fmt.Sprintf("%s n=%d keys=%s degrees=%s seed=%d", *system, *n, cfg.Keys.Name(), cfg.Degrees.Name(), *seed)
-		if err := snapshot.Capture(s.Net(), label).Write(f); err != nil {
+		if err := simsnapshot.Capture(s.Net(), label).Write(f); err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {

@@ -166,7 +166,7 @@ func TestSyncCostProportionalToDivergence(t *testing.T) {
 func TestReplicaGC(t *testing.T) {
 	fabric := transport.NewFabric()
 	mk := func(f float64, seed int64) *Node {
-		return NewNode(fabric.Endpoint(), Config{Key: keyspace.FromFloat(f), Replicas: 2, Seed: seed})
+		return mustNode(t, fabric.Endpoint(), Config{Key: keyspace.FromFloat(f), Replicas: 2, Seed: seed})
 	}
 	a, b, cn := mk(0.1, 1), mk(0.4, 2), mk(0.7, 3)
 	nodes := []*Node{a, b, cn}
@@ -236,7 +236,7 @@ func TestReplicaGC(t *testing.T) {
 func TestTombstoneStopsResurrection(t *testing.T) {
 	fabric := transport.NewFabric()
 	mk := func(f float64, seed int64) *Node {
-		return NewNode(fabric.Endpoint(), Config{Key: keyspace.FromFloat(f), Replicas: 2, Seed: seed})
+		return mustNode(t, fabric.Endpoint(), Config{Key: keyspace.FromFloat(f), Replicas: 2, Seed: seed})
 	}
 	a, b, cn := mk(0.1, 1), mk(0.5, 2), mk(0.9, 3)
 	nodes := []*Node{a, b, cn}
@@ -292,7 +292,7 @@ func TestTombstoneStopsResurrection(t *testing.T) {
 func TestMigrateCarriesTombstones(t *testing.T) {
 	fabric := transport.NewFabric()
 	mk := func(f float64, seed int64) *Node {
-		return NewNode(fabric.Endpoint(), Config{Key: keyspace.FromFloat(f), Seed: seed})
+		return mustNode(t, fabric.Endpoint(), Config{Key: keyspace.FromFloat(f), Seed: seed})
 	}
 	a, b := mk(0.1, 1), mk(0.6, 2)
 	if err := b.Join(bg, a.Self().Addr); err != nil {
@@ -335,7 +335,7 @@ func TestSizeEstimateConverges(t *testing.T) {
 		// estimates are good but not trivially exact, so the test also
 		// exercises the gossip averaging.
 		f := (float64(i) + 0.25*math.Sin(float64(i)*1.7)) / size
-		nodes[i] = NewNode(fabric.Endpoint(), Config{Key: keyspace.FromFloat(f), Seed: int64(i)})
+		nodes[i] = mustNode(t, fabric.Endpoint(), Config{Key: keyspace.FromFloat(f), Seed: int64(i)})
 		if i > 0 {
 			if err := nodes[i].Join(bg, nodes[i-1].Self().Addr); err != nil {
 				t.Fatal(err)

@@ -56,13 +56,16 @@ func NewCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	c := &Cluster{Fabric: transport.NewFabric()}
 	for i := 0; i < cfg.Size; i++ {
 		caps := cfg.Degrees.Sample(capRand)
-		node := NewNode(c.Fabric.Endpoint(), Config{
+		node, err := NewNode(c.Fabric.Endpoint(), Config{
 			Key:      cfg.Keys.Sample(keyRand),
 			MaxIn:    caps,
 			MaxOut:   caps,
 			Replicas: cfg.Replicas,
 			Seed:     cfg.Seed + int64(i),
 		})
+		if err != nil {
+			return nil, fmt.Errorf("p2p: node %d: %w", i, err)
+		}
 		if i > 0 {
 			if err := node.Join(ctx, c.Nodes[0].Self().Addr); err != nil {
 				return nil, fmt.Errorf("p2p: node %d join: %w", i, err)

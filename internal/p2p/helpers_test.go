@@ -1,0 +1,18 @@
+package p2p
+
+import (
+	"testing"
+
+	"github.com/oscar-overlay/oscar/internal/transport"
+)
+
+// mustNode is the test-side NewNode: without a DataDir it cannot fail,
+// so tests fatal instead of threading the error.
+func mustNode(tb testing.TB, tr transport.Transport, cfg Config) *Node {
+	tb.Helper()
+	n, err := NewNode(tr, cfg)
+	if err != nil {
+		tb.Fatalf("NewNode: %v", err)
+	}
+	return n
+}

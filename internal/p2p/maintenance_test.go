@@ -15,7 +15,7 @@ func TestMaintenanceHealsRing(t *testing.T) {
 	fabric := transport.NewFabric()
 	var nodes []*Node
 	for i := 0; i < 8; i++ {
-		n := NewNode(fabric.Endpoint(), Config{
+		n := mustNode(t, fabric.Endpoint(), Config{
 			Key: keyspace.FromFloat(float64(i) / 8), MaxIn: 8, MaxOut: 8, Seed: int64(i),
 		})
 		if i > 0 {
@@ -71,7 +71,7 @@ func TestMaintenanceRunsAntiEntropy(t *testing.T) {
 	fabric := transport.NewFabric()
 	var nodes []*Node
 	for i := 0; i < 4; i++ {
-		n := NewNode(fabric.Endpoint(), Config{
+		n := mustNode(t, fabric.Endpoint(), Config{
 			Key: keyspace.FromFloat(float64(i)/4 + 0.1), Replicas: 2,
 			AntiEntropy: 10 * time.Millisecond, Seed: int64(i),
 		})
@@ -125,7 +125,7 @@ func TestMaintenanceRunsAntiEntropy(t *testing.T) {
 
 func TestMaintenanceStopIdempotent(t *testing.T) {
 	fabric := transport.NewFabric()
-	n := NewNode(fabric.Endpoint(), Config{Key: 1})
+	n := mustNode(t, fabric.Endpoint(), Config{Key: 1})
 	m := n.StartMaintenance(time.Millisecond, 1)
 	time.Sleep(5 * time.Millisecond)
 	m.Stop()

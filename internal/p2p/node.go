@@ -19,6 +19,7 @@ import (
 	"github.com/oscar-overlay/oscar/internal/keyspace"
 	"github.com/oscar-overlay/oscar/internal/storage"
 	"github.com/oscar-overlay/oscar/internal/transport"
+	"github.com/oscar-overlay/oscar/internal/wal"
 )
 
 // Config parameterises one node.
@@ -64,6 +65,21 @@ type Config struct {
 	TombstoneTTL time.Duration
 	// Seed drives the node's local randomness.
 	Seed int64
+	// DataDir, when non-empty, makes the node durable: every storage
+	// mutation is written to a WAL in this directory, periodically
+	// compacted into snapshots, and replayed on the next start so the
+	// node rejoins with its arc intact. Empty keeps the seed behaviour
+	// (memory only).
+	DataDir string
+	// Fsync is the WAL fsync policy (wal.PolicyAlways / Interval /
+	// Never). Only meaningful with DataDir set.
+	Fsync wal.Policy
+	// FsyncInterval overrides the background fsync cadence for
+	// wal.PolicyInterval (default 100ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery is the WAL frame count that triggers a compacting
+	// snapshot at the next stabilisation round (default 4096).
+	SnapshotEvery int
 }
 
 func (c *Config) fillDefaults() {
@@ -96,6 +112,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.TombstoneTTL == 0 {
 		c.TombstoneTTL = 10 * time.Minute
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 4096
 	}
 }
 
@@ -183,14 +202,24 @@ type Node struct {
 	repairing  bool
 	repairedAt time.Time
 	down       bool
+	// lastJoinItems / lastJoinTombs count what the most recent Join
+	// actually pulled over the wire (see JoinShipped).
+	lastJoinItems, lastJoinTombs int
+
+	// eng is the durable WAL engine (nil without Config.DataDir);
+	// recovery describes what it reconstructed at startup.
+	eng      *wal.Engine
+	recovery RecoveryInfo
 
 	rnd *lockedRand
 }
 
 // NewNode creates a node on the given transport and starts serving its
 // protocol handler. The node starts as a one-peer ring (succ = pred = self);
-// call Join to enter an existing overlay.
-func NewNode(tr transport.Transport, cfg Config) *Node {
+// call Join to enter an existing overlay. With Config.DataDir set it
+// first recovers durable state from disk (snapshot load + WAL tail
+// replay) — the only way NewNode can fail.
+func NewNode(tr transport.Transport, cfg Config) (*Node, error) {
 	cfg.fillDefaults()
 	n := &Node{
 		cfg:  cfg,
@@ -200,12 +229,21 @@ func NewNode(tr transport.Transport, cfg Config) *Node {
 		rnd:  &lockedRand{r: rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.Key)))},
 	}
 	n.pred = n.self
+	if cfg.DataDir != "" {
+		// Recovery runs before anything serves: the stores NewNode
+		// continues with are the recovered ones, and the WAL sinks are
+		// attached before the first reachable mutation.
+		if err := n.openEngine(); err != nil {
+			return nil, err
+		}
+	}
 	// The primary store carries the incrementally-maintained arc digest:
 	// the store holds exactly the owned arc, so its leaf vector is the
-	// owner-side summary every sync round starts from.
+	// owner-side summary every sync round starts from. After recovery
+	// this re-seeds the tree from the recovered contents.
 	n.store.EnableDigest(antientropy.DefaultDepth)
 	tr.Serve(n.handle)
-	return n
+	return n, nil
 }
 
 // Self returns the node's own peer reference.
@@ -448,12 +486,20 @@ func (n *Node) ReplicaDeleted(k keyspace.Key) bool {
 	return ok
 }
 
-// Close takes the node off the network (a crash: no graceful handover).
+// Close takes the node off the network (a crash: no graceful handover,
+// no final snapshot — recovery replays the WAL tail). CloseClean is the
+// graceful counterpart.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	n.down = true
 	n.mu.Unlock()
-	return n.tr.Close()
+	err := n.tr.Close()
+	if n.eng != nil {
+		if cerr := n.eng.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // handle dispatches one incoming request. It runs on transport goroutines.
@@ -709,9 +755,13 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 		// cap): each call extracts the next bounded batch clockwise and
 		// More tells the joiner to call again. Tombstones are small and
 		// ship with the first chunk (extraction leaves none for later
-		// calls).
+		// calls). A recovered joiner announces what it already holds
+		// (req.States): ownership still transfers in full — extraction
+		// proceeds — but byte-identical items are filtered from the
+		// response, so a restart re-ships only the downtime delta.
 		items, more := n.store.ExtractRangeLimit(req.Range, maxReplicateItems, maxReplicateBytes)
 		tombs := n.store.ExtractTombstones(req.Range)
+		items = filterMigrateItems(items, req.States)
 		return &transport.Response{OK: true, Items: items, Tombs: tombs, More: more}
 
 	default:

@@ -98,8 +98,16 @@ func (n *Node) Join(ctx context.Context, introducer transport.Addr) error {
 	// Migrate responses are chunked (extraction makes repeated calls
 	// progress through the range), so a huge arc arrives in bounded frames.
 	arc := keyspace.Range{Start: predKey + 1, End: n.self.Key + 1}
+	n.mu.Lock()
+	// A node restarting from a data directory announces the per-key
+	// state it already holds: the responder still hands over the whole
+	// range, but ships only the keys this node lacks — the downtime
+	// delta, not the full arc.
+	states := n.joinStatesLocked(arc)
+	n.lastJoinItems, n.lastJoinTombs = 0, 0
+	n.mu.Unlock()
 	for {
-		mig, err := n.tr.CallCtx(ctx, owner.Addr, &transport.Request{Op: transport.OpMigrate, Range: arc, From: n.self})
+		mig, err := n.tr.CallCtx(ctx, owner.Addr, &transport.Request{Op: transport.OpMigrate, Range: arc, From: n.self, States: states})
 		if err != nil || !mig.OK {
 			// Partial migration: the un-pulled remainder stays in the
 			// successor's primary store, where the successor keeps serving
@@ -111,13 +119,38 @@ func (n *Node) Join(ctx context.Context, introducer transport.Addr) error {
 		}
 		if len(mig.Items) > 0 || len(mig.Tombs) > 0 {
 			n.mu.Lock()
-			n.store.InsertBulk(mig.Items)
+			items := mig.Items
+			if n.recovery.HasState() {
+				// A recovered tombstone outranks a copy the responder
+				// still holds: the delete may never have reached it
+				// before the crash, and InsertBulk's Put would clear
+				// the tombstone and resurrect the key.
+				kept := items[:0]
+				for _, it := range items {
+					if _, dead := n.store.Tombstone(it.Key); !dead {
+						kept = append(kept, it)
+					}
+				}
+				items = kept
+			}
+			n.store.InsertBulk(items)
 			n.store.InsertTombstones(mig.Tombs)
+			n.lastJoinItems += len(items)
+			n.lastJoinTombs += len(mig.Tombs)
 			n.mu.Unlock()
 		}
 		if !mig.More {
 			break
 		}
+	}
+	if n.recovery.HasState() {
+		// Recovered state may predate an arc change: promote in-arc
+		// replica copies into the primary store and demote keys the new
+		// arc no longer covers, so the primary store again holds exactly
+		// the owned arc (the digest tree's contract).
+		n.mu.Lock()
+		n.relocateRecoveredLocked(arc)
+		n.mu.Unlock()
 	}
 
 	return n.Rewire(ctx)
@@ -271,6 +304,7 @@ func (n *Node) Stabilize(ctx context.Context) {
 	n.syncReplicas(ctx)
 	n.maybeGCReplicas(ctx)
 	n.gcTombstones()
+	n.maybeSnapshot()
 }
 
 // refreshSuccList rebuilds the successor list as head followed by head's

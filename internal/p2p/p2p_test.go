@@ -271,7 +271,7 @@ func TestJoinMigratesItems(t *testing.T) {
 		}
 	}
 	// A new node joins; items in its arc must move to it and stay readable.
-	newbie := NewNode(c.Fabric.Endpoint(), Config{Key: keyspace.FromFloat(0.5), MaxIn: 16, MaxOut: 16, Seed: 99})
+	newbie := mustNode(t, c.Fabric.Endpoint(), Config{Key: keyspace.FromFloat(0.5), MaxIn: 16, MaxOut: 16, Seed: 99})
 	if err := newbie.Join(bg, c.Nodes[0].Self().Addr); err != nil {
 		t.Fatal(err)
 	}
@@ -521,7 +521,7 @@ func TestLookupCancelledMidWalk(t *testing.T) {
 	ctx, cancel := context.WithCancel(bg)
 	defer cancel()
 	ct := &cancellingTransport{Transport: c.Fabric.Endpoint(), cancel: cancel, after: 1 << 60}
-	n := NewNode(ct, Config{Key: keyspace.FromFloat(0.001), MaxIn: 8, MaxOut: 8, Seed: 5})
+	n := mustNode(t, ct, Config{Key: keyspace.FromFloat(0.001), MaxIn: 8, MaxOut: 8, Seed: 5})
 	if err := n.Join(bg, c.Nodes[0].Self().Addr); err != nil {
 		t.Fatal(err)
 	}
@@ -575,7 +575,7 @@ func TestClusterOverTCP(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		n := NewNode(ep, Config{
+		n := mustNode(t, ep, Config{
 			Key:    keyspace.FromFloat(float64(i)/size + 0.01),
 			MaxIn:  8,
 			MaxOut: 8,

@@ -100,7 +100,7 @@ func TestWriteConcernAcks(t *testing.T) {
 func TestMigrateChunked(t *testing.T) {
 	const items = maxReplicateItems*2 + 57 // forces at least 3 chunks
 	fabric := transport.NewFabric()
-	n1 := NewNode(fabric.Endpoint(), Config{Key: keyspace.FromFloat(0.9), Seed: 1})
+	n1 := mustNode(t, fabric.Endpoint(), Config{Key: keyspace.FromFloat(0.9), Seed: 1})
 	t.Cleanup(func() { _ = n1.Close() })
 	for i := 0; i < items; i++ {
 		k := keyspace.FromFloat(0.1 + 0.5*float64(i)/items)
@@ -115,7 +115,7 @@ func TestMigrateChunked(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	n2 := NewNode(fabric.Endpoint(), Config{Key: keyspace.FromFloat(0.6), Seed: 2})
+	n2 := mustNode(t, fabric.Endpoint(), Config{Key: keyspace.FromFloat(0.6), Seed: 2})
 	t.Cleanup(func() { _ = n2.Close() })
 	if err := n2.Join(bg, n1.Self().Addr); err != nil {
 		t.Fatal(err)
@@ -217,7 +217,7 @@ func TestSizeEstimateSkewedKeys(t *testing.T) {
 	nodes := make([]*Node, size)
 	for i := 0; i < size; i++ {
 		f := 0.001 + 0.998*math.Pow(float64(i)/size, 3)
-		nodes[i] = NewNode(fabric.Endpoint(), Config{Key: keyspace.FromFloat(f), Seed: int64(i)})
+		nodes[i] = mustNode(t, fabric.Endpoint(), Config{Key: keyspace.FromFloat(f), Seed: int64(i)})
 		if i > 0 {
 			if err := nodes[i].Join(bg, nodes[i-1].Self().Addr); err != nil {
 				t.Fatal(err)

@@ -1,8 +1,8 @@
-// Package snapshot serialises a built overlay to JSON and back: experiment
+// Package simsnapshot serialises a built overlay to JSON and back: experiment
 // runs are expensive (minutes for 10 000 peers), so the harness can save a
 // constructed topology once and analyses can reload it instantly. Snapshots
 // also freeze a network for regression comparison across code versions.
-package snapshot
+package simsnapshot
 
 import (
 	"encoding/json"

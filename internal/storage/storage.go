@@ -64,6 +64,10 @@ type Store struct {
 	// tree, when enabled, is the incrementally-maintained digest of items
 	// and tombstones together.
 	tree *antientropy.Tree
+	// sink, when set, observes every primitive mutation in apply order —
+	// the write-ahead-log hook, attached alongside the digest tree so the
+	// two can never disagree about what happened. See SetSink.
+	sink func(Mutation)
 }
 
 // Len returns the number of live items (tombstones excluded).
@@ -93,6 +97,7 @@ func (s *Store) apply(k keyspace.Key, h uint64) {
 // item was replaced. The value slice is stored as-is (callers own it). A
 // tombstone for k, if any, is cleared: a fresh write supersedes the delete.
 func (s *Store) Put(k keyspace.Key, v []byte) (replaced bool) {
+	s.emit(Mutation{Op: MutPut, Key: k, Value: v})
 	s.clearTombstone(k)
 	i := s.search(k)
 	if i < len(s.items) && s.items[i].Key == k {
@@ -127,6 +132,7 @@ func (s *Store) Delete(k keyspace.Key) bool {
 
 // DeleteAt is Delete with an explicit tombstone timestamp (unix nanos).
 func (s *Store) DeleteAt(k keyspace.Key, at int64) bool {
+	s.emit(Mutation{Op: MutTombstone, Key: k, At: at})
 	existed := s.removeItem(k)
 	s.setTomb(k, at)
 	return existed
@@ -176,6 +182,7 @@ func (s *Store) clearTombstone(k keyspace.Key) bool {
 // removed and the key is marked deleted with the given timestamp (newest
 // wins). It reports whether a live item was removed.
 func (s *Store) SetTombstone(k keyspace.Key, at int64) bool {
+	s.emit(Mutation{Op: MutTombstone, Key: k, At: at})
 	existed := s.removeItem(k)
 	s.setTomb(k, at)
 	return existed
@@ -202,6 +209,7 @@ func (s *Store) InsertTombstones(tombs []Tombstone) {
 // recording a delete. It is the cleanup primitive for stray replica state
 // the arc owner has no record of.
 func (s *Store) Drop(k keyspace.Key) {
+	s.emit(Mutation{Op: MutDrop, Key: k})
 	s.removeItem(k)
 	s.clearTombstone(k)
 }
@@ -222,6 +230,9 @@ func (s *Store) GCTombstones(cutoff int64) int {
 		}
 	}
 	s.tombs = kept
+	if dropped > 0 {
+		s.emit(Mutation{Op: MutGC, At: cutoff})
+	}
 	return dropped
 }
 
@@ -405,6 +416,7 @@ func (s *Store) ExtractRange(rg keyspace.Range) []Item {
 	kept := s.items[:0]
 	for _, it := range s.items {
 		if rg.Contains(it.Key) {
+			s.emit(Mutation{Op: MutRemoveItem, Key: it.Key})
 			s.apply(it.Key, antientropy.ItemHash(it.Key, it.Value))
 			out = append(out, it)
 		} else {
@@ -439,6 +451,7 @@ func (s *Store) ExtractRangeLimit(rg keyspace.Range, maxItems, maxBytes int) (ou
 		return true
 	})
 	for _, it := range out {
+		s.emit(Mutation{Op: MutRemoveItem, Key: it.Key})
 		s.removeItem(it.Key)
 	}
 	return out, more
@@ -451,6 +464,7 @@ func (s *Store) ExtractTombstones(rg keyspace.Range) []Tombstone {
 	kept := s.tombs[:0]
 	for _, tb := range s.tombs {
 		if rg.Contains(tb.Key) {
+			s.emit(Mutation{Op: MutRemoveTomb, Key: tb.Key})
 			s.apply(tb.Key, antientropy.TombHash(tb.Key))
 			out = append(out, tb)
 		} else {

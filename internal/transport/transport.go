@@ -119,6 +119,10 @@ type Request struct {
 	// the selected buckets alongside the per-key states, so a read-repair
 	// pull can diff and heal in one RPC.
 	Values bool `json:"values,omitempty"`
+	// States carries the per-key state a recovered joiner already holds
+	// of the arc it is claiming (migrate): the responder filters items
+	// the joiner proved it has, shipping only the downtime delta.
+	States []antientropy.State `json:"states,omitempty"`
 	// SizeEst piggybacks the sender's ring-size estimate on stabilisation
 	// traffic (succ_list); receivers fold it into their own — the gossip
 	// half of membership estimation. 0 means "no estimate yet".

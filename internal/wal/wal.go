@@ -1,0 +1,159 @@
+// Package wal implements the durable storage engine behind a node: an
+// append-only, CRC-32C-framed write-ahead log of primitive storage
+// mutations plus periodically compacted snapshots of the full store
+// state. Recovery is snapshot load + log-tail replay, tolerant of a
+// torn final frame (the crash window of an in-flight append).
+//
+// On disk a data directory holds:
+//
+//	wal.log       frames appended since the last snapshot
+//	snapshot      full store state at some instant (atomic rename)
+//	snapshot.tmp  in-flight snapshot write; stale copies are discarded
+//	clean         marker present only after a clean shutdown
+//
+// Every frame — in the log and in snapshots alike — is
+//
+//	[len uint32 LE][crc32c uint32 LE][payload]
+//
+// with the checksum taken over the payload. A payload is one Record:
+//
+//	[store uint8][op uint8][key uint64 LE][at int64 LE][value ...]
+//
+// The mutation set is closed under idempotent replay (see
+// storage.MutOp), so replaying a log whose prefix is already contained
+// in the snapshot converges to the same state; that is what lets
+// compaction be "write snapshot, truncate log" with no segment
+// juggling.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+	"github.com/oscar-overlay/oscar/internal/storage"
+)
+
+// Store identifiers: which of a node's two stores a record mutates.
+const (
+	// StorePrimary is the node's owned shard.
+	StorePrimary uint8 = 1
+	// StoreReplica is the node's replica store (state held for peers).
+	StoreReplica uint8 = 2
+	// storeHeader tags the synthetic first frame of a snapshot file.
+	storeHeader uint8 = 0xFF
+)
+
+// headerMagic is carried in the Key field of a snapshot header frame.
+const headerMagic uint64 = 0x6f73636172574131 // "oscarWA1"
+
+// maxFrame bounds a decoded frame length; anything larger is treated
+// as corruption (the biggest legal value is a blob chunk, well under
+// the 4 MiB transport page bound).
+const maxFrame = 16 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one logged mutation: which store it applies to plus the
+// primitive storage mutation itself.
+type Record struct {
+	Store uint8
+	Mut   storage.Mutation
+}
+
+// payloadLen is the fixed prefix of an encoded record before the value.
+const payloadLen = 1 + 1 + 8 + 8
+
+// appendRecord appends the framed encoding of rec to dst.
+func appendRecord(dst []byte, rec Record) []byte {
+	plen := payloadLen + len(rec.Mut.Value)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(plen))
+	crcAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	start := len(dst)
+	dst = append(dst, rec.Store, byte(rec.Mut.Op))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(rec.Mut.Key))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(rec.Mut.At))
+	dst = append(dst, rec.Mut.Value...)
+	binary.LittleEndian.PutUint32(dst[crcAt:], crc32.Checksum(dst[start:], castagnoli))
+	return dst
+}
+
+// decodePayload decodes a checksum-verified payload into a Record. The
+// value is copied out of the scratch buffer.
+func decodePayload(p []byte) (Record, error) {
+	if len(p) < payloadLen {
+		return Record{}, fmt.Errorf("wal: short payload: %d bytes", len(p))
+	}
+	rec := Record{
+		Store: p[0],
+		Mut: storage.Mutation{
+			Op:  storage.MutOp(p[1]),
+			Key: keyspace.Key(binary.LittleEndian.Uint64(p[2:])),
+			At:  int64(binary.LittleEndian.Uint64(p[10:])),
+		},
+	}
+	if len(p) > payloadLen {
+		rec.Mut.Value = append([]byte(nil), p[payloadLen:]...)
+	}
+	return rec, nil
+}
+
+// errTorn reports a frame that ends early, fails its checksum, or has
+// an implausible length — the expected shape of a crash mid-append.
+var errTorn = errors.New("wal: torn or corrupt frame")
+
+// readFrame reads one frame from r into a Record, reusing *scratch.
+// io.EOF means a clean end; errTorn means the frame is damaged.
+func readFrame(r io.Reader, scratch *[]byte) (Record, int64, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return Record{}, 0, io.EOF // clean end of log
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return Record{}, 0, errTorn
+	}
+	plen := binary.LittleEndian.Uint32(hdr[:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	if plen < payloadLen || plen > maxFrame {
+		return Record{}, 0, errTorn
+	}
+	if cap(*scratch) < int(plen) {
+		*scratch = make([]byte, plen)
+	}
+	buf := (*scratch)[:plen]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Record{}, 0, errTorn
+	}
+	if crc32.Checksum(buf, castagnoli) != sum {
+		return Record{}, 0, errTorn
+	}
+	rec, err := decodePayload(buf)
+	if err != nil {
+		return Record{}, 0, errTorn
+	}
+	return rec, int64(8 + plen), nil
+}
+
+// scanFrames reads frames from r until a clean EOF or a torn frame,
+// calling fn for each intact record. It returns the byte offset of the
+// end of the last intact frame, the number of intact frames, and
+// whether a torn tail was encountered.
+func scanFrames(r io.Reader, fn func(Record)) (good int64, frames int, torn bool) {
+	var scratch []byte
+	for {
+		rec, n, err := readFrame(r, &scratch)
+		if err == io.EOF {
+			return good, frames, false
+		}
+		if err != nil {
+			return good, frames, true
+		}
+		fn(rec)
+		good += n
+		frames++
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"github.com/oscar-overlay/oscar/internal/p2p"
 	"github.com/oscar-overlay/oscar/internal/rng"
 	"github.com/oscar-overlay/oscar/internal/transport"
+	"github.com/oscar-overlay/oscar/internal/wal"
 )
 
 // NodeConfig configures one live peer (StartNode).
@@ -73,6 +74,20 @@ type NodeConfig struct {
 	// IdleTimeout reaps pooled connections idle this long (0 = transport
 	// default).
 	IdleTimeout time.Duration
+	// DataDir, when non-empty, makes the node durable: every storage
+	// mutation is appended to a write-ahead log in this directory and
+	// periodically compacted into snapshots; the next StartNode with the
+	// same directory recovers the state and the node rejoins with its
+	// arc intact (anti-entropy then re-ships only the downtime delta).
+	// Empty keeps the node memory-only. The directory must be private
+	// to one node.
+	DataDir string
+	// Fsync selects the WAL durability policy when DataDir is set:
+	// "always" (fsync before every acked write), "interval" (background
+	// fsync every ~100ms — the default), or "never" (flush to the OS,
+	// never fsync: a machine crash can lose everything since the last
+	// snapshot, a process crash nothing).
+	Fsync string
 }
 
 // Node is a live overlay peer: the message-passing implementation of
@@ -108,13 +123,24 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("oscar: start node: %w", err)
 	}
-	return startNodeOn(ep, cfg), nil
+	n, err := startNodeOn(ep, cfg)
+	if err != nil {
+		_ = ep.Close()
+		return nil, err
+	}
+	return n, nil
 }
 
 // startNodeOn wraps a live p2p node on an arbitrary transport endpoint —
 // the shared path under StartNode (TCP) and StartCluster (in-memory).
-func startNodeOn(tr transport.Transport, cfg NodeConfig) *Node {
-	inner := p2p.NewNode(tr, p2p.Config{
+// With a DataDir it first runs recovery (snapshot load + WAL replay),
+// the only way it can fail besides a bad fsync spelling.
+func startNodeOn(tr transport.Transport, cfg NodeConfig) (*Node, error) {
+	policy, err := wal.ParsePolicy(cfg.Fsync)
+	if err != nil {
+		return nil, fmt.Errorf("oscar: start node: %w", err)
+	}
+	inner, err := p2p.NewNode(tr, p2p.Config{
 		Key:               cfg.Key,
 		MaxIn:             cfg.MaxIn,
 		MaxOut:            cfg.MaxOut,
@@ -126,12 +152,68 @@ func startNodeOn(tr transport.Transport, cfg NodeConfig) *Node {
 		AntiEntropy:       cfg.AntiEntropy,
 		TombstoneTTL:      cfg.TombstoneTTL,
 		Seed:              cfg.Seed,
+		DataDir:           cfg.DataDir,
+		Fsync:             policy,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("oscar: start node: %w", err)
+	}
 	n := &Node{inner: inner, tr: tr}
 	if cfg.AutoMaintenance > 0 {
 		n.StartMaintenance(jitterInterval(cfg.AutoMaintenance, cfg.Seed), autoRewireEvery)
 	}
-	return n
+	return n, nil
+}
+
+// RecoveryInfo describes what a durable node reconstructed from its data
+// directory at startup. The zero value means the node runs memory-only.
+type RecoveryInfo struct {
+	// Enabled reports the node runs with a data directory.
+	Enabled bool
+	// Clean reports the previous run shut down cleanly (Close wrote a
+	// final snapshot and marker); false after a crash.
+	Clean bool
+	// SnapshotAt is when the loaded snapshot was written (zero if the
+	// node started from an empty directory).
+	SnapshotAt time.Time
+	// ReplayedFrames is how many WAL frames recovery replayed over the
+	// snapshot — the crash window's worth of mutations.
+	ReplayedFrames int
+	// TornTail reports a torn final WAL frame was found and discarded
+	// (the signature of a crash mid-append).
+	TornTail bool
+	// Items, ReplicaItems and Tombstones count the recovered state.
+	Items, ReplicaItems, Tombstones int
+}
+
+// Recovery returns what this node reconstructed from its data directory
+// at startup; the zero value when running without one.
+func (n *Node) Recovery() RecoveryInfo {
+	r := n.inner.Recovery()
+	info := RecoveryInfo{
+		Enabled:        r.Enabled,
+		Clean:          r.Clean,
+		ReplayedFrames: r.Replayed,
+		TornTail:       r.TornTail,
+		Items:          r.Items,
+		ReplicaItems:   r.ReplicaItems,
+		Tombstones:     r.Tombstones,
+	}
+	if r.SnapshotAt != 0 {
+		info.SnapshotAt = time.Unix(0, r.SnapshotAt)
+	}
+	return info
+}
+
+// Snapshot forces a compacted snapshot of the node's durable state,
+// truncating the write-ahead log. It is a no-op without a DataDir;
+// durable nodes also snapshot automatically when the WAL grows and on
+// Close, so most callers never need this.
+func (n *Node) Snapshot() error {
+	if n.isClosed() {
+		return ErrClosed
+	}
+	return n.inner.Snapshot()
 }
 
 // autoRewireEvery is the rewiring cadence of auto-maintenance: one
@@ -230,7 +312,10 @@ func (n *Node) StopMaintenance() {
 
 // Close stops maintenance and takes the node off the network. To the rest
 // of the overlay this is a crash: stabilisation at the survivors heals the
-// ring around it, and unreplicated items on this node's shard are gone.
+// ring around it. Without a DataDir, unreplicated items on this node's
+// shard are gone; with one, Close is graceful — it writes a final
+// compacted snapshot and a clean-shutdown marker, so a restart from the
+// same directory recovers instantly with nothing to replay.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -244,7 +329,7 @@ func (n *Node) Close() error {
 	if m != nil {
 		m.Stop()
 	}
-	return n.inner.Close()
+	return n.inner.CloseClean()
 }
 
 // begin gates an operation on the context and the closed flag.
@@ -420,7 +505,7 @@ func (n *Node) Info(ctx context.Context) (InfoResponse, error) {
 		peers = int(est + 0.5)
 	}
 	sync := n.inner.SyncTotals()
-	return InfoResponse{
+	resp := InfoResponse{
 		Backend:      "p2p",
 		Peers:        peers,
 		SizeEstimate: est,
@@ -440,5 +525,14 @@ func (n *Node) Info(ctx context.Context) (InfoResponse, error) {
 			TombstonesPushed: sync.TombsPushed,
 			Dropped:          sync.Dropped,
 		},
-	}, nil
+	}
+	if st, ok := n.inner.PersistStats(); ok {
+		resp.Durable = true
+		resp.WALBytes = st.WALBytes
+		resp.WALFrames = int(st.Frames)
+		if st.LastSnapshot != 0 {
+			resp.LastSnapshot = time.Unix(0, st.LastSnapshot)
+		}
+	}
+	return resp, nil
 }
