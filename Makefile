@@ -6,7 +6,7 @@ GO ?= go
 # to keep CI fast (the full suite still runs race-free in `test`).
 RACE_PKGS = ./internal/transport/... ./internal/p2p/...
 
-.PHONY: all build test race bench bench-replication bench-antientropy bench-stream bench-wal fmt fmt-check vet examples conformance ci
+.PHONY: all build test race bench bench-replication bench-antientropy bench-stream bench-wal bench-transport fmt fmt-check vet examples conformance ci
 
 all: build
 
@@ -37,9 +37,14 @@ examples:
 # scan rides out its serving peer's crash with no loss or duplication),
 # and the restart-durability contract (crash a durable owner mid-WAL,
 # restart it on the same data dir, lose no acked write, resurrect no
-# delete, re-ship only the downtime delta) — race detector on.
+# delete, re-ship only the downtime delta) — race detector on. The
+# transport package contributes the wire-level contracts: codec
+# negotiation (incl. a mixed binary/JSON ring and legacy no-handshake
+# peers), TLS round trips, and overload shedding (saturate past the
+# in-flight cap: typed ErrOverloaded, bounded goroutines, recovery).
 conformance:
 	$(GO) test -race -run 'TestConformance|TestCrashDurability|TestDivergenceHeal|TestWriteConcern|TestReadRepair|TestRingSizeEstimate|TestLookupCancelled|TestRangeQueryCancelled|TestScanChurn|TestRestartDurability|TestDeleteSurvivesRestart' . ./internal/p2p/
+	$(GO) test -race -run 'TestCodecNegotiation|TestLegacyFramesAccepted|TestTLS|TestOverloadShedding|TestClientInflightCapOverload' ./internal/transport/
 
 # Replication bench smoke: the replicated write path compiles and runs on
 # both backends, including the ack-awaited write-concern ladder (w=1 vs
@@ -59,11 +64,21 @@ bench-stream:
 	$(GO) test -run=NONE -bench='BenchmarkScan$$|BenchmarkBlobRoundTrip' -benchtime=1x . | tee bench-stream.txt
 
 # Durability bench smoke: WAL append cost under each fsync policy plus
-# cold recovery (snapshot load + replay) at 10k and 100k keys; the raw
-# log and a JSON rendering both land in the CI artifact.
+# cold recovery (snapshot load + replay) at 10k and 100k keys; the JSON
+# rendering lands in the CI artifact (the raw bench-wal.txt log is
+# retired — BENCH_*.json is the interchange format).
 bench-wal:
-	$(GO) test -run=NONE -bench='BenchmarkWALAppend|BenchmarkRecovery' -benchtime=1x ./internal/wal/ | tee bench-wal.txt
-	$(GO) run ./cmd/oscar-benchjson -o BENCH_durability.json < bench-wal.txt
+	$(GO) test -run=NONE -bench='BenchmarkWALAppend|BenchmarkRecovery' -benchtime=1x ./internal/wal/ | $(GO) run ./cmd/oscar-benchjson -o BENCH_durability.json
+
+# Transport bench: dial-per-call vs pooled mux, binary vs JSON codec at
+# 1/8/64 in-flight, TLS on/off, the frame-encode micro-bench, and the
+# live-cluster put+get headline per codec. The JSON rendering is the
+# committed BENCH_transport.json; re-run with -benchtime=1s for real
+# measurements (this target is a 1x shape check).
+bench-transport:
+	$(GO) test -run=NONE -bench='BenchmarkFrameEncode|BenchmarkDialPerCall|BenchmarkPooledMux' -benchtime=1x ./internal/transport/ | tee bench-transport.txt
+	$(GO) test -run=NONE -bench='BenchmarkLiveClusterPutGetTCP' -benchtime=1x . | tee -a bench-transport.txt
+	$(GO) run ./cmd/oscar-benchjson -o BENCH_transport.json < bench-transport.txt
 
 # Bench smoke: compile and run every benchmark once (shape check, not a
 # measurement). Full measurements: `go test -bench=. -benchtime=2s ./...`.
@@ -79,4 +94,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test examples race conformance bench-replication bench-antientropy bench-stream bench-wal bench
+ci: fmt-check vet build test examples race conformance bench-replication bench-antientropy bench-stream bench-wal bench-transport bench

@@ -328,12 +328,28 @@ func BenchmarkLiveClusterLookup(b *testing.B) {
 
 // BenchmarkLiveClusterPutGetTCP times put+get round trips through a live
 // loopback-TCP cluster: real sockets, pooled multiplexed connections,
-// multi-hop routing per operation.
+// multi-hop routing per operation. The codec sub-benchmarks compare the
+// negotiated binary wire codec against a ring pinned to the legacy JSON
+// codec — the payload-encoding share of a full data-path operation.
 func BenchmarkLiveClusterPutGetTCP(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		opts []transport.TCPOption
+	}{
+		{"codec=binary", nil},
+		{"codec=json", []transport.TCPOption{transport.WithJSONCodec()}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			benchLivePutGetTCP(b, bc.opts...)
+		})
+	}
+}
+
+func benchLivePutGetTCP(b *testing.B, topts ...transport.TCPOption) {
 	const size = 8
 	var nodes []*p2p.Node
 	for i := 0; i < size; i++ {
-		ep, err := transport.ListenTCP("127.0.0.1:0")
+		ep, err := transport.ListenTCP("127.0.0.1:0", topts...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -365,6 +381,11 @@ func BenchmarkLiveClusterPutGetTCP(b *testing.B) {
 	}
 	val := []byte("live-bench")
 	var next atomic.Uint64
+	// The mux exists for concurrent callers: keep several ops in flight
+	// per core so connection sharing, flush batching and the codec are
+	// actually exercised (with the default parallelism a single-core
+	// machine would serialise every RPC and measure only syscall latency).
+	b.SetParallelism(8)
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {

@@ -22,7 +22,8 @@
 //	getblob <frac> <out>  stream a blob back into a file, verifying checksums
 //	lookup <frac>         route to the key's owner
 //	info                  print ring pointers, links, stored items,
-//	                      tombstones, ring-size estimate, sync stats
+//	                      tombstones, ring-size estimate, sync stats, and
+//	                      the negotiated wire codec per connected peer
 //	wal-stats             print WAL size, frames since snapshot, and the
 //	                      last snapshot time (needs -data-dir)
 //	snapshot              force a compacted snapshot now (needs -data-dir)
@@ -51,11 +52,21 @@
 //
 //	# survive restarts: log every write, fsync before acking
 //	oscar-node -listen 127.0.0.1:7001 -key 0.10 -data-dir /var/lib/oscar/n1 -fsync always
+//
+// With -tls-cert/-tls-key every connection — the listener and all dials —
+// runs over TLS. All ring members must use TLS, and a fleet can share one
+// self-signed certificate (it doubles as the trust root). -codec json pins
+// the node to the legacy JSON wire codec during a rolling upgrade from
+// pre-binary builds; -max-inflight caps in-flight calls per connection and
+// concurrently running handlers, shedding the excess deterministically
+// instead of queueing without bound.
 package main
 
 import (
 	"bufio"
 	"context"
+	"crypto/tls"
+	"crypto/x509"
 	"errors"
 	"flag"
 	"fmt"
@@ -63,6 +74,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -90,6 +102,10 @@ func main() {
 		poolSize    = flag.Int("pool", 2, "persistent connections per peer")
 		callTimeout = flag.Duration("call-timeout", 5*time.Second, "per-RPC timeout")
 		idleTimeout = flag.Duration("idle-timeout", 60*time.Second, "reap pooled connections idle this long")
+		maxInflight = flag.Int("max-inflight", 0, "backpressure cap: calls in flight per connection and concurrent handlers (0 = default 256); excess inbound requests are shed")
+		codec       = flag.String("codec", "binary", "wire codec: binary (negotiated, with JSON fallback for old peers) or json (pin to the legacy codec)")
+		tlsCert     = flag.String("tls-cert", "", "PEM certificate; with -tls-key, all connections are TLS (every ring member must use TLS, and the certificate doubles as the trust root)")
+		tlsKey      = flag.String("tls-key", "", "PEM private key for -tls-cert")
 		dataDir     = flag.String("data-dir", "", "data directory for the WAL + snapshots (empty = memory only)")
 		fsync       = flag.String("fsync", "interval", "WAL fsync policy: always, interval, or never (needs -data-dir)")
 	)
@@ -105,6 +121,11 @@ func main() {
 		key = oscar.Key(time.Now().UnixNano()) * 2654435761 // spread-ish
 	}
 
+	tlsConf, err := loadTLS(*tlsCert, *tlsKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	node, err := oscar.StartNode(oscar.NodeConfig{
 		Listen:       *listen,
 		Key:          key,
@@ -118,13 +139,20 @@ func main() {
 		PoolSize:     *poolSize,
 		CallTimeout:  *callTimeout,
 		IdleTimeout:  *idleTimeout,
+		MaxInflight:  *maxInflight,
+		TLS:          tlsConf,
+		Codec:        *codec,
 		DataDir:      *dataDir,
 		Fsync:        *fsync,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("node up at %s, key %s\n", node.Addr(), node.Key())
+	tlsNote := ""
+	if tlsConf != nil {
+		tlsNote = ", tls"
+	}
+	fmt.Printf("node up at %s, key %s (codec %s%s)\n", node.Addr(), node.Key(), *codec, tlsNote)
 	if rec := node.Recovery(); rec.Enabled {
 		how := "crash"
 		if rec.Clean {
@@ -199,6 +227,32 @@ loop:
 
 var errQuit = errors.New("quit")
 
+// loadTLS builds the node's TLS configuration from a PEM certificate and
+// key pair. The certificate is also installed as the trust root, so a
+// fleet sharing one self-signed certificate verifies each other without a
+// separate CA.
+func loadTLS(certFile, keyFile string) (*tls.Config, error) {
+	if certFile == "" && keyFile == "" {
+		return nil, nil
+	}
+	if certFile == "" || keyFile == "" {
+		return nil, fmt.Errorf("-tls-cert and -tls-key must be set together")
+	}
+	cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+	if err != nil {
+		return nil, fmt.Errorf("load TLS keypair: %w", err)
+	}
+	roots := x509.NewCertPool()
+	pem, err := os.ReadFile(certFile)
+	if err != nil {
+		return nil, err
+	}
+	if !roots.AppendCertsFromPEM(pem) {
+		return nil, fmt.Errorf("no certificates in %s", certFile)
+	}
+	return &tls.Config{Certificates: []tls.Certificate{cert}, RootCAs: roots}, nil
+}
+
 func fmtSnapTime(t time.Time) string {
 	if t.IsZero() {
 		return "never"
@@ -243,6 +297,16 @@ func execute(ctx context.Context, node *oscar.Node, args []string) error {
 		if info.Durable {
 			fmt.Printf("durable: wal=%dB frames=%d last-snapshot=%s\n",
 				info.WALBytes, info.WALFrames, fmtSnapTime(info.LastSnapshot))
+		}
+		if codecs := node.PeerCodecs(); len(codecs) > 0 {
+			addrs := make([]string, 0, len(codecs))
+			for addr := range codecs {
+				addrs = append(addrs, addr)
+			}
+			sort.Strings(addrs)
+			for _, addr := range addrs {
+				fmt.Printf("conn  %s codec=%s\n", addr, codecs[addr])
+			}
 		}
 		return nil
 

@@ -129,11 +129,88 @@ func tcpClusterHarness(t *testing.T) *conformanceHarness {
 	}
 }
 
+// tcpMixedCodecHarness is tcpClusterHarness with half the ring pinned to
+// the legacy JSON wire codec: every binary↔json pairing falls back to
+// JSON via the per-connection handshake while binary↔binary pairs speak
+// binary — the rolling-upgrade topology. The whole scenario table must
+// pass across the mixed fabric.
+func tcpMixedCodecHarness(t *testing.T) *conformanceHarness {
+	t.Helper()
+	ctx := context.Background()
+	const size = 8
+	var nodes []*Node
+	for i := 0; i < size; i++ {
+		codec := "binary"
+		if i%2 == 1 {
+			codec = "json"
+		}
+		n, err := StartNode(NodeConfig{
+			Listen: "127.0.0.1:0",
+			Key:    KeyFromFloat(float64(i)/size + 0.013),
+			MaxIn:  8, MaxOut: 8,
+			Seed:  int64(i),
+			Codec: codec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if err := n.Join(ctx, nodes[0].Addr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	for round := 0; round < 2; round++ {
+		for _, n := range nodes {
+			n.Stabilize(ctx)
+		}
+	}
+	for _, n := range nodes {
+		if err := n.Rewire(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The client node is binary-capable and its ring successor is pinned to
+	// JSON, so after stabilisation its pool must hold at least one
+	// connection that fell back to the legacy codec.
+	fellBack := false
+	for _, codec := range nodes[0].PeerCodecs() {
+		if codec == "json" {
+			fellBack = true
+		}
+	}
+	if !fellBack {
+		t.Fatalf("no connection negotiated the JSON fallback: %v", nodes[0].PeerCodecs())
+	}
+	return &conformanceHarness{
+		name:   "p2p/tcp-mixed-codec",
+		client: nodes[0],
+		crash: func() {
+			_ = nodes[5].Close()
+			for round := 0; round < 6; round++ {
+				for _, n := range nodes {
+					if !n.isClosed() {
+						n.Stabilize(ctx)
+					}
+				}
+			}
+		},
+		close: func() {
+			for _, n := range nodes {
+				_ = n.Close()
+			}
+		},
+		peersAfterCrash: 7,
+	}
+}
+
 func TestConformance(t *testing.T) {
 	harnesses := []func(*testing.T) *conformanceHarness{
 		simHarness,
 		memClusterHarness,
 		tcpClusterHarness,
+		tcpMixedCodecHarness,
 	}
 	for _, mk := range harnesses {
 		h := mk(t)

@@ -28,7 +28,7 @@ func dialPerCall(addr Addr, req *Request) (*Response, error) {
 		return nil, err
 	}
 	var resp Response
-	if _, err := readMuxFrame(bufio.NewReader(conn), &resp); err != nil {
+	if _, err := readMuxFrame(bufio.NewReader(conn), &resp, codecJSON); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -95,7 +95,17 @@ func BenchmarkFrameEncode(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			f := acquireFrame()
-			if err := f.encode(uint64(i), req); err != nil {
+			if err := f.encode(uint64(i), req, codecJSON); err != nil {
+				b.Fatal(err)
+			}
+			releaseFrame(f)
+		}
+	})
+	b.Run("pooled-binary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f := acquireFrame()
+			if err := f.encode(uint64(i), req, codecBinary); err != nil {
 				b.Fatal(err)
 			}
 			releaseFrame(f)
@@ -114,7 +124,7 @@ func BenchmarkDialPerCall(b *testing.B) {
 	server.Serve(echoHandler)
 
 	for _, inflight := range benchInflights {
-		b.Run(fmt.Sprintf("inflight-%d", inflight), func(b *testing.B) {
+		b.Run(fmt.Sprintf("inflight=%d", inflight), func(b *testing.B) {
 			benchCalls(b, inflight, func(req *Request) (*Response, error) {
 				return dialPerCall(server.Addr(), req)
 			})
@@ -122,10 +132,11 @@ func BenchmarkDialPerCall(b *testing.B) {
 	}
 }
 
-// BenchmarkPooledMux measures the pooled, multiplexed transport: calls
-// share persistent connections and demux by request id.
-func BenchmarkPooledMux(b *testing.B) {
-	server, err := ListenTCP("127.0.0.1:0")
+// benchPooled runs the pooled-transport sweep for one endpoint flavour:
+// both peers share opts, the pool is warmed outside the timed region, and
+// each in-flight level gets its own sub-benchmark.
+func benchPooled(b *testing.B, opts ...TCPOption) {
+	server, err := ListenTCP("127.0.0.1:0", opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -133,8 +144,8 @@ func BenchmarkPooledMux(b *testing.B) {
 	server.Serve(echoHandler)
 
 	for _, inflight := range benchInflights {
-		b.Run(fmt.Sprintf("inflight-%d", inflight), func(b *testing.B) {
-			client, err := ListenTCP("127.0.0.1:0")
+		b.Run(fmt.Sprintf("inflight=%d", inflight), func(b *testing.B) {
+			client, err := ListenTCP("127.0.0.1:0", opts...)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -148,4 +159,20 @@ func BenchmarkPooledMux(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkPooledMux measures the pooled, multiplexed transport: calls
+// share persistent connections and demux by request id. The codec
+// sub-benchmarks isolate the wire-codec cost — same framing, same pool,
+// same socket, only the payload encoding differs.
+func BenchmarkPooledMux(b *testing.B) {
+	b.Run("codec=binary", func(b *testing.B) { benchPooled(b) })
+	b.Run("codec=json", func(b *testing.B) { benchPooled(b, WithJSONCodec()) })
+}
+
+// BenchmarkPooledMuxTLS is BenchmarkPooledMux over TLS (binary codec):
+// the delta against the plaintext rows is the record-layer cost once the
+// handshake is amortised by the pool.
+func BenchmarkPooledMuxTLS(b *testing.B) {
+	benchPooled(b, WithTLS(selfSignedTLS(b)))
 }

@@ -1,0 +1,323 @@
+package transport
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/oscar-overlay/oscar/internal/antientropy"
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+	"github.com/oscar-overlay/oscar/internal/storage"
+)
+
+// fullRequest exercises every field of the wire Request, including the
+// bulk payloads (Items, Tombs, States) of the replication and anti-entropy
+// protocols.
+func fullRequest() *Request {
+	return &Request{
+		Op:    OpReplicate,
+		From:  PeerRef{Addr: "10.0.0.7:9999", Key: keyspace.FromFloat(0.17)},
+		Key:   keyspace.FromFloat(0.42),
+		Range: keyspace.Range{Start: keyspace.FromFloat(0.9), End: keyspace.FromFloat(0.1)},
+		Value: []byte("payload \x00\xff bytes"),
+		Limit: -3,
+		Items: []storage.Item{
+			{Key: 1, Value: []byte("a")},
+			{Key: keyspace.MaxKey, Value: []byte("")},
+			{Key: 42, Value: []byte("zz-top")},
+		},
+		Tombs:   []storage.Tombstone{{Key: 9, At: -12345}, {Key: 10, At: 1}},
+		Drop:    []keyspace.Key{3, keyspace.MaxKey, 0},
+		Depth:   8,
+		Buckets: []int{0, 255, 1 << 20},
+		Values:  true,
+		States: []antientropy.State{
+			{Key: 5, Hash: 0xdeadbeefcafef00d, Deleted: true},
+			{Key: 6, Hash: 1},
+		},
+		SizeEst: 147.25,
+		Exclude: []Addr{"1.2.3.4:1", "5.6.7.8:2"},
+	}
+}
+
+func fullResponse() *Response {
+	return &Response{
+		OK:      true,
+		Err:     "some failure",
+		Peer:    PeerRef{Addr: "10.0.0.8:1234", Key: 7},
+		Peers:   []PeerRef{{Addr: "a:1", Key: 1}, {Addr: "b:2", Key: keyspace.MaxKey}},
+		Degree:  -4,
+		Value:   []byte{0, 1, 2, 254, 255},
+		Found:   true,
+		Deleted: true,
+		Acks:    3,
+		Items:   []storage.Item{{Key: 11, Value: []byte("v")}},
+		More:    true,
+		Cursor:  keyspace.FromFloat(0.31),
+		Tombs:   []storage.Tombstone{{Key: 12, At: math.MaxInt64}},
+		Digest:  []uint64{0, 1, math.MaxUint64},
+		States:  []antientropy.State{{Key: 13, Hash: 2, Deleted: false}},
+		SizeEst: 9.75,
+		MaxIn:   27,
+		MaxOut:  16,
+		InDeg:   5,
+	}
+}
+
+func TestBinaryRoundTripRequest(t *testing.T) {
+	cases := []*Request{
+		{},
+		{Op: OpPing},
+		{Op: OpGet, Key: 99},
+		{Op: OpPut, Key: 1, Value: []byte("v"), From: PeerRef{Addr: "x:1", Key: 2}},
+		fullRequest(),
+	}
+	for i, req := range cases {
+		enc := appendRequest(nil, req)
+		var got Request
+		if err := decodeRequest(enc, &got); err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalizeReq(req), normalizeReq(&got)) {
+			t.Fatalf("case %d: round trip mismatch:\n in: %+v\nout: %+v", i, req, &got)
+		}
+	}
+}
+
+func TestBinaryRoundTripResponse(t *testing.T) {
+	cases := []*Response{
+		{},
+		{OK: true},
+		{OK: true, Peer: PeerRef{Addr: "y:2", Key: 3}},
+		fullResponse(),
+	}
+	for i, resp := range cases {
+		enc := appendResponse(nil, resp)
+		var got Response
+		if err := decodeResponse(enc, &got); err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalizeResp(resp), normalizeResp(&got)) {
+			t.Fatalf("case %d: round trip mismatch:\n in: %+v\nout: %+v", i, resp, &got)
+		}
+	}
+}
+
+// normalizeReq maps empty-but-non-nil slices to nil: the codec, like JSON
+// omitempty, does not distinguish them on the wire.
+func normalizeReq(r *Request) *Request {
+	c := *r
+	if len(c.Value) == 0 {
+		c.Value = nil
+	}
+	for i := range c.Items {
+		if len(c.Items[i].Value) == 0 {
+			c.Items[i].Value = nil
+		}
+	}
+	return &c
+}
+
+func normalizeResp(r *Response) *Response {
+	c := *r
+	if len(c.Value) == 0 {
+		c.Value = nil
+	}
+	for i := range c.Items {
+		if len(c.Items[i].Value) == 0 {
+			c.Items[i].Value = nil
+		}
+	}
+	return &c
+}
+
+// randomRequest builds a request with an arbitrary subset of fields set —
+// the property-test generator. It never produces empty-but-non-nil slices
+// (the codec cannot represent them, by design, mirroring JSON omitempty).
+func randomRequest(rng *rand.Rand) *Request {
+	ops := []Op{OpPing, OpInfo, OpFindOwner, OpPut, OpGet, OpDelete, OpScan,
+		OpMigrate, OpSuccList, OpReplicate, OpReplicateDel, OpDigest,
+		OpSyncPull, OpReadRepair, OpNotify, OpNeighbors, OpLink, OpUnlink}
+	req := &Request{Op: ops[rng.Intn(len(ops))]}
+	if rng.Intn(2) == 0 {
+		req.Key = keyspace.Key(rng.Uint64())
+	}
+	if rng.Intn(2) == 0 {
+		req.From = PeerRef{Addr: Addr(randString(rng, 1+rng.Intn(20))), Key: keyspace.Key(rng.Uint64())}
+	}
+	if rng.Intn(2) == 0 {
+		req.Range = keyspace.Range{Start: keyspace.Key(rng.Uint64()), End: keyspace.Key(rng.Uint64())}
+	}
+	if rng.Intn(2) == 0 {
+		req.Value = randBytes(rng, 1+rng.Intn(64))
+	}
+	if rng.Intn(2) == 0 {
+		req.Limit = rng.Intn(2000) - 1000
+	}
+	if rng.Intn(3) == 0 {
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			req.Items = append(req.Items, storage.Item{
+				Key: keyspace.Key(rng.Uint64()), Value: randBytes(rng, 1+rng.Intn(32)),
+			})
+		}
+	}
+	if rng.Intn(3) == 0 {
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			req.Tombs = append(req.Tombs, storage.Tombstone{
+				Key: keyspace.Key(rng.Uint64()), At: rng.Int63() - rng.Int63(),
+			})
+		}
+	}
+	if rng.Intn(3) == 0 {
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			req.Drop = append(req.Drop, keyspace.Key(rng.Uint64()))
+		}
+	}
+	if rng.Intn(2) == 0 {
+		req.Depth = rng.Intn(20)
+	}
+	if rng.Intn(3) == 0 {
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			req.Buckets = append(req.Buckets, rng.Intn(1<<16))
+		}
+	}
+	req.Values = rng.Intn(2) == 0
+	if rng.Intn(3) == 0 {
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			req.States = append(req.States, antientropy.State{
+				Key: keyspace.Key(rng.Uint64()), Hash: rng.Uint64(), Deleted: rng.Intn(2) == 0,
+			})
+		}
+	}
+	if rng.Intn(2) == 0 {
+		req.SizeEst = rng.Float64() * 1e6
+	}
+	if rng.Intn(3) == 0 {
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			req.Exclude = append(req.Exclude, Addr(randString(rng, 1+rng.Intn(20))))
+		}
+	}
+	return req
+}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func randString(rng *rand.Rand, n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789.:"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+// TestBinaryRoundTripProperty is the encode→decode == identity property
+// over randomly generated requests and responses.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		req := randomRequest(rng)
+		var got Request
+		if err := decodeRequest(appendRequest(nil, req), &got); err != nil {
+			t.Fatalf("iter %d: decode: %v\nreq: %+v", i, err, req)
+		}
+		if !reflect.DeepEqual(normalizeReq(req), normalizeReq(&got)) {
+			t.Fatalf("iter %d: mismatch:\n in: %+v\nout: %+v", i, req, &got)
+		}
+	}
+}
+
+// TestBinaryUnknownFieldSkipped proves forward compatibility: a payload
+// carrying an unknown tag decodes cleanly, ignoring it.
+func TestBinaryUnknownFieldSkipped(t *testing.T) {
+	enc := appendRequest(nil, &Request{Op: OpPing, Key: 7})
+	// Append an unknown field: tag 200, 3-byte value.
+	w := binWriter{b: enc}
+	w.field(200, 3)
+	w.b = append(w.b, 1, 2, 3)
+	var got Request
+	if err := decodeRequest(w.b, &got); err != nil {
+		t.Fatalf("decode with unknown field: %v", err)
+	}
+	if got.Op != OpPing || got.Key != 7 {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+// TestBinaryRejectsCrossKind ensures a response payload cannot decode as a
+// request and vice versa.
+func TestBinaryRejectsCrossKind(t *testing.T) {
+	if err := decodeRequest(appendResponse(nil, &Response{OK: true}), &Request{}); err == nil {
+		t.Error("response payload decoded as request")
+	}
+	if err := decodeResponse(appendRequest(nil, &Request{Op: OpPing}), &Response{}); err == nil {
+		t.Error("request payload decoded as response")
+	}
+	if err := decodeRequest(nil, &Request{}); err == nil {
+		t.Error("empty payload decoded as request")
+	}
+}
+
+// FuzzDecodeRequest fuzzes the binary request decoder: arbitrary input
+// must never panic or over-allocate, and any input that decodes must
+// re-encode into a payload that decodes to the same request (canonical
+// stability).
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(appendRequest(nil, fullRequest()))
+	f.Add(appendRequest(nil, &Request{}))
+	f.Add(appendRequest(nil, &Request{Op: OpPut, Key: 3, Value: []byte("v")}))
+	f.Add([]byte{binKindRequest})
+	f.Add([]byte{binKindRequest, 1, 255, 255, 255})
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 16; i++ {
+		f.Add(appendRequest(nil, randomRequest(rng)))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		if err := decodeRequest(data, &req); err != nil {
+			return
+		}
+		enc := appendRequest(nil, &req)
+		var again Request
+		if err := decodeRequest(enc, &again); err != nil {
+			t.Fatalf("re-decode of re-encoded request failed: %v", err)
+		}
+		if !reflect.DeepEqual(normalizeReq(&req), normalizeReq(&again)) {
+			t.Fatalf("re-encode not stable:\n1st: %+v\n2nd: %+v", &req, &again)
+		}
+	})
+}
+
+// FuzzDecodeResponse is FuzzDecodeRequest for the response decoder.
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add(appendResponse(nil, fullResponse()))
+	f.Add(appendResponse(nil, &Response{}))
+	f.Add(appendResponse(nil, &Response{OK: true, Value: []byte("x"), Found: true}))
+	f.Add([]byte{binKindResponse})
+	f.Add([]byte{binKindResponse, 4, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var resp Response
+		if err := decodeResponse(data, &resp); err != nil {
+			return
+		}
+		enc := appendResponse(nil, &resp)
+		var again Response
+		if err := decodeResponse(enc, &again); err != nil {
+			t.Fatalf("re-decode of re-encoded response failed: %v", err)
+		}
+		if !reflect.DeepEqual(normalizeResp(&resp), normalizeResp(&again)) {
+			t.Fatalf("re-encode not stable:\n1st: %+v\n2nd: %+v", &resp, &again)
+		}
+	})
+}

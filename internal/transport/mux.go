@@ -27,14 +27,25 @@ const frameHeaderSize = 12
 // the allocator instead of pinning megabytes in the pool forever.
 const maxPooledBuf = 64 << 10
 
+// Adaptive flush window bounds (see connWriter.loop): the window starts at
+// zero (flush immediately), grows only while flushes demonstrably batch
+// multiple frames, and never exceeds maxFlushWindow so a lone frame is
+// delayed by at most a fraction of a loopback round trip.
+const (
+	baseFlushWindow = 20 * time.Microsecond
+	maxFlushWindow  = 100 * time.Microsecond
+)
+
 // wireFrame is a reusable encode buffer for one outgoing frame. Encoding
-// writes the header placeholder and the JSON payload into one contiguous
-// buffer — no intermediate json.Marshal allocation, no header+payload
-// copy — and the buffer (with its json.Encoder's internal state) is
-// recycled through framePool once the frame has left for the wire.
+// writes the header placeholder and the payload into one contiguous buffer
+// — no intermediate marshal allocation, no header+payload copy — and the
+// buffer (with its json.Encoder's internal state) is recycled through
+// framePool once the frame has left for the wire.
 type wireFrame struct {
-	buf bytes.Buffer
+	buf bytes.Buffer // JSON codec scratch
 	enc *json.Encoder
+	out []byte // binary codec scratch
+	bin bool   // which scratch holds the current frame
 }
 
 var framePool = sync.Pool{New: func() interface{} {
@@ -46,17 +57,39 @@ var framePool = sync.Pool{New: func() interface{} {
 func acquireFrame() *wireFrame { return framePool.Get().(*wireFrame) }
 
 func releaseFrame(f *wireFrame) {
-	if f.buf.Cap() > maxPooledBuf {
+	if f.buf.Cap() > maxPooledBuf || cap(f.out) > maxPooledBuf {
 		return
 	}
 	framePool.Put(f)
 }
 
-// encode fills the frame with header (payload length + request id) and
-// JSON payload for v. Encoding failures (unserializable value, oversized
-// payload) happen before anything touches the wire, so they never corrupt
-// the connection's frame stream. The frame is reusable after an error.
-func (f *wireFrame) encode(id uint64, v interface{}) error {
+// encode fills the frame with header (payload length + request id) and the
+// payload for v in the given codec. Encoding failures (unserializable
+// value, oversized payload) happen before anything touches the wire, so
+// they never corrupt the connection's frame stream. The frame is reusable
+// after an error.
+func (f *wireFrame) encode(id uint64, v interface{}, codec uint8) error {
+	f.bin = codec >= codecBinary
+	if f.bin {
+		var hdr [frameHeaderSize]byte
+		out := append(f.out[:0], hdr[:]...)
+		switch m := v.(type) {
+		case *Request:
+			out = appendRequest(out, m)
+		case *Response:
+			out = appendResponse(out, m)
+		default:
+			return fmt.Errorf("transport: cannot binary-encode %T", v)
+		}
+		f.out = out
+		payload := len(out) - frameHeaderSize
+		if payload > maxFrame {
+			return fmt.Errorf("transport: frame of %d bytes exceeds limit", payload)
+		}
+		binary.BigEndian.PutUint32(out[0:4], uint32(payload))
+		binary.BigEndian.PutUint64(out[4:12], id)
+		return nil
+	}
 	f.buf.Reset()
 	var hdr [frameHeaderSize]byte
 	f.buf.Write(hdr[:])
@@ -76,15 +109,20 @@ func (f *wireFrame) encode(id uint64, v interface{}) error {
 }
 
 // bytes returns the encoded frame, valid until the next encode or release.
-func (f *wireFrame) bytes() []byte { return f.buf.Bytes() }
+func (f *wireFrame) bytes() []byte {
+	if f.bin {
+		return f.out
+	}
+	return f.buf.Bytes()
+}
 
 // writeMuxFrame encodes and sends one frame with a single Write — the
 // unshared (one frame per connection) discipline used by tests and the
-// dial-per-call baseline.
+// dial-per-call baseline. Legacy framing: JSON payload, no handshake.
 func writeMuxFrame(w io.Writer, id uint64, v interface{}) error {
 	f := acquireFrame()
 	defer releaseFrame(f)
-	if err := f.encode(id, v); err != nil {
+	if err := f.encode(id, v, codecJSON); err != nil {
 		return err
 	}
 	_, err := w.Write(f.bytes())
@@ -94,9 +132,13 @@ func writeMuxFrame(w io.Writer, id uint64, v interface{}) error {
 // connWriter owns one connection's write half: callers enqueue encoded
 // frames and a dedicated goroutine drains everything queued before each
 // flush, so under high in-flight counts many frames leave per syscall
-// while a lone frame still flushes immediately. The first write error
-// fires onErr (once) and stops the writer — frame state past an error is
-// unknown, so the connection must die with it.
+// while a lone frame still flushes immediately. Between those regimes an
+// adaptive flush window holds a lone frame for a few tens of microseconds
+// — but only while recent flushes prove that batching is actually
+// happening — trading a bounded sliver of latency for large syscall
+// savings under load. The first write error fires onErr (once) and stops
+// the writer — frame state past an error is unknown, so the connection
+// must die with it.
 type connWriter struct {
 	conn    net.Conn
 	timeout time.Duration
@@ -146,6 +188,15 @@ func (w *connWriter) close() {
 
 func (w *connWriter) loop() {
 	bw := bufio.NewWriter(w.conn)
+	// window is the adaptive flush hold for lone frames. It grows
+	// (bounded) each time a flush carries more than one frame and halves
+	// each time it carries exactly one, so idle connections converge to
+	// flush-immediately while loaded ones amortise syscalls.
+	var window time.Duration
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
 	for {
 		select {
 		case <-w.stop:
@@ -154,19 +205,49 @@ func (w *connWriter) loop() {
 			_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
 			_, err := bw.Write(frame.bytes())
 			releaseFrame(frame)
+			n := 1
 			// Yield once before draining: concurrent callers get a chance
 			// to enqueue, so a burst leaves in one flush instead of many.
 			runtime.Gosched()
+		drain:
 			for err == nil {
 				select {
 				case next := <-w.frames:
 					_, err = bw.Write(next.bytes())
 					releaseFrame(next)
-					continue
+					n++
 				default:
+					if n == 1 && window > 0 {
+						// A lone frame right after batched flushes: hold it
+						// briefly — under real load the next frame lands
+						// within the window and shares the syscall.
+						timer.Reset(window)
+						select {
+						case next := <-w.frames:
+							if !timer.Stop() {
+								<-timer.C
+							}
+							_, err = bw.Write(next.bytes())
+							releaseFrame(next)
+							n++
+							continue
+						case <-timer.C:
+						case <-w.stop:
+							return
+						}
+					}
+					break drain
 				}
+			}
+			if err == nil {
 				err = bw.Flush()
-				break
+			}
+			if n > 1 {
+				if window = 2*window + baseFlushWindow; window > maxFlushWindow {
+					window = maxFlushWindow
+				}
+			} else {
+				window /= 2
 			}
 			if err != nil {
 				w.onErr(err)
@@ -177,11 +258,12 @@ func (w *connWriter) loop() {
 	}
 }
 
-// readMuxFrame receives one frame and unmarshals its payload into v,
-// returning the frame's request id. A length over maxFrame or a payload
-// that is not valid JSON is a protocol violation: the caller must close
-// the connection.
-func readMuxFrame(r *bufio.Reader, v interface{}) (uint64, error) {
+// readMuxFrame receives one frame and decodes its payload into v using the
+// connection's negotiated codec, returning the frame's request id. A
+// length over maxFrame or an undecodable payload is a protocol violation:
+// the caller must close the connection. Decoded byte slices alias the
+// per-frame read buffer, which is never reused.
+func readMuxFrame(r *bufio.Reader, v interface{}, codec uint8) (uint64, error) {
 	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, err
@@ -194,6 +276,21 @@ func readMuxFrame(r *bufio.Reader, v interface{}) (uint64, error) {
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return 0, err
+	}
+	if codec >= codecBinary {
+		var err error
+		switch m := v.(type) {
+		case *Request:
+			err = decodeRequest(buf, m)
+		case *Response:
+			err = decodeResponse(buf, m)
+		default:
+			err = fmt.Errorf("transport: cannot binary-decode %T", v)
+		}
+		if err != nil {
+			return 0, fmt.Errorf("transport: bad frame payload: %w", err)
+		}
+		return id, nil
 	}
 	if err := json.Unmarshal(buf, v); err != nil {
 		return 0, fmt.Errorf("transport: bad frame payload: %w", err)
@@ -219,11 +316,17 @@ func (e errConnBroken) Unwrap() error { return e.cause }
 
 // muxConn is one client-side persistent connection: many concurrent calls
 // share it, each tagged with a request id; a demux read loop routes
-// response frames to the waiting caller's channel. The first I/O error
-// breaks the connection: all in-flight calls fail, and the pool evicts it.
+// response frames to the waiting caller's channel. The connection's codec
+// is fixed at handshake time. A semaphore caps the calls in flight — the
+// client half of transport backpressure: a caller that cannot get a slot
+// before its deadline fails with ErrOverloaded instead of piling onto a
+// peer that is already behind. The first I/O error breaks the connection:
+// all in-flight calls fail, and the pool evicts it.
 type muxConn struct {
-	conn net.Conn
-	wr   *connWriter
+	conn  net.Conn
+	wr    *connWriter
+	codec uint8
+	sem   chan struct{} // in-flight cap; nil = uncapped
 
 	mu       sync.Mutex
 	pending  map[uint64]chan *Response
@@ -235,13 +338,19 @@ type muxConn struct {
 	dead chan struct{} // closed when the read loop exits
 }
 
-// newMuxConn wraps a dialed connection and starts its demux loop.
-func newMuxConn(conn net.Conn, writeTimeout time.Duration) *muxConn {
+// newMuxConn wraps a dialed (and handshaken) connection and starts its
+// demux loop. maxInflight caps concurrent calls on this connection (0 =
+// uncapped).
+func newMuxConn(conn net.Conn, writeTimeout time.Duration, codec uint8, maxInflight int) *muxConn {
 	c := &muxConn{
 		conn:     conn,
+		codec:    codec,
 		pending:  make(map[uint64]chan *Response),
 		lastUsed: time.Now(),
 		dead:     make(chan struct{}),
+	}
+	if maxInflight > 0 {
+		c.sem = make(chan struct{}, maxInflight)
 	}
 	c.wr = startConnWriter(conn, writeTimeout, c.fail)
 	go c.readLoop()
@@ -254,7 +363,7 @@ func (c *muxConn) readLoop() {
 	br := bufio.NewReader(c.conn)
 	for {
 		var resp Response
-		id, err := readMuxFrame(br, &resp)
+		id, err := readMuxFrame(br, &resp, c.codec)
 		if err != nil {
 			c.fail(err)
 			return
@@ -319,8 +428,31 @@ func (c *muxConn) idleSince() time.Time {
 // call sends one request over the shared connection and waits for its
 // response, the context deadline, or connection failure. A context expiry
 // abandons the response slot without harming the connection; a write
-// failure breaks the connection (frame state is unknown past it).
+// failure breaks the connection (frame state is unknown past it). A
+// context that expires while the in-flight cap is saturated — before the
+// call even acquired a slot — fails with ErrOverloaded, the typed signal
+// that this client is outrunning the peer.
 func (c *muxConn) call(ctx context.Context, req *Request) (*Response, error) {
+	if c.sem != nil {
+		select {
+		case c.sem <- struct{}{}:
+		default:
+			// Saturated: wait for a slot, but surface saturation as
+			// overload rather than a generic deadline when the wait loses.
+			select {
+			case c.sem <- struct{}{}:
+			case <-c.dead:
+				c.mu.Lock()
+				cause := c.cause
+				c.mu.Unlock()
+				return nil, errConnBroken{cause: cause}
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%w: %d calls in flight (%v)", ErrOverloaded, cap(c.sem), ctx.Err())
+			}
+		}
+		defer func() { <-c.sem }()
+	}
+
 	c.mu.Lock()
 	if c.broken {
 		cause := c.cause
@@ -335,7 +467,7 @@ func (c *muxConn) call(ctx context.Context, req *Request) (*Response, error) {
 	c.mu.Unlock()
 
 	frame := acquireFrame()
-	if err := frame.encode(id, req); err != nil {
+	if err := frame.encode(id, req, c.codec); err != nil {
 		// The request itself is unsendable; the connection is untouched.
 		releaseFrame(frame)
 		c.forget(id)

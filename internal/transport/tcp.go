@@ -3,7 +3,10 @@ package transport
 import (
 	"bufio"
 	"context"
+	"crypto/tls"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -22,7 +25,27 @@ const (
 	// get 4x this before an idle read deadline fires, so the client side
 	// always disconnects first.
 	defaultIdleTimeout = 60 * time.Second
+	// defaultMaxInflight caps, per client connection, the calls awaiting a
+	// response, and, per endpoint, the requests being handled concurrently.
+	// Both sides of the backpressure contract: a client saturating its cap
+	// fails fast with ErrOverloaded, a server past its cap sheds the
+	// excess deterministically instead of growing a goroutine per queued
+	// request.
+	defaultMaxInflight = 256
 )
+
+// Codec handshake preamble: a connection that opens with these four bytes
+// is negotiating a codec version (one more byte: the client's best).
+// A legacy frame can never start with 0xF7 — the first byte of its 4-byte
+// big-endian length prefix is at most 0x01 under the 16 MiB frame cap —
+// so the server distinguishes handshaking peers from legacy JSON peers by
+// peeking one byte.
+var codecMagic = [4]byte{0xF7, 'O', 'S', 'C'}
+
+// overloadedWireErr is the Response.Err marker of a shed request. It is
+// matched exactly by the client and surfaced as ErrOverloaded, so handler
+// error strings can never be mistaken for transport-level shedding.
+const overloadedWireErr = "transport: overloaded"
 
 // TCPOption customises a TCP endpoint.
 type TCPOption func(*tcpOptions)
@@ -31,6 +54,9 @@ type tcpOptions struct {
 	poolSize    int
 	callTimeout time.Duration
 	idleTimeout time.Duration
+	maxInflight int
+	codecMax    uint8
+	tlsConf     *tls.Config
 }
 
 // WithPoolSize sets the persistent-connection cap per peer (default 2).
@@ -62,16 +88,57 @@ func WithIdleTimeout(d time.Duration) TCPOption {
 	}
 }
 
+// WithMaxInflight sets the backpressure cap (default 256): at most n calls
+// awaiting responses per client connection, and at most n requests being
+// handled concurrently by this endpoint's server side. A client past its
+// cap blocks until a slot frees or its context expires (then fails with
+// ErrOverloaded); a server past its cap answers the excess with an
+// overload error immediately — deterministic shedding with a bounded
+// goroutine count — instead of queueing unboundedly.
+func WithMaxInflight(n int) TCPOption {
+	return func(o *tcpOptions) {
+		if n > 0 {
+			o.maxInflight = n
+		}
+	}
+}
+
+// WithJSONCodec pins the endpoint to the legacy JSON wire codec: outbound
+// connections skip the version handshake entirely (so they interoperate
+// with peers that predate it), and inbound negotiation never offers more
+// than JSON. Use it on one side of a rolling upgrade; binary-capable peers
+// fall back per connection automatically.
+func WithJSONCodec() TCPOption {
+	return func(o *tcpOptions) { o.codecMax = codecJSON }
+}
+
+// WithTLS wraps every connection — inbound and outbound — in TLS using
+// cfg. The listener side needs cfg.Certificates; the dial side needs the
+// peers' roots in cfg.RootCAs (or InsecureSkipVerify) and derives
+// ServerName from the dialed host:port when cfg leaves it empty, so one
+// shared config serves a whole symmetric fleet. nil leaves the endpoint
+// on plain TCP.
+func WithTLS(cfg *tls.Config) TCPOption {
+	return func(o *tcpOptions) { o.tlsConf = cfg }
+}
+
 // TCPEndpoint is a Transport over real sockets: persistent pooled
-// connections carrying length-prefixed JSON frames tagged with request ids,
-// so many in-flight Calls multiplex over one connection in each direction.
-// The server side reads frames in a loop and answers each request on its
-// own goroutine; the client side demuxes responses by id. Broken
-// connections are evicted and redialed on the next call.
+// connections carrying length-prefixed frames tagged with request ids, so
+// many in-flight Calls multiplex over one connection in each direction.
+// The payload codec — compact binary by default, JSON for legacy peers —
+// is negotiated once per connection by a one-byte-version handshake. The
+// server side reads frames in a loop and answers each request on its own
+// goroutine, bounded by the endpoint's in-flight cap; excess load is shed
+// with a typed overload error. Broken connections are evicted and
+// redialed on the next call. With WithTLS, every connection is encrypted.
 type TCPEndpoint struct {
 	ln   net.Listener
 	pool *pool
 	opts tcpOptions
+
+	// slots is the server-side handler semaphore: one token per request
+	// being handled, across all connections.
+	slots chan struct{}
 
 	mu      sync.RWMutex
 	handler Handler
@@ -89,6 +156,8 @@ func ListenTCP(bind string, options ...TCPOption) (*TCPEndpoint, error) {
 		poolSize:    defaultPoolSize,
 		callTimeout: defaultCallTimeout,
 		idleTimeout: defaultIdleTimeout,
+		maxInflight: defaultMaxInflight,
+		codecMax:    codecMax,
 	}
 	for _, opt := range options {
 		opt(&opts)
@@ -97,10 +166,14 @@ func ListenTCP(bind string, options ...TCPOption) (*TCPEndpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", bind, err)
 	}
+	if opts.tlsConf != nil {
+		ln = tls.NewListener(ln, opts.tlsConf)
+	}
 	e := &TCPEndpoint{
 		ln:         ln,
-		pool:       newPool(opts.poolSize, opts.callTimeout, opts.callTimeout),
+		pool:       newPool(opts.poolSize, opts.callTimeout, opts.callTimeout, opts.maxInflight, opts.codecMax, opts.tlsConf),
 		opts:       opts,
+		slots:      make(chan struct{}, opts.maxInflight),
 		conns:      make(map[net.Conn]struct{}),
 		stopReaper: make(chan struct{}),
 	}
@@ -118,6 +191,13 @@ func (e *TCPEndpoint) Serve(h Handler) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.handler = h
+}
+
+// PeerCodecs reports the negotiated wire codec version of each peer this
+// endpoint currently holds a live pooled connection to (2 = binary,
+// 1 = JSON). Peers without a live connection are absent.
+func (e *TCPEndpoint) PeerCodecs() map[Addr]int {
+	return e.pool.peerCodecs()
 }
 
 // reapLoop periodically closes idle pooled connections.
@@ -150,9 +230,7 @@ func (e *TCPEndpoint) acceptLoop() {
 		}
 		e.conns[conn] = struct{}{}
 		e.mu.Unlock()
-		if tc, ok := conn.(*net.TCPConn); ok {
-			_ = tc.SetNoDelay(true)
-		}
+		setNoDelay(conn)
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
@@ -165,19 +243,88 @@ func (e *TCPEndpoint) acceptLoop() {
 	}
 }
 
-// serveConn is the server half of one multiplexed connection: read frames
-// in a loop, answer each on its own goroutine so a slow handler never
-// head-of-line-blocks the connection, and serialize response writes with a
-// per-connection lock. Any protocol violation (oversized frame, garbage
-// payload) or idle expiry ends the connection.
+// setNoDelay disables Nagle on the underlying TCP connection, reaching
+// through a TLS wrapper when present.
+func setNoDelay(conn net.Conn) {
+	if tc, ok := conn.(*tls.Conn); ok {
+		conn = tc.NetConn()
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+}
+
+// acceptCodec runs the server half of the codec handshake: peek one byte;
+// the handshake magic negotiates min(ours, theirs) and answers with it,
+// anything else is a legacy JSON peer mid-frame (nothing is consumed).
+func (e *TCPEndpoint) acceptCodec(conn net.Conn, br *bufio.Reader) (uint8, error) {
+	_ = conn.SetReadDeadline(time.Now().Add(e.opts.callTimeout))
+	first, err := br.Peek(1)
+	if err != nil {
+		return 0, err
+	}
+	if first[0] != codecMagic[0] {
+		return codecJSON, nil
+	}
+	var hello [5]byte
+	if _, err := io.ReadFull(br, hello[:]); err != nil {
+		return 0, err
+	}
+	if [4]byte(hello[:4]) != codecMagic {
+		return 0, errors.New("transport: bad codec handshake")
+	}
+	version := hello[4]
+	if version > e.opts.codecMax {
+		version = e.opts.codecMax
+	}
+	if version < codecJSON {
+		return 0, fmt.Errorf("transport: peer offered codec %d", hello[4])
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(e.opts.callTimeout))
+	if _, err := conn.Write([]byte{version}); err != nil {
+		return 0, err
+	}
+	return version, nil
+}
+
+// serveConn is the server half of one multiplexed connection: negotiate
+// the codec, then read frames in a loop, answering each on its own
+// goroutine so a slow handler never head-of-line-blocks the connection,
+// with response writes serialized by the connection writer. When every
+// handler slot of the endpoint is taken, further requests are answered
+// with an overload error without touching the handler — the node sheds
+// load at a deterministic bound instead of ballooning goroutines. Any
+// protocol violation (oversized frame, garbage payload) or idle expiry
+// ends the connection.
 func (e *TCPEndpoint) serveConn(conn net.Conn) {
 	br := bufio.NewReader(conn)
+	codec, err := e.acceptCodec(conn, br)
+	if err != nil {
+		return
+	}
 	wr := startConnWriter(conn, e.opts.callTimeout, func(error) { _ = conn.Close() })
 	defer wr.close()
+	respond := func(id uint64, resp *Response) bool {
+		frame := acquireFrame()
+		err := frame.encode(id, resp, codec)
+		if err != nil {
+			err = frame.encode(id, &Response{OK: false, Err: err.Error()}, codec)
+		}
+		if err != nil {
+			releaseFrame(frame)
+			_ = conn.Close() // unblocks the read loop
+			return false
+		}
+		if wr.enqueue(context.Background(), frame) != nil {
+			releaseFrame(frame) // a dead writer already closed the conn
+			return false
+		}
+		return true
+	}
 	for {
 		_ = conn.SetReadDeadline(time.Now().Add(4 * e.opts.idleTimeout))
 		var req Request
-		id, err := readMuxFrame(br, &req)
+		id, err := readMuxFrame(br, &req, codec)
 		if err != nil {
 			return
 		}
@@ -188,26 +335,24 @@ func (e *TCPEndpoint) serveConn(conn net.Conn) {
 		if closed {
 			return
 		}
+		select {
+		case e.slots <- struct{}{}:
+		default:
+			// Every handler slot is busy: shed this request now. The
+			// response is encoded on the read goroutine — cheap, bounded —
+			// and the caller gets a typed ErrOverloaded.
+			respond(id, &Response{OK: false, Err: overloadedWireErr})
+			continue
+		}
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
+			defer func() { <-e.slots }()
 			resp := &Response{OK: false, Err: "no handler"}
 			if h != nil {
 				resp = h(&req)
 			}
-			frame := acquireFrame()
-			err := frame.encode(id, resp)
-			if err != nil {
-				err = frame.encode(id, &Response{OK: false, Err: err.Error()})
-			}
-			if err != nil {
-				releaseFrame(frame)
-				_ = conn.Close() // unblocks the read loop
-				return
-			}
-			if wr.enqueue(context.Background(), frame) != nil {
-				releaseFrame(frame) // a dead writer already closed the conn
-			}
+			respond(id, resp)
 		}()
 	}
 }
@@ -222,7 +367,10 @@ func (e *TCPEndpoint) Call(addr Addr, req *Request) (*Response, error) {
 // the request is sent (e.g. the peer restarted since it was dialed) it
 // evicts it and retries once on a fresh dial. Once the request may have
 // reached the peer, a failure returns without retrying — at-most-once
-// delivery, so non-idempotent ops (migrate) never execute twice.
+// delivery, so non-idempotent ops (migrate) never execute twice. A peer
+// that shed the request — or a saturated local in-flight cap — surfaces
+// as ErrOverloaded, distinct from ErrUnreachable: the peer is alive,
+// just behind.
 func (e *TCPEndpoint) CallCtx(ctx context.Context, addr Addr, req *Request) (*Response, error) {
 	e.mu.RLock()
 	closed := e.closed
@@ -245,7 +393,13 @@ func (e *TCPEndpoint) CallCtx(ctx context.Context, addr Addr, req *Request) (*Re
 		}
 		resp, err := mc.call(ctx, req)
 		if err == nil {
+			if resp.Err == overloadedWireErr {
+				return nil, fmt.Errorf("%w: %s shed the request", ErrOverloaded, addr)
+			}
 			return resp, nil
+		}
+		if errors.Is(err, ErrOverloaded) {
+			return nil, err
 		}
 		broken, isBroken := err.(errConnBroken)
 		if !isBroken {

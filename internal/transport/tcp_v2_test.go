@@ -1,0 +1,291 @@
+package transport
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	crand "crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"math/big"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+)
+
+var echoV2Handler = Handler(func(req *Request) *Response {
+	return &Response{OK: true, Peer: PeerRef{Key: req.Key}, Value: req.Value}
+})
+
+// listen is a test helper for a served endpoint.
+func listen(t testing.TB, h Handler, opts ...TCPOption) *TCPEndpoint {
+	t.Helper()
+	e, err := ListenTCP("127.0.0.1:0", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = e.Close() })
+	e.Serve(h)
+	return e
+}
+
+// TestCodecNegotiation covers the version-handshake matrix: binary↔binary
+// settles on the binary codec, a JSON-pinned peer on either side settles
+// on JSON, and every pairing still round-trips requests correctly.
+func TestCodecNegotiation(t *testing.T) {
+	cases := []struct {
+		name       string
+		serverOpts []TCPOption
+		clientOpts []TCPOption
+		wantCodec  int
+	}{
+		{"binary-binary", nil, nil, codecBinary},
+		{"json-client", nil, []TCPOption{WithJSONCodec()}, codecJSON},
+		{"json-server", []TCPOption{WithJSONCodec()}, nil, codecJSON},
+		{"json-json", []TCPOption{WithJSONCodec()}, []TCPOption{WithJSONCodec()}, codecJSON},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			server := listen(t, echoV2Handler, tc.serverOpts...)
+			client := listen(t, nil, tc.clientOpts...)
+			resp, err := client.Call(server.Addr(), &Request{Op: OpPing, Key: 42, Value: []byte("hello")})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resp.OK || resp.Peer.Key != 42 || string(resp.Value) != "hello" {
+				t.Fatalf("echo mismatch: %+v", resp)
+			}
+			codecs := client.PeerCodecs()
+			if got := codecs[server.Addr()]; got != tc.wantCodec {
+				t.Fatalf("negotiated codec = %d, want %d (map %v)", got, tc.wantCodec, codecs)
+			}
+		})
+	}
+}
+
+// TestLegacyFramesAccepted proves a pre-handshake peer — one that opens
+// with a raw JSON frame and never speaks the magic — still works against
+// an upgraded server: the rolling-upgrade guarantee.
+func TestLegacyFramesAccepted(t *testing.T) {
+	server := listen(t, echoV2Handler)
+	resp, err := dialPerCall(server.Addr(), &Request{Op: OpPing, Key: keyspace.Key(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Peer.Key != 7 {
+		t.Fatalf("legacy echo mismatch: %+v", resp)
+	}
+}
+
+// selfSignedTLS builds a self-signed cert for 127.0.0.1 and returns a
+// tls.Config usable symmetrically: it is the fleet's identity and its
+// trust root at once.
+func selfSignedTLS(t testing.TB) *tls.Config {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "oscar-test"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		IPAddresses:           []net.IP{net.ParseIP("127.0.0.1")},
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(crand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := x509.NewCertPool()
+	roots.AddCert(leaf)
+	return &tls.Config{
+		Certificates: []tls.Certificate{{Certificate: [][]byte{der}, PrivateKey: key, Leaf: leaf}},
+		RootCAs:      roots,
+	}
+}
+
+// TestTLSTransport runs the full call path over TLS, with certificate
+// verification on (shared self-signed cert as the trust root), in both
+// codecs.
+func TestTLSTransport(t *testing.T) {
+	cfg := selfSignedTLS(t)
+	for _, tc := range []struct {
+		name string
+		opts []TCPOption
+	}{
+		{"binary", []TCPOption{WithTLS(cfg)}},
+		{"json", []TCPOption{WithTLS(cfg), WithJSONCodec()}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			server := listen(t, echoV2Handler, tc.opts...)
+			client := listen(t, nil, tc.opts...)
+			var wg sync.WaitGroup
+			for i := 0; i < 16; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					resp, err := client.Call(server.Addr(), &Request{Op: OpPing, Key: keyspace.Key(i)})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if !resp.OK || resp.Peer.Key != keyspace.Key(i) {
+						t.Errorf("echo mismatch: %+v", resp)
+					}
+				}(i)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestTLSRejectsPlaintextPeer ensures a TLS endpoint does not silently
+// accept a plaintext caller.
+func TestTLSRejectsPlaintextPeer(t *testing.T) {
+	server := listen(t, echoV2Handler, WithTLS(selfSignedTLS(t)))
+	plain := listen(t, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := plain.CallCtx(ctx, server.Addr(), &Request{Op: OpPing}); err == nil {
+		t.Fatal("plaintext call against TLS endpoint succeeded")
+	}
+}
+
+// TestOverloadShedding is the overload conformance scenario: saturate a
+// node far past its in-flight cap and assert (a) the excess fails with
+// the typed ErrOverloaded instead of queueing, (b) the server's goroutine
+// count stays bounded by the cap — deterministic shedding, not OOM — and
+// (c) the node serves normally again once the flood passes.
+func TestOverloadShedding(t *testing.T) {
+	const cap = 8
+	release := make(chan struct{})
+	var serving sync.WaitGroup
+	slow := Handler(func(req *Request) *Response {
+		if req.Op == OpPing {
+			return &Response{OK: true}
+		}
+		<-release
+		return &Response{OK: true, Peer: PeerRef{Key: req.Key}}
+	})
+	server := listen(t, slow, WithMaxInflight(cap))
+	// The client's own in-flight cap must be wider than the server's, or
+	// the flood would be throttled before it ever reaches the peer.
+	client := listen(t, nil, WithMaxInflight(4*cap))
+
+	before := runtime.NumGoroutine()
+
+	const flood = 4 * cap
+	errs := make(chan error, flood)
+	for i := 0; i < flood; i++ {
+		serving.Add(1)
+		go func(i int) {
+			defer serving.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_, err := client.CallCtx(ctx, server.Addr(), &Request{Op: OpGet, Key: keyspace.Key(i)})
+			errs <- err
+		}(i)
+	}
+
+	// Wait until the shed responses have come back: everything beyond the
+	// handler cap fails fast while the cap's worth of calls still hangs.
+	shed := 0
+	for shed < flood-cap {
+		err := <-errs
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("flood error = %v, want ErrOverloaded", err)
+		}
+		shed++
+	}
+
+	// The server must not have grown a goroutine per queued request: its
+	// handler goroutines are capped, the shed requests spawned none.
+	if grew := runtime.NumGoroutine() - before; grew > flood+cap {
+		t.Fatalf("goroutines grew by %d during flood (cap %d, flood %d)", grew, cap, flood)
+	}
+
+	close(release) // let the admitted calls finish
+	serving.Wait()
+	ok := 0
+	for i := 0; i < cap; i++ {
+		if err := <-errs; err == nil {
+			ok++
+		}
+	}
+	if ok != cap {
+		t.Fatalf("admitted calls succeeded = %d, want %d", ok, cap)
+	}
+
+	// After the flood: the node serves again immediately.
+	resp, err := client.Call(server.Addr(), &Request{Op: OpPing})
+	if err != nil || !resp.OK {
+		t.Fatalf("post-flood call = %+v, %v", resp, err)
+	}
+}
+
+// TestClientInflightCapOverload drives the client-side half of
+// backpressure: a saturated per-connection in-flight cap fails the excess
+// call with ErrOverloaded once its context expires, without breaking the
+// connection.
+func TestClientInflightCapOverload(t *testing.T) {
+	release := make(chan struct{})
+	slow := Handler(func(req *Request) *Response {
+		if req.Op == OpPing {
+			return &Response{OK: true}
+		}
+		<-release
+		return &Response{OK: true}
+	})
+	server := listen(t, slow)
+	client := listen(t, nil, WithMaxInflight(2), WithPoolSize(1))
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = client.Call(server.Addr(), &Request{Op: OpGet})
+		}()
+	}
+	// Let both slow calls occupy the cap.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if codecs := client.PeerCodecs(); len(codecs) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pool never dialed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	_, err := client.CallCtx(ctx, server.Addr(), &Request{Op: OpGet})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated client call = %v, want ErrOverloaded", err)
+	}
+
+	close(release)
+	wg.Wait()
+	resp, err := client.Call(server.Addr(), &Request{Op: OpPing})
+	if err != nil || !resp.OK {
+		t.Fatalf("post-saturation call = %+v, %v", resp, err)
+	}
+}

@@ -6,13 +6,22 @@
 //
 // The TCP fabric keeps a small pool of persistent connections per peer
 // (lazy dial, idle reaping) and multiplexes many in-flight calls over each
-// connection: every frame is [4-byte length][8-byte request id][JSON
-// payload], a per-connection demux loop routes responses to their waiting
-// callers by id, and a broken connection fails its in-flight calls, is
-// evicted from the pool, and is replaced by a fresh dial on the next call.
+// connection: every frame is [4-byte length][8-byte request id][payload],
+// a per-connection demux loop routes responses to their waiting callers by
+// id, and a broken connection fails its in-flight calls, is evicted from
+// the pool, and is replaced by a fresh dial on the next call. The payload
+// codec — a compact binary tag/length/value format by default, JSON for
+// legacy peers — is negotiated once per connection by a one-byte version
+// handshake, and connections can be TLS-wrapped end to end (WithTLS).
 // Per-call deadlines come from the caller's context (with a transport
 // default when the context carries none); a call that times out simply
 // abandons its response slot without poisoning the shared connection.
+//
+// Backpressure is symmetric: each client connection caps its in-flight
+// calls and each endpoint caps its concurrently-running handlers, so an
+// overloaded node sheds excess requests with a typed ErrOverloaded —
+// deterministically and with a bounded goroutine count — instead of
+// queueing without limit.
 //
 // Delivery is at-most-once: a call on a connection that proves stale
 // before the request is sent retries once on a fresh dial, but once a
@@ -206,6 +215,12 @@ type Transport interface {
 
 // ErrUnreachable reports a dead or unknown endpoint.
 var ErrUnreachable = errors.New("transport: peer unreachable")
+
+// ErrOverloaded reports backpressure, not death: the peer (or this
+// client's own in-flight cap) is saturated and the request was shed
+// before execution. Unlike ErrUnreachable the peer is alive — callers
+// should back off or retry elsewhere rather than declare it dead.
+var ErrOverloaded = errors.New("transport: peer overloaded")
 
 // FanoutResult is one peer's outcome from a Fanout.
 type FanoutResult struct {

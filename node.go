@@ -2,6 +2,7 @@ package oscar
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"io"
@@ -74,6 +75,23 @@ type NodeConfig struct {
 	// IdleTimeout reaps pooled connections idle this long (0 = transport
 	// default).
 	IdleTimeout time.Duration
+	// MaxInflight is the backpressure cap (0 = transport default): at most
+	// this many calls in flight per pooled connection, and at most this
+	// many handlers running concurrently on the listener. Excess inbound
+	// requests are shed with a typed transport overload error instead of
+	// queueing without bound.
+	MaxInflight int
+	// TLS, when set, wraps every connection — the listener and all
+	// outbound dials — in TLS with this configuration. All members of a
+	// ring must agree (a TLS node cannot talk to a plaintext one). For a
+	// fleet sharing one self-signed certificate, put the certificate in
+	// both Certificates and RootCAs.
+	TLS *tls.Config
+	// Codec pins the wire codec: "" or "binary" (the default — the compact
+	// binary codec, negotiated per connection with JSON fallback for older
+	// peers) or "json" (speak only the legacy JSON codec; use during a
+	// rolling upgrade from pre-binary builds).
+	Codec string
 	// DataDir, when non-empty, makes the node durable: every storage
 	// mutation is appended to a write-ahead log in this directory and
 	// periodically compacted into snapshots; the next StartNode with the
@@ -118,6 +136,19 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	}
 	if cfg.IdleTimeout > 0 {
 		topts = append(topts, transport.WithIdleTimeout(cfg.IdleTimeout))
+	}
+	if cfg.MaxInflight > 0 {
+		topts = append(topts, transport.WithMaxInflight(cfg.MaxInflight))
+	}
+	if cfg.TLS != nil {
+		topts = append(topts, transport.WithTLS(cfg.TLS))
+	}
+	switch cfg.Codec {
+	case "", "binary":
+	case "json":
+		topts = append(topts, transport.WithJSONCodec())
+	default:
+		return nil, fmt.Errorf("oscar: start node: unknown codec %q (want binary or json)", cfg.Codec)
 	}
 	ep, err := transport.ListenTCP(cfg.Listen, topts...)
 	if err != nil {
@@ -233,6 +264,23 @@ func jitterInterval(d time.Duration, seed int64) time.Duration {
 // Addr returns the node's transport address — hand it to other nodes'
 // Join calls.
 func (n *Node) Addr() string { return string(n.inner.Self().Addr) }
+
+// PeerCodecs reports, per peer this node currently holds pooled
+// connections to, the wire codec those connections negotiated ("binary"
+// or "json"). Empty for non-TCP nodes (StartCluster) and for peers with
+// no live connection. Use it to watch a rolling upgrade converge: once
+// every peer reads "binary", the JSON fallback is no longer exercised.
+func (n *Node) PeerCodecs() map[string]string {
+	ep, ok := n.tr.(*transport.TCPEndpoint)
+	if !ok {
+		return nil
+	}
+	out := make(map[string]string)
+	for addr, codec := range ep.PeerCodecs() {
+		out[string(addr)] = transport.CodecName(codec)
+	}
+	return out
+}
 
 // Key returns the node's position on the identifier circle.
 func (n *Node) Key() Key { return n.inner.Self().Key }
