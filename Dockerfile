@@ -1,0 +1,15 @@
+# Build stage: the module has zero external dependencies, so the build
+# needs no network beyond the base image — COPY and compile.
+FROM golang:1.24-alpine AS build
+WORKDIR /src
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -o /out/oscar-node ./cmd/oscar-node \
+ && CGO_ENABLED=0 go build -trimpath -o /out/oscar-soak ./cmd/oscar-soak
+
+# Runtime stage: alpine (not distroless) because docker-compose.yml wraps
+# the entrypoint in `sh -c` to pin the listen address to the container IP
+# — the TCP transport advertises its literal listen address to peers, so
+# binding 0.0.0.0 would gossip an undialable address across the ring.
+FROM alpine:3.20
+COPY --from=build /out/oscar-node /out/oscar-soak /usr/local/bin/
+ENTRYPOINT ["oscar-node"]

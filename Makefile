@@ -6,7 +6,7 @@ GO ?= go
 # to keep CI fast (the full suite still runs race-free in `test`).
 RACE_PKGS = ./internal/transport/... ./internal/p2p/...
 
-.PHONY: all build test race bench bench-replication bench-antientropy bench-stream bench-wal bench-transport fmt fmt-check vet examples conformance ci
+.PHONY: all build test race bench bench-replication bench-antientropy bench-stream bench-wal bench-transport fmt fmt-check vet examples conformance soak soak-smoke soak-docker ci
 
 all: build
 
@@ -38,12 +38,17 @@ examples:
 # and the restart-durability contract (crash a durable owner mid-WAL,
 # restart it on the same data dir, lose no acked write, resurrect no
 # delete, re-ship only the downtime delta) — race detector on. The
-# transport package contributes the wire-level contracts: codec
-# negotiation (incl. a mixed binary/JSON ring and legacy no-handshake
-# peers), TLS round trips, and overload shedding (saturate past the
-# in-flight cap: typed ErrOverloaded, bounded goroutines, recovery).
+# faulted variant (TestFaultedRing) re-runs the scenario table on both
+# live fabrics under a seeded 5%-drop/20ms-jitter fault plan plus a
+# partition-heal case, and the overload suite pins the p2p contract that
+# a shedding peer is retried once and never evicted. The transport
+# package contributes the wire-level contracts: codec negotiation (incl.
+# a mixed binary/JSON ring and legacy no-handshake peers), TLS round
+# trips, and overload shedding (saturate past the in-flight cap: typed
+# ErrOverloaded, bounded goroutines, recovery).
 conformance:
-	$(GO) test -race -run 'TestConformance|TestCrashDurability|TestDivergenceHeal|TestWriteConcern|TestReadRepair|TestRingSizeEstimate|TestLookupCancelled|TestRangeQueryCancelled|TestScanChurn|TestRestartDurability|TestDeleteSurvivesRestart' . ./internal/p2p/
+	$(GO) test -race -run 'TestConformance|TestFaultedRing|TestCrashDurability|TestDivergenceHeal|TestWriteConcern|TestReadRepair|TestRingSizeEstimate|TestLookupCancelled|TestRangeQueryCancelled|TestScanChurn|TestRestartDurability|TestDeleteSurvivesRestart' .
+	$(GO) test -race -run 'TestConformance|TestCrashDurability|TestDivergenceHeal|TestWriteConcern|TestReadRepair|TestRingSizeEstimate|TestLookupCancelled|TestRangeQueryCancelled|TestScanChurn|TestRestartDurability|TestDeleteSurvivesRestart|TestOverloadedPeerStaysLinked|TestOverloadRetryOnce|TestOverloadSurfacesTypedError' ./internal/p2p/
 	$(GO) test -race -run 'TestCodecNegotiation|TestLegacyFramesAccepted|TestTLS|TestOverloadShedding|TestClientInflightCapOverload' ./internal/transport/
 
 # Replication bench smoke: the replicated write path compiles and runs on
@@ -84,6 +89,30 @@ bench-transport:
 # measurement). Full measurements: `go test -bench=. -benchtime=2s ./...`.
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./... | tee bench.txt
+
+SOAK_SEED ?= 1
+SOAK_NODES ?= 49
+
+# Full-length in-process soak: a 12-node cluster under a seeded fault
+# schedule (drops, jitter, slow nodes, an asymmetric partition) and churn
+# (flash-crowd join, correlated crash of adjacent arc owners, rolling
+# WAL restarts), loaded with a mixed Zipf put/get/delete/scan workload.
+# Teardown asserts no w-acked write is lost and the ring reconverges;
+# the committed BENCH_soak.json is this target's output.
+soak:
+	$(GO) run ./cmd/oscar-soak -seed $(SOAK_SEED) -o BENCH_soak.json
+
+# Short race-enabled soak for PR CI: the same schedule compressed — the
+# race detector rides the full fault/churn/verify path on every PR.
+soak-smoke:
+	$(GO) run -race ./cmd/oscar-soak -seed $(SOAK_SEED) -duration 6s -rate 150 -keys 240 -o BENCH_soak_smoke.json
+
+# Containerized soak: a ~50-process fleet (1 seed + N nodes, each with
+# seeded per-node fault injection) loaded over real TCP by the soak
+# client. Exits with the soak's verdict; the report lands in ./soak-out.
+soak-docker:
+	docker compose --profile soak up --build --scale node=$(SOAK_NODES) --exit-code-from soak
+	docker compose --profile soak down -v
 
 fmt:
 	gofmt -w .

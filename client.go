@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"github.com/oscar-overlay/oscar/internal/transport"
 )
 
 // Client is the unified public surface of the overlay: the same
@@ -298,6 +300,7 @@ type options struct {
 	antiEntropy       time.Duration
 	dataDir           string
 	fsync             string
+	transportWrapper  func(transport.Transport) transport.Transport
 }
 
 // Option customises client construction. The zero configuration builds a
@@ -378,6 +381,17 @@ func WithFsync(policy string) Option { return func(o *options) { o.fsync = polic
 // Node.StartMaintenance yourself. Live backend only.
 func WithAutoMaintenance(interval time.Duration) Option {
 	return func(o *options) { o.autoMaintenance = interval }
+}
+
+// WithTransportWrapper interposes wrap on the transport endpoint of every
+// node StartCluster boots — the cluster-wide form of
+// NodeConfig.WrapTransport. Fault harnesses pass a
+// faultnet.Network's Wrap here to subject the whole cluster to
+// deterministic, seeded drop/latency/duplication/partition faults; see
+// internal/faultnet. Nil (the default) leaves endpoints bare. Live
+// backend only; the simulator has no transport to wrap.
+func WithTransportWrapper(wrap func(transport.Transport) transport.Transport) Option {
+	return func(o *options) { o.transportWrapper = wrap }
 }
 
 // WithAntiEntropy starts the periodic digest sync on every node

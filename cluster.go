@@ -20,6 +20,10 @@ import (
 type Cluster struct {
 	fabric *transport.Fabric
 	nodes  []*Node
+	// wrap is the WithTransportWrapper hook the cluster booted with;
+	// AddNode applies it to joiners that don't bring their own, so churn
+	// under a fault harness stays inside the harness.
+	wrap func(transport.Transport) transport.Transport
 }
 
 // StartCluster boots size live nodes on a shared in-memory fabric: the
@@ -48,7 +52,7 @@ func StartCluster(ctx context.Context, size int, opts ...Option) (*Cluster, erro
 	keyRand := rng.Derive(o.seed, "cluster-keys")
 	capRand := rng.Derive(o.seed, "cluster-caps")
 
-	c := &Cluster{fabric: transport.NewFabric()}
+	c := &Cluster{fabric: transport.NewFabric(), wrap: o.transportWrapper}
 	for i := 0; i < size; i++ {
 		caps := degrees.Sample(capRand)
 		cfg := NodeConfig{
@@ -63,6 +67,7 @@ func StartCluster(ctx context.Context, size int, opts ...Option) (*Cluster, erro
 			AutoMaintenance:   o.autoMaintenance,
 			AntiEntropy:       o.antiEntropy,
 			Seed:              o.seed + int64(i),
+			WrapTransport:     o.transportWrapper,
 		}
 		if o.dataDir != "" {
 			cfg.DataDir = filepath.Join(o.dataDir, fmt.Sprintf("node-%d", i))
@@ -107,6 +112,9 @@ func (c *Cluster) Nodes() []*Node { return append([]*Node(nil), c.nodes...) }
 // AddNode boots one more node on the cluster's fabric and joins it through
 // the cluster's first open node.
 func (c *Cluster) AddNode(ctx context.Context, cfg NodeConfig) (*Node, error) {
+	if cfg.WrapTransport == nil {
+		cfg.WrapTransport = c.wrap
+	}
 	node, err := startNodeOn(c.fabric.Endpoint(), cfg)
 	if err != nil {
 		return nil, err

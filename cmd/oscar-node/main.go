@@ -60,6 +60,21 @@
 // pre-binary builds; -max-inflight caps in-flight calls per connection and
 // concurrently running handlers, shedding the excess deterministically
 // instead of queueing without bound.
+//
+// With -daemon the node skips the stdin command loop and runs until a
+// signal arrives — the mode for containers and process supervisors, where
+// stdin is closed and the interactive loop would exit immediately.
+//
+// The -fault-* flags wrap the node's transport in a seeded fault injector
+// (internal/faultnet): every outbound call rolls deterministic per-link
+// dice for drops (-fault-drop), duplication (-fault-dup), and added
+// latency (-fault-latency ± -fault-jitter). Two fleets started with the
+// same -fault-seed and topology see the same fault schedule — chaos runs
+// are reproducible:
+//
+//	# a lossy, slow node: 2% drops, ~5ms extra latency per call
+//	oscar-node -daemon -join seed:7001 -fault-seed 42 -fault-drop 0.02 \
+//	    -fault-latency 3ms -fault-jitter 4ms
 package main
 
 import (
@@ -81,6 +96,8 @@ import (
 	"time"
 
 	oscar "github.com/oscar-overlay/oscar"
+	"github.com/oscar-overlay/oscar/internal/faultnet"
+	"github.com/oscar-overlay/oscar/internal/transport"
 )
 
 func main() {
@@ -108,6 +125,13 @@ func main() {
 		tlsKey      = flag.String("tls-key", "", "PEM private key for -tls-cert")
 		dataDir     = flag.String("data-dir", "", "data directory for the WAL + snapshots (empty = memory only)")
 		fsync       = flag.String("fsync", "interval", "WAL fsync policy: always, interval, or never (needs -data-dir)")
+		daemon      = flag.Bool("daemon", false, "no stdin command loop: run until SIGINT/SIGTERM (for containers)")
+
+		faultSeed    = flag.Int64("fault-seed", 0, "seed for the deterministic fault injector (active when any -fault-* rate is set)")
+		faultDrop    = flag.Float64("fault-drop", 0, "probability an outbound call is dropped before delivery")
+		faultDup     = flag.Float64("fault-dup", 0, "probability an outbound call is delivered twice")
+		faultLatency = flag.Duration("fault-latency", 0, "fixed extra latency per outbound call")
+		faultJitter  = flag.Duration("fault-jitter", 0, "random extra latency per outbound call, uniform in [0, jitter)")
 	)
 	flag.Parse()
 
@@ -126,24 +150,38 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The fault injector wraps the node's own transport: caller-side,
+	// seeded, per-link deterministic. Faults apply to this node's
+	// outbound calls only — each fleet member carries its own weather.
+	var wrap func(transport.Transport) transport.Transport
+	faults := faultnet.Faults{Drop: *faultDrop, Duplicate: *faultDup, Latency: *faultLatency, Jitter: *faultJitter}
+	if faults != (faultnet.Faults{}) {
+		fn := faultnet.New(*faultSeed)
+		fn.SetDefault(faults)
+		wrap = fn.Wrap
+		fmt.Printf("fault injection on: seed=%d drop=%.3f dup=%.3f latency=%s jitter=%s\n",
+			*faultSeed, *faultDrop, *faultDup, *faultLatency, *faultJitter)
+	}
+
 	node, err := oscar.StartNode(oscar.NodeConfig{
-		Listen:       *listen,
-		Key:          key,
-		MaxIn:        *maxIn,
-		MaxOut:       *maxOut,
-		Replicas:     *replicas,
-		WriteConcern: *writeCon,
-		AntiEntropy:  *antiEntropy,
-		TombstoneTTL: *tombTTL,
-		Seed:         time.Now().UnixNano(),
-		PoolSize:     *poolSize,
-		CallTimeout:  *callTimeout,
-		IdleTimeout:  *idleTimeout,
-		MaxInflight:  *maxInflight,
-		TLS:          tlsConf,
-		Codec:        *codec,
-		DataDir:      *dataDir,
-		Fsync:        *fsync,
+		Listen:        *listen,
+		Key:           key,
+		MaxIn:         *maxIn,
+		MaxOut:        *maxOut,
+		Replicas:      *replicas,
+		WriteConcern:  *writeCon,
+		AntiEntropy:   *antiEntropy,
+		TombstoneTTL:  *tombTTL,
+		Seed:          time.Now().UnixNano(),
+		PoolSize:      *poolSize,
+		CallTimeout:   *callTimeout,
+		IdleTimeout:   *idleTimeout,
+		MaxInflight:   *maxInflight,
+		TLS:           tlsConf,
+		Codec:         *codec,
+		DataDir:       *dataDir,
+		Fsync:         *fsync,
+		WrapTransport: wrap,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -180,39 +218,46 @@ func main() {
 		node.StartMaintenance(*interval, *rewireEvery)
 	}
 
-	// The stdin reader feeds a channel so the main loop can multiplex user
-	// commands with context cancellation from a signal.
-	lines := make(chan string)
-	go func() {
-		defer close(lines)
-		sc := bufio.NewScanner(os.Stdin)
-		for sc.Scan() {
-			select {
-			case lines <- sc.Text():
-			case <-ctx.Done():
-				return
+	if *daemon {
+		// Containers and supervisors close stdin, so the interactive loop
+		// would exit immediately; block on the signal context instead.
+		<-ctx.Done()
+		fmt.Println("\nsignal received, shutting down…")
+	} else {
+		// The stdin reader feeds a channel so the main loop can multiplex
+		// user commands with context cancellation from a signal.
+		lines := make(chan string)
+		go func() {
+			defer close(lines)
+			sc := bufio.NewScanner(os.Stdin)
+			for sc.Scan() {
+				select {
+				case lines <- sc.Text():
+				case <-ctx.Done():
+					return
+				}
 			}
-		}
-	}()
+		}()
 
-	fmt.Print("> ")
-loop:
-	for {
-		select {
-		case <-ctx.Done():
-			fmt.Println("\nsignal received, shutting down…")
-			break loop
-		case line, ok := <-lines:
-			if !ok {
+		fmt.Print("> ")
+	loop:
+		for {
+			select {
+			case <-ctx.Done():
+				fmt.Println("\nsignal received, shutting down…")
 				break loop
-			}
-			if err := execute(ctx, node, strings.Fields(line)); err != nil {
-				if errors.Is(err, errQuit) {
+			case line, ok := <-lines:
+				if !ok {
 					break loop
 				}
-				fmt.Println("error:", err)
+				if err := execute(ctx, node, strings.Fields(line)); err != nil {
+					if errors.Is(err, errQuit) {
+						break loop
+					}
+					fmt.Println("error:", err)
+				}
+				fmt.Print("> ")
 			}
-			fmt.Print("> ")
 		}
 	}
 

@@ -1,0 +1,60 @@
+package faultnet
+
+import (
+	"context"
+	"time"
+)
+
+// Phase is one timed step of a Plan: a mutation of the fault model held
+// for a duration. Scenarios compose phases — "degrade, partition 10s,
+// heal, settle" — and assert their invariants after Run returns.
+type Phase struct {
+	// Name labels the phase for logs and progress callbacks.
+	Name string
+	// Apply mutates the network when the phase begins (nil = no change,
+	// a pure wait).
+	Apply func(*Network)
+	// Duration is how long the phase's state holds before the next phase
+	// applies. Zero applies the mutation and moves on immediately.
+	Duration time.Duration
+}
+
+// Plan is an ordered fault scenario: phases applied to one Network, in
+// sequence, each held for its duration. Plans script the storyline of a
+// test ("partition racks A|B for 10s, heal, assert convergence") while
+// load runs concurrently against the cluster.
+type Plan struct {
+	Phases []Phase
+	// OnPhase, when set, is called as each phase begins — the hook soak
+	// harnesses use to log the storyline and timestamp convergence
+	// windows.
+	OnPhase func(Phase)
+}
+
+// Run applies the phases in order against net, sleeping each phase's
+// duration. It returns ctx.Err() if the context dies mid-plan (the
+// network keeps whatever state the last applied phase left — callers
+// that need a clean fabric afterwards should Heal/SetDefault themselves).
+func (p Plan) Run(ctx context.Context, net *Network) error {
+	for _, ph := range p.Phases {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if p.OnPhase != nil {
+			p.OnPhase(ph)
+		}
+		if ph.Apply != nil {
+			ph.Apply(net)
+		}
+		if ph.Duration > 0 {
+			t := time.NewTimer(ph.Duration)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+	}
+	return nil
+}

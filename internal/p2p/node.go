@@ -172,8 +172,20 @@ type Node struct {
 	// sensitive to.
 	succsFreshRounds int
 	pred             transport.PeerRef
-	out              []transport.PeerRef
-	in               map[transport.Addr]keyspace.Key
+	// arcFloor remembers the last real predecessor's key even after the
+	// slot is cleared by a failure (pred = self). While the slot is
+	// cleared, the routing layer claims the whole counterclockwise circle
+	// (findOwnerLocked — lookups must terminate somewhere); the write
+	// gate must not inherit that claim wholesale, or every write routed
+	// through the node during the window is accepted, acked, and
+	// stranded once the ring heals. ownsLocked keeps accepting the
+	// node's own arc down to this floor; inheriting the dead
+	// predecessor's arc for writes waits until the next-live
+	// predecessor's notify moves the floor.
+	arcFloor     keyspace.Key
+	haveArcFloor bool
+	out          []transport.PeerRef
+	in           map[transport.Addr]keyspace.Key
 	// store holds the arc the node owns: (pred, self].
 	store storage.Store
 	// replStore holds copies of predecessors' arcs pushed by their owners;
@@ -205,6 +217,13 @@ type Node struct {
 	// lastJoinItems / lastJoinTombs count what the most recent Join
 	// actually pulled over the wire (see JoinShipped).
 	lastJoinItems, lastJoinTombs int
+	// joinDirty, while non-nil, records every key written (put or
+	// deleted) since this node's own Join spliced it into the ring.
+	// Migrate chunks still in flight were extracted before those writes
+	// landed, so Join filters them against this set — a stale migrated
+	// copy must not overwrite a value the new owner already acked, and a
+	// migrated item must not resurrect a key it already deleted.
+	joinDirty map[keyspace.Key]struct{}
 
 	// eng is the durable WAL engine (nil without Config.DataDir);
 	// recovery describes what it reconstructed at startup.
@@ -437,6 +456,48 @@ func (n *Node) arcLocked() (keyspace.Range, bool) {
 	return keyspace.Range{Start: n.pred.Key + 1, End: n.self.Key + 1}, true
 }
 
+// errNotOwner is the typed rejection a data write gets from a node whose
+// arc no longer covers the key: the ownership moved between the writer's
+// routing step and the data RPC. The write was definitely not executed,
+// so the writer re-routes and retries (see dataOp).
+const errNotOwner = "not owner"
+
+// ownsLocked reports whether this node currently accepts writes for the
+// key. With a real, distinct predecessor this is the exact predicate
+// findOwnerLocked terminates routing with, evaluated under the same
+// lock. With the pred slot empty or cleared by a failure, routing claims
+// the whole circle (lookups must terminate somewhere) but the write gate
+// stays bounded: a true singleton owns everything; otherwise only keys
+// down to the last known predecessor's key are accepted — arcs whose
+// owners are alive elsewhere on the ring must not be silently absorbed.
+func (n *Node) ownsLocked(key keyspace.Key) bool {
+	if n.pred.Addr != "" && n.pred.Addr != n.self.Addr {
+		return key.BetweenIncl(n.pred.Key, n.self.Key) || n.succLocked().Addr == n.self.Addr
+	}
+	if n.succLocked().Addr == n.self.Addr || !n.haveArcFloor {
+		return true
+	}
+	return key.BetweenIncl(n.arcFloor, n.self.Key)
+}
+
+// setPredLocked installs p as the predecessor and, when p is a real
+// distinct peer, records its key as the arc floor (see ownsLocked).
+func (n *Node) setPredLocked(p transport.PeerRef) {
+	n.pred = p
+	if p.Addr != "" && p.Addr != n.self.Addr {
+		n.arcFloor, n.haveArcFloor = p.Key, true
+	}
+}
+
+// markJoinDirtyLocked records a write that landed during this node's own
+// join window (no-op otherwise) so in-flight migrate chunks cannot stomp
+// it.
+func (n *Node) markJoinDirtyLocked(key keyspace.Key) {
+	if n.joinDirty != nil {
+		n.joinDirty[key] = struct{}{}
+	}
+}
+
 // InjectReplica plants (or overwrites) a replica copy directly in the
 // node's replica store, bypassing the protocol — a fault-injection hook for
 // divergence tests and harnesses, never used by the overlay itself.
@@ -556,7 +617,7 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 		if from.Addr != n.self.Addr {
 			if n.pred.Addr == n.self.Addr || from.Key.Between(n.pred.Key, n.self.Key) ||
 				(from.Key == n.self.Key && from.Addr != n.pred.Addr && n.pred.Addr == n.self.Addr) {
-				n.pred = from
+				n.setPredLocked(from)
 			}
 			succ := n.succLocked()
 			if succ.Addr == n.self.Addr || from.Key.Between(n.self.Key, succ.Key) {
@@ -589,6 +650,15 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 		// Peers carries the replica chain the writer must push copies to;
 		// the owner's own replication factor governs its length. Acks is
 		// this store's own acknowledgement — the writer adds the chain's.
+		if !n.ownsLocked(req.Key) {
+			// The arc moved between the writer's routing step and this RPC
+			// (a joiner spliced in and migrate drained the range). Acking
+			// anyway would strand the value in a store no lookup reaches
+			// and no digest covers — a silently lost acknowledged write.
+			// Rejection is a definite non-execution: the writer re-routes.
+			return &transport.Response{OK: false, Err: errNotOwner, Peer: n.succLocked()}
+		}
+		n.markJoinDirtyLocked(req.Key)
 		replaced := n.store.Put(req.Key, req.Value)
 		return &transport.Response{OK: true, Found: replaced, Peers: n.replicaTargetsLocked(), Acks: 1}
 
@@ -614,6 +684,14 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 		return resp
 
 	case transport.OpDelete:
+		// Same ownership gate as OpPut: a delete acked by a node that
+		// already handed the key's arc to a joiner would tombstone a store
+		// nothing reads while the migrated live copy survives at the new
+		// owner — the delete would silently un-happen.
+		if !n.ownsLocked(req.Key) {
+			return &transport.Response{OK: false, Err: errNotOwner, Peer: n.succLocked()}
+		}
+		n.markJoinDirtyLocked(req.Key)
 		existed := n.store.Delete(req.Key)
 		if n.replStore.Delete(req.Key) {
 			existed = true

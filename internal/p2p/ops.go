@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/oscar-overlay/oscar/internal/keyspace"
 	"github.com/oscar-overlay/oscar/internal/sampling"
@@ -56,24 +57,34 @@ func (n *Node) Join(ctx context.Context, introducer transport.Addr) error {
 	if err != nil {
 		return fmt.Errorf("p2p: join: %w", err)
 	}
-	resp, err := n.tr.CallCtx(ctx, owner.Addr, &transport.Request{Op: transport.OpGetPred})
+	resp, err := n.callRetry(ctx, owner.Addr, &transport.Request{Op: transport.OpGetPred})
 	if err != nil || !resp.OK {
 		if cerr := ctx.Err(); cerr != nil {
 			return cerr
 		}
-		return fmt.Errorf("p2p: join: owner unreachable: %v", err)
+		return fmt.Errorf("p2p: join: owner unreachable: %w", err)
 	}
 	pred := resp.Peer
 
 	n.mu.Lock()
 	n.setSuccLocked(owner)
 	if pred.Addr != "" && pred.Addr != n.self.Addr {
-		n.pred = pred
+		n.setPredLocked(pred)
 	} else {
-		n.pred = owner
+		n.setPredLocked(owner)
 	}
 	predKey := n.pred.Key
+	// From the moment the ring learns about us (the notify below), writes
+	// for the new arc can route here — racing the migrate pull still in
+	// flight. Track every key written during the window so stale migrated
+	// copies (extracted before those writes landed) cannot overwrite them.
+	n.joinDirty = make(map[keyspace.Key]struct{})
 	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		n.joinDirty = nil
+		n.mu.Unlock()
+	}()
 
 	// Announce ourselves to both sides in parallel so their pointers splice
 	// eagerly (periodic Stabilize would get there too, just later).
@@ -82,7 +93,7 @@ func (n *Node) Join(ctx context.Context, introducer transport.Addr) error {
 	if pred.Addr != "" && pred.Addr != owner.Addr {
 		targets = append(targets, pred.Addr)
 	}
-	for _, r := range transport.Fanout(ctx, n.tr, targets, notify) {
+	for _, r := range n.fanoutRetry(ctx, targets, notify) {
 		if r.Err != nil {
 			// A cancelled fanout fails every call: surface the caller's
 			// cancellation, never a fabricated dead-peer report.
@@ -107,8 +118,29 @@ func (n *Node) Join(ctx context.Context, introducer transport.Addr) error {
 	n.lastJoinItems, n.lastJoinTombs = 0, 0
 	n.mu.Unlock()
 	for {
-		mig, err := n.tr.CallCtx(ctx, owner.Addr, &transport.Request{Op: transport.OpMigrate, Range: arc, From: n.self, States: states})
-		if err != nil || !mig.OK {
+		// Retrying a shed migrate is safe: overload means the request was
+		// never executed, so no extracted chunk is at stake. Dropped and
+		// timed-out calls get a few bounded retries too — abandoning the
+		// pull mid-range is the worst outcome here: on a recovered join
+		// the stale WAL state would become authoritative for the un-pulled
+		// remainder while the fresh values sit stranded at the old owner,
+		// and the next digest sync would push the stale copies over the
+		// good replicas. A lost response after execution (TCP) has already
+		// cost that chunk either way; the retry still drains the rest of
+		// the range instead of stranding it.
+		var mig *transport.Response
+		var err error
+		for attempt := 0; ; attempt++ {
+			mig, err = n.callRetry(ctx, owner.Addr, &transport.Request{Op: transport.OpMigrate, Range: arc, From: n.self, States: states})
+			if (err == nil && mig.OK) || attempt >= 3 || ctx.Err() != nil {
+				break
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(20 * time.Millisecond):
+			}
+		}
+		if err != nil || mig == nil || !mig.OK {
 			// Partial migration: the un-pulled remainder stays in the
 			// successor's primary store, where the successor keeps serving
 			// it until a future join drains the range (chunking already
@@ -119,7 +151,26 @@ func (n *Node) Join(ctx context.Context, introducer transport.Addr) error {
 		}
 		if len(mig.Items) > 0 || len(mig.Tombs) > 0 {
 			n.mu.Lock()
-			items := mig.Items
+			items, tombs := mig.Items, mig.Tombs
+			if len(n.joinDirty) > 0 {
+				// A put or delete we acked after this chunk was extracted
+				// is newer than anything in it: keep our copy (or our
+				// tombstone) and drop the migrated one.
+				keptItems := items[:0]
+				for _, it := range items {
+					if _, dirty := n.joinDirty[it.Key]; !dirty {
+						keptItems = append(keptItems, it)
+					}
+				}
+				items = keptItems
+				keptTombs := tombs[:0]
+				for _, tb := range tombs {
+					if _, dirty := n.joinDirty[tb.Key]; !dirty {
+						keptTombs = append(keptTombs, tb)
+					}
+				}
+				tombs = keptTombs
+			}
 			if n.recovery.HasState() {
 				// A recovered tombstone outranks a copy the responder
 				// still holds: the delete may never have reached it
@@ -134,9 +185,9 @@ func (n *Node) Join(ctx context.Context, introducer transport.Addr) error {
 				items = kept
 			}
 			n.store.InsertBulk(items)
-			n.store.InsertTombstones(mig.Tombs)
+			n.store.InsertTombstones(tombs)
 			n.lastJoinItems += len(items)
-			n.lastJoinTombs += len(mig.Tombs)
+			n.lastJoinTombs += len(tombs)
 			n.mu.Unlock()
 		}
 		if !mig.More {
@@ -218,13 +269,19 @@ func (n *Node) Stabilize(ctx context.Context) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		succResp, succErr = n.tr.CallCtx(ctx, succ.Addr, &transport.Request{Op: transport.OpSuccList, SizeEst: est, From: n.self})
+		succResp, succErr = n.readRetry(ctx, succ.Addr, &transport.Request{Op: transport.OpSuccList, SizeEst: est, From: n.self})
 	}()
 	if pred.Addr != n.self.Addr {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := n.tr.CallCtx(ctx, pred.Addr, &transport.Request{Op: transport.OpPing}); err != nil {
+			// An overloaded predecessor is alive — it shed the probe, it
+			// didn't miss it. Clearing the slot would hand it to a worse
+			// candidate at the next notify for no reason. The probe rides
+			// out transient drops too (readRetry): a cleared slot makes
+			// this node claim the whole counterclockwise circle until the
+			// next notify, so a false positive here corrupts routing.
+			if _, err := n.readRetry(ctx, pred.Addr, &transport.Request{Op: transport.OpPing}); err != nil && !errors.Is(err, transport.ErrOverloaded) {
 				predDead = true
 			}
 		}()
@@ -245,7 +302,12 @@ func (n *Node) Stabilize(ctx context.Context) {
 		n.mu.Unlock()
 	}
 
-	if succErr != nil || !succResp.OK {
+	if succErr != nil && errors.Is(succErr, transport.ErrOverloaded) {
+		// The successor shed the exchange: it is saturated, not dead.
+		// Keep the pointer and the list untouched — adopting the next
+		// list entry here would splice a live peer out of the ring — and
+		// let the next round retry.
+	} else if succErr != nil || !succResp.OK {
 		// Successor is dead: walk the successor list for a live entry.
 		n.adoptNextSuccessor(ctx)
 	} else {
@@ -262,7 +324,7 @@ func (n *Node) Stabilize(ctx context.Context) {
 		x := succResp.Peer // the successor's predecessor
 		adopted := false
 		if x.Addr != "" && x.Addr != n.self.Addr && x.Key.Between(n.self.Key, succ.Key) {
-			if _, err := n.tr.CallCtx(ctx, x.Addr, &transport.Request{Op: transport.OpPing}); err == nil {
+			if _, err := n.readRetry(ctx, x.Addr, &transport.Request{Op: transport.OpPing}); err == nil || errors.Is(err, transport.ErrOverloaded) {
 				n.mu.Lock()
 				n.setSuccLocked(x)
 				n.mu.Unlock()
@@ -372,12 +434,12 @@ func (n *Node) adoptNextSuccessor(ctx context.Context) {
 		for i, c := range tail {
 			addrs[i] = c.Addr
 		}
-		results := transport.Fanout(ctx, n.tr, addrs, &transport.Request{Op: transport.OpPing})
+		results := n.fanoutReadRetry(ctx, addrs, &transport.Request{Op: transport.OpPing})
 		if ctx.Err() != nil {
 			return // cancelled probes are not dead list entries
 		}
 		for i, c := range tail {
-			if !results[i].OK() || c.Addr == n.self.Addr {
+			if !aliveResult(results[i]) || c.Addr == n.self.Addr {
 				continue
 			}
 			if install(append([]transport.PeerRef(nil), tail[i:]...)) {
@@ -406,7 +468,7 @@ func (n *Node) adoptNextSuccessor(ctx context.Context) {
 	for i, c := range filtered {
 		addrs[i] = c.Addr
 	}
-	results := transport.Fanout(ctx, n.tr, addrs, &transport.Request{Op: transport.OpPing})
+	results := n.fanoutReadRetry(ctx, addrs, &transport.Request{Op: transport.OpPing})
 	if ctx.Err() != nil {
 		return // cancelled sweep: keep the current (possibly stale) head
 	}
@@ -414,7 +476,7 @@ func (n *Node) adoptNextSuccessor(ctx context.Context) {
 	var best transport.PeerRef
 	bestDist := ^uint64(0)
 	for i, c := range filtered {
-		if !results[i].OK() {
+		if !aliveResult(results[i]) {
 			continue
 		}
 		if d := n.self.Key.Distance(c.Key); d > 0 && d < bestDist {
@@ -508,7 +570,7 @@ func (n *Node) CountPeers(ctx context.Context, max int) int {
 		if ctx.Err() != nil {
 			return -1
 		}
-		resp, err := n.tr.CallCtx(ctx, cur.Addr, &transport.Request{Op: transport.OpGetSucc})
+		resp, err := n.readRetry(ctx, cur.Addr, &transport.Request{Op: transport.OpGetSucc})
 		if err != nil || !resp.OK || resp.Peer.Addr == "" || resp.Peer.Addr == cur.Addr {
 			return -1
 		}
@@ -560,10 +622,17 @@ func (n *Node) lookupChain(ctx context.Context, start transport.Addr, key keyspa
 		if err := ctx.Err(); err != nil {
 			return transport.PeerRef{}, nil, cost, err
 		}
-		resp, err := n.tr.CallCtx(ctx, cur, &transport.Request{Op: transport.OpFindOwner, Key: key, Exclude: bad})
+		resp, err := n.readRetry(ctx, cur, &transport.Request{Op: transport.OpFindOwner, Key: key, Exclude: bad})
 		if err != nil || !resp.OK {
 			if cerr := ctx.Err(); cerr != nil {
 				return transport.PeerRef{}, nil, cost, cerr
+			}
+			if errors.Is(err, transport.ErrOverloaded) {
+				// The hop shed both the call and its retry. The peer is
+				// alive — excluding it would route every later query around
+				// a functioning node — so surface the backpressure and let
+				// the caller decide to retry the whole operation.
+				return transport.PeerRef{}, nil, cost, fmt.Errorf("p2p: lookup via %s: %w", cur, err)
 			}
 			cost++ // wasted message (dead probe) or exhausted peer
 			bad = append(bad, cur)
@@ -605,14 +674,14 @@ func (n *Node) backtrack(ctx context.Context, stack *[]transport.Addr, bad *[]tr
 		}
 		cands := append([]transport.Addr(nil), (*stack)[len(*stack)-k:]...)
 		*stack = (*stack)[:len(*stack)-k]
-		results := transport.Fanout(ctx, n.tr, cands, &transport.Request{Op: transport.OpPing})
+		results := n.fanoutReadRetry(ctx, cands, &transport.Request{Op: transport.OpPing})
 		cost += k
 		if ctx.Err() != nil {
 			return "", cost // cancelled probes prove nothing about the peers
 		}
 		chosen := -1
 		for i := k - 1; i >= 0; i-- { // deepest (most recently pushed) first
-			if results[i].OK() {
+			if aliveResult(results[i]) {
 				chosen = i
 				break
 			}
@@ -620,7 +689,7 @@ func (n *Node) backtrack(ctx context.Context, stack *[]transport.Addr, bad *[]tr
 		for i := 0; i < k; i++ {
 			switch {
 			case i == chosen:
-			case results[i].OK():
+			case aliveResult(results[i]):
 				*stack = append(*stack, cands[i]) // alive: keep as a fallback
 			default:
 				*bad = append(*bad, cands[i])
@@ -655,21 +724,46 @@ type OpResult struct {
 // dataOp routes to the owner of key and executes one data RPC there. The
 // raw response is returned alongside so write ops can read the replica
 // chain the owner piggybacks on it.
+//
+// A "not owner" rejection means the arc moved between the routing step
+// and the data RPC (a joiner spliced in): the op was definitely not
+// executed, so re-routing and retrying is safe for writes. The retry is
+// bounded and paced — one splice is a few notifies away from visible.
 func (n *Node) dataOp(ctx context.Context, key keyspace.Key, req *transport.Request) (OpResult, *transport.Response, error) {
-	owner, _, cost, err := n.lookupChain(ctx, n.self.Addr, key)
-	if err != nil {
-		return OpResult{Cost: cost}, nil, err
-	}
-	res := OpResult{Owner: owner, Cost: cost + 1}
-	resp, err := n.tr.CallCtx(ctx, owner.Addr, req)
-	if err != nil || !resp.OK {
-		if cerr := ctx.Err(); cerr != nil {
-			return res, nil, cerr
+	const ownerMoves = 3
+	var res OpResult
+	for attempt := 0; ; attempt++ {
+		owner, _, cost, err := n.lookupChain(ctx, n.self.Addr, key)
+		res.Cost += cost
+		if err != nil {
+			return res, nil, err
 		}
-		return res, nil, fmt.Errorf("p2p: %s: owner unreachable: %v", req.Op, err)
+		res.Owner = owner
+		res.Cost++
+		resp, err := n.callRetry(ctx, owner.Addr, req)
+		if err == nil && resp != nil && !resp.OK && resp.Err == errNotOwner {
+			if attempt < ownerMoves {
+				select {
+				case <-ctx.Done():
+					return res, nil, ctx.Err()
+				case <-time.After(5 * time.Millisecond):
+				}
+				continue
+			}
+			return res, nil, fmt.Errorf("p2p: %s: owner of key moved during the op", req.Op)
+		}
+		if err != nil || !resp.OK {
+			if cerr := ctx.Err(); cerr != nil {
+				return res, nil, cerr
+			}
+			if errors.Is(err, transport.ErrOverloaded) {
+				return res, nil, fmt.Errorf("p2p: %s: owner overloaded: %w", req.Op, err)
+			}
+			return res, nil, fmt.Errorf("p2p: %s: owner unreachable: %w", req.Op, err)
+		}
+		res.Replaced, res.Found, res.Value = resp.Found, resp.Found, resp.Value
+		return res, resp, nil
 	}
-	res.Replaced, res.Found, res.Value = resp.Found, resp.Found, resp.Value
-	return res, resp, nil
 }
 
 // pushReplicas sends one replication request to every chain target in
@@ -687,7 +781,7 @@ func (n *Node) pushReplicas(ctx context.Context, targets []transport.PeerRef, re
 	for i, p := range targets {
 		addrs[i] = p.Addr
 	}
-	for _, r := range transport.Fanout(ctx, n.tr, addrs, req) {
+	for _, r := range n.fanoutRetry(ctx, addrs, req) {
 		if r.OK() {
 			acks += r.Resp.Acks
 		}
@@ -768,12 +862,23 @@ func (n *Node) Get(ctx context.Context, key keyspace.Key) (OpResult, error) {
 			return res, cerr
 		}
 		res.Cost++
-		resp, err := n.tr.CallCtx(ctx, t.Addr, req)
+		call := n.callRetry
+		if i == 0 {
+			// The owner read rides out transient unreachability before the
+			// chain walk: with r=1 there are no replicas, and a chain
+			// member honestly reporting "absent" would turn one lost
+			// packet into a wrong not-found.
+			call = n.readRetry
+		}
+		resp, err := call(ctx, t.Addr, req)
 		if err != nil || !resp.OK {
 			if cerr := ctx.Err(); cerr != nil {
 				return res, cerr
 			}
-			lastErr = err // unreachable: fall back along the chain
+			// Unreachable — or still shedding after the retry. Either way
+			// the right move for a read is the same: fall back along the
+			// chain, which holds the same data.
+			lastErr = err
 			continue
 		}
 		if resp.Found {
@@ -812,7 +917,7 @@ func (n *Node) Get(ctx context.Context, key keyspace.Key) (OpResult, error) {
 		// Every reachable copy agrees the item is absent.
 		return res, nil
 	}
-	return res, fmt.Errorf("p2p: get: owner and replicas unreachable: %v", lastErr)
+	return res, fmt.Errorf("p2p: get: owner and replicas unreachable: %w", lastErr)
 }
 
 // Delete removes the item under key at the key's owner and propagates the
@@ -937,9 +1042,9 @@ func (n *Node) Rewire(ctx context.Context) error {
 		if cand.Addr == "" {
 			continue
 		}
-		resp, err := n.tr.CallCtx(ctx, cand.Addr, &transport.Request{Op: transport.OpLink, From: n.self})
+		resp, err := n.callRetry(ctx, cand.Addr, &transport.Request{Op: transport.OpLink, From: n.self})
 		if err != nil || !resp.OK {
-			continue // refused or dead: the slot stays open until next rewire
+			continue // refused, shedding, or dead: the slot stays open until next rewire
 		}
 		out = append(out, cand)
 	}

@@ -1,0 +1,138 @@
+package p2p
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/oscar-overlay/oscar/internal/transport"
+)
+
+// Overload retry policy: transport.ErrOverloaded means the peer shed the
+// request before executing it — backpressure, not death. Treating it like
+// ErrUnreachable evicts live peers (unlink, adopt-away, backtrack) and
+// turns a load spike into a membership event. Instead, every call-site
+// retries once after a short jittered backoff when the context still has
+// the budget for it, and otherwise surfaces the typed error so the caller
+// can tell a saturated peer from a dead one. Because a shed request never
+// executed, this retry is safe even for non-idempotent ops (migrate).
+const (
+	// overloadBackoffBase is the minimum wait before the single retry.
+	overloadBackoffBase = 5 * time.Millisecond
+	// overloadBackoffJitter is the extra uniform wait in [0, jitter) —
+	// de-synchronising the retries of the very callers whose simultaneity
+	// overloaded the peer in the first place.
+	overloadBackoffJitter = 10 * time.Millisecond
+)
+
+// callRetry is CallCtx plus the overload contract: a call shed with
+// transport.ErrOverloaded is retried once after a jittered backoff,
+// provided the context's deadline leaves room for the wait plus a
+// comparable round trip; otherwise (or when the retry is shed too) the
+// typed error is returned for the caller to surface, never to treat as
+// proof of death.
+func (n *Node) callRetry(ctx context.Context, addr transport.Addr, req *transport.Request) (*transport.Response, error) {
+	resp, err := n.tr.CallCtx(ctx, addr, req)
+	if err == nil || !errors.Is(err, transport.ErrOverloaded) {
+		return resp, err
+	}
+	backoff := overloadBackoffBase + time.Duration(n.rnd.Float64()*float64(overloadBackoffJitter))
+	if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < 2*backoff {
+		return resp, err // no budget to wait out the backoff
+	}
+	t := time.NewTimer(backoff)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-t.C:
+	}
+	return n.tr.CallCtx(ctx, addr, req)
+}
+
+// Read retry policy: a read re-sent to a peer that already executed it is
+// harmless — unlike a write, where "unreachable" may mean
+// executed-but-unacked. So idempotent read paths (Get at the owner, scan
+// pages, ring walks) also ride out transient unreachability — a dropped
+// datagram on a lossy link, a connection reset mid-handshake — instead of
+// immediately treating the peer as dead and falling back to replicas that
+// may not exist (r=1 runs no chain, and a chain member honestly reporting
+// "absent" would turn one lost packet into a wrong not-found).
+const (
+	// readRetryAttempts bounds the total sends of one read (first try
+	// included).
+	readRetryAttempts = 4
+	// readRetryStep is the pause between read retries.
+	readRetryStep = 5 * time.Millisecond
+)
+
+// readRetry is callRetry for idempotent reads: on top of the overload
+// contract, unreachable answers are retried up to readRetryAttempts total
+// sends with short pauses. Overload still surfaces per the overload
+// contract (callRetry already retried once), and application-level
+// failures (resp.OK = false) are never retried.
+func (n *Node) readRetry(ctx context.Context, addr transport.Addr, req *transport.Request) (*transport.Response, error) {
+	var resp *transport.Response
+	var err error
+	for attempt := 0; attempt < readRetryAttempts; attempt++ {
+		if attempt > 0 {
+			if serr := sleepCtx(ctx, readRetryStep); serr != nil {
+				return resp, err
+			}
+		}
+		resp, err = n.callRetry(ctx, addr, req)
+		if err == nil || errors.Is(err, transport.ErrOverloaded) {
+			return resp, err
+		}
+		if ctx.Err() != nil {
+			return resp, err
+		}
+	}
+	return resp, err
+}
+
+// fanoutRetry is transport.Fanout through callRetry: the same parallel
+// shape, with each leg honouring the overload retry contract. Use it
+// where a shed leg would otherwise read as a dead peer or a lost ack.
+func (n *Node) fanoutRetry(ctx context.Context, addrs []transport.Addr, req *transport.Request) []transport.FanoutResult {
+	results := make([]transport.FanoutResult, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr transport.Addr) {
+			defer wg.Done()
+			resp, err := n.callRetry(ctx, addr, req)
+			results[i] = transport.FanoutResult{Addr: addr, Resp: resp, Err: err}
+		}(i, addr)
+	}
+	wg.Wait()
+	return results
+}
+
+// fanoutReadRetry is fanoutRetry for idempotent probes (pings, succ-list
+// reads): each leg additionally rides out transient unreachability via
+// readRetry. Liveness sweeps must use this, or one dropped datagram on a
+// lossy link reads as a dead peer and splices a live node out of the ring.
+func (n *Node) fanoutReadRetry(ctx context.Context, addrs []transport.Addr, req *transport.Request) []transport.FanoutResult {
+	results := make([]transport.FanoutResult, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr transport.Addr) {
+			defer wg.Done()
+			resp, err := n.readRetry(ctx, addr, req)
+			results[i] = transport.FanoutResult{Addr: addr, Resp: resp, Err: err}
+		}(i, addr)
+	}
+	wg.Wait()
+	return results
+}
+
+// aliveResult reads a liveness-probe outcome: an OK response is proof of
+// life, and so is an overload shed — only a running peer can shed. Ping
+// sweeps (successor adoption, backtracking) must use this, not OK(), or
+// a peer riding out a load spike gets adopted away from.
+func aliveResult(r transport.FanoutResult) bool {
+	return r.OK() || errors.Is(r.Err, transport.ErrOverloaded)
+}

@@ -84,9 +84,12 @@ func (s *ScanSession) NextPage(ctx context.Context, cursor keyspace.Key, want in
 			out.Cost += cost
 			if err != nil {
 				// Routing itself fails transiently while the ring digests a
-				// crash; inside the churn-recovery window, wait out one
-				// maintenance beat and re-route.
-				if retryUntil.IsZero() || time.Now().After(retryUntil) {
+				// crash or a lossy link eats a hop; the first failure opens
+				// the churn-recovery window, and inside it the session waits
+				// out one maintenance beat and re-routes.
+				if retryUntil.IsZero() {
+					retryUntil = time.Now().Add(scanRetryGrace)
+				} else if time.Now().After(retryUntil) {
 					return out, err
 				}
 				if serr := sleepCtx(ctx, scanRetryStep); serr != nil {
@@ -98,7 +101,7 @@ func (s *ScanSession) NextPage(ctx context.Context, cursor keyspace.Key, want in
 		}
 		served := s.cur
 		out.Cost++
-		resp, err := s.n.tr.CallCtx(ctx, s.cur.Addr, req)
+		resp, err := s.n.readRetry(ctx, s.cur.Addr, req)
 		if err != nil || !resp.OK {
 			if cerr := ctx.Err(); cerr != nil {
 				return out, cerr
@@ -111,7 +114,7 @@ func (s *ScanSession) NextPage(ctx context.Context, cursor keyspace.Key, want in
 				fb := s.chain[0]
 				s.chain = s.chain[1:]
 				out.Cost++
-				r, ferr := s.n.tr.CallCtx(ctx, fb.Addr, req)
+				r, ferr := s.n.callRetry(ctx, fb.Addr, req)
 				if ferr == nil && r.OK {
 					resp, served = r, fb
 					s.cur, s.counted = fb, false

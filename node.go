@@ -106,6 +106,13 @@ type NodeConfig struct {
 	// never fsync: a machine crash can lose everything since the last
 	// snapshot, a process crash nothing).
 	Fsync string
+	// WrapTransport, when set, wraps the node's transport endpoint before
+	// the overlay runtime attaches to it — the interposition hook fault
+	// harnesses (internal/faultnet) use to inject deterministic drop,
+	// latency, duplication and partitions between this node and the
+	// fabric. The wrapper sees every outbound call; it must preserve the
+	// transport.Transport contract. Nil leaves the endpoint bare.
+	WrapTransport func(transport.Transport) transport.Transport
 }
 
 // Node is a live overlay peer: the message-passing implementation of
@@ -170,6 +177,9 @@ func startNodeOn(tr transport.Transport, cfg NodeConfig) (*Node, error) {
 	policy, err := wal.ParsePolicy(cfg.Fsync)
 	if err != nil {
 		return nil, fmt.Errorf("oscar: start node: %w", err)
+	}
+	if cfg.WrapTransport != nil {
+		tr = cfg.WrapTransport(tr)
 	}
 	inner, err := p2p.NewNode(tr, p2p.Config{
 		Key:               cfg.Key,
@@ -411,7 +421,11 @@ func (n *Node) mapErr(err error) error {
 	case errors.Is(err, p2p.ErrNoRoute):
 		return fmt.Errorf("%w: %v", ErrRoutingFailed, err)
 	default:
-		return fmt.Errorf("%w: %v", ErrUnavailable, err)
+		// Double-wrap so the runtime error's own identity survives the
+		// translation: errors.Is(err, transport.ErrOverloaded) must keep
+		// working through the public error, or callers cannot tell
+		// backpressure from death.
+		return fmt.Errorf("%w: %w", ErrUnavailable, err)
 	}
 }
 

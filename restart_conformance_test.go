@@ -51,12 +51,16 @@ func crashNode(n *Node) {
 }
 
 // settleRing stabilises every open node until the first open node's ring
-// walk reports exactly want peers.
+// walk reports exactly want peers, then runs one extra full pass: the walk
+// counts successor pointers, which converge a round before predecessor
+// pointers do (a node clears its dead pred after its own predecessor's
+// notify for that round already passed), and a cleared pred slot rejects
+// writes for the inherited arc until the next notify re-offers it.
 func settleRing(t *testing.T, nodes []*Node, want int) {
 	t.Helper()
 	ctx := context.Background()
 	deadline := time.Now().Add(30 * time.Second)
-	for {
+	pass := func() *Node {
 		var cl *Node
 		for _, n := range nodes {
 			if n != nil && !n.isClosed() {
@@ -66,11 +70,16 @@ func settleRing(t *testing.T, nodes []*Node, want int) {
 				n.Stabilize(ctx)
 			}
 		}
+		return cl
+	}
+	for {
+		cl := pass()
 		if cl == nil {
 			t.Fatal("no open node left to settle")
 		}
 		info, err := cl.Info(ctx)
 		if err == nil && info.Peers == want {
+			pass()
 			return
 		}
 		if time.Now().After(deadline) {
