@@ -6,7 +6,7 @@ GO ?= go
 # to keep CI fast (the full suite still runs race-free in `test`).
 RACE_PKGS = ./internal/transport/... ./internal/p2p/...
 
-.PHONY: all build test race bench bench-replication bench-antientropy bench-stream bench-wal bench-transport fmt fmt-check vet examples conformance soak soak-smoke soak-docker ci
+.PHONY: all build test race bench bench-replication bench-antientropy bench-stream bench-wal bench-transport bench-routing fmt fmt-check vet examples conformance soak soak-smoke soak-docker ci
 
 all: build
 
@@ -37,7 +37,9 @@ examples:
 # scan rides out its serving peer's crash with no loss or duplication),
 # and the restart-durability contract (crash a durable owner mid-WAL,
 # restart it on the same data dir, lose no acked write, resurrect no
-# delete, re-ship only the downtime delta) — race detector on. The
+# delete, re-ship only the downtime delta), and the cache stale-safety
+# contract (route + hot-key caches stay correct across an arc-moving
+# join and an owner crash on all three backends) — race detector on. The
 # faulted variant (TestFaultedRing) re-runs the scenario table on both
 # live fabrics under a seeded 5%-drop/20ms-jitter fault plan plus a
 # partition-heal case, and the overload suite pins the p2p contract that
@@ -47,8 +49,8 @@ examples:
 # trips, and overload shedding (saturate past the in-flight cap: typed
 # ErrOverloaded, bounded goroutines, recovery).
 conformance:
-	$(GO) test -race -run 'TestConformance|TestFaultedRing|TestCrashDurability|TestDivergenceHeal|TestWriteConcern|TestReadRepair|TestRingSizeEstimate|TestLookupCancelled|TestRangeQueryCancelled|TestScanChurn|TestRestartDurability|TestDeleteSurvivesRestart' .
-	$(GO) test -race -run 'TestConformance|TestCrashDurability|TestDivergenceHeal|TestWriteConcern|TestReadRepair|TestRingSizeEstimate|TestLookupCancelled|TestRangeQueryCancelled|TestScanChurn|TestRestartDurability|TestDeleteSurvivesRestart|TestOverloadedPeerStaysLinked|TestOverloadRetryOnce|TestOverloadSurfacesTypedError' ./internal/p2p/
+	$(GO) test -race -run 'TestConformance|TestFaultedRing|TestCrashDurability|TestDivergenceHeal|TestWriteConcern|TestReadRepair|TestRingSizeEstimate|TestLookupCancelled|TestRangeQueryCancelled|TestScanChurn|TestRestartDurability|TestDeleteSurvivesRestart|TestCacheStaleSafety' .
+	$(GO) test -race -run 'TestConformance|TestCrashDurability|TestDivergenceHeal|TestWriteConcern|TestReadRepair|TestRingSizeEstimate|TestLookupCancelled|TestRangeQueryCancelled|TestScanChurn|TestRestartDurability|TestDeleteSurvivesRestart|TestOverloadedPeerStaysLinked|TestOverloadRetryOnce|TestOverloadSurfacesTypedError|TestRouteCache|TestHotKeyCache|TestAlpha' ./internal/p2p/
 	$(GO) test -race -run 'TestCodecNegotiation|TestLegacyFramesAccepted|TestTLS|TestOverloadShedding|TestClientInflightCapOverload' ./internal/transport/
 
 # Replication bench smoke: the replicated write path compiles and runs on
@@ -78,12 +80,22 @@ bench-wal:
 # Transport bench: dial-per-call vs pooled mux, binary vs JSON codec at
 # 1/8/64 in-flight, TLS on/off, the frame-encode micro-bench, and the
 # live-cluster put+get headline per codec. The JSON rendering is the
-# committed BENCH_transport.json; re-run with -benchtime=1s for real
-# measurements (this target is a 1x shape check).
+# committed BENCH_transport.json (the raw txt log is retired); re-run
+# with -benchtime=1s for real measurements (this target is a 1x shape
+# check).
 bench-transport:
-	$(GO) test -run=NONE -bench='BenchmarkFrameEncode|BenchmarkDialPerCall|BenchmarkPooledMux' -benchtime=1x ./internal/transport/ | tee bench-transport.txt
-	$(GO) test -run=NONE -bench='BenchmarkLiveClusterPutGetTCP' -benchtime=1x . | tee -a bench-transport.txt
-	$(GO) run ./cmd/oscar-benchjson -o BENCH_transport.json < bench-transport.txt
+	( $(GO) test -run=NONE -bench='BenchmarkFrameEncode|BenchmarkDialPerCall|BenchmarkPooledMux' -benchtime=1x ./internal/transport/ && \
+	  $(GO) test -run=NONE -bench='BenchmarkLiveClusterPutGetTCP' -benchtime=1x . ) | $(GO) run ./cmd/oscar-benchjson -o BENCH_transport.json
+
+# Routing bench: a Zipf hot-key workload against a live in-memory cluster
+# after a crash, comparing α=1 with caches off against α=2/α=3 with the
+# route and hot-key caches on — lookup hops per op, p50/p95 latency, and
+# the owner-vs-cache serve ratio. The JSON rendering is the committed
+# BENCH_routing.json; this 1x run is a shape check (regenerate the
+# artifact with BENCHTIME=2s for real numbers).
+BENCHTIME ?= 1x
+bench-routing:
+	$(GO) test -run=NONE -bench='BenchmarkRoutingZipf' -benchtime=$(BENCHTIME) -timeout 20m . | $(GO) run ./cmd/oscar-benchjson -o BENCH_routing.json
 
 # Bench smoke: compile and run every benchmark once (shape check, not a
 # measurement). Full measurements: `go test -bench=. -benchtime=2s ./...`.
@@ -123,4 +135,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test examples race conformance bench-replication bench-antientropy bench-stream bench-wal bench-transport bench
+ci: fmt-check vet build test examples race conformance bench-replication bench-antientropy bench-stream bench-wal bench-transport bench-routing bench

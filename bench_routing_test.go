@@ -1,0 +1,118 @@
+// Routing benchmark: a Zipf hot-key read workload against a live
+// in-memory cluster that has absorbed a crash, comparing the classic
+// single-probe walk (α=1, caches off) against α-parallel routing with the
+// route and hot-key caches on. Every link carries a fixed emulated delay
+// (internal/faultnet) so message counts translate into wall time the way
+// they do on a real network. Reported per sub-benchmark: lookup hops per
+// op, p50/p95 latency, and the share of reads served from the hot-key
+// cache after its digest check (owner-vs-cache serve ratio).
+// `make bench-routing` renders this into the committed BENCH_routing.json.
+package oscar
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/oscar-overlay/oscar/internal/faultnet"
+)
+
+func BenchmarkRoutingZipf(b *testing.B) {
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"alpha=1-uncached", []Option{WithAlpha(1), WithRouteCache(-1, 0), WithHotKeyCache(-1)}},
+		{"alpha=2-cached", []Option{WithAlpha(2), WithRouteCache(512, 30*time.Second), WithHotKeyCache(512)}},
+		{"alpha=3-cached", []Option{WithAlpha(3), WithRouteCache(512, 30*time.Second), WithHotKeyCache(512)}},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) { benchRoutingZipf(b, bc.opts) })
+	}
+}
+
+func benchRoutingZipf(b *testing.B, opts []Option) {
+	ctx := context.Background()
+	const size, items = 20, 512
+	fn := faultnet.New(17)
+	c, err := StartCluster(ctx, size,
+		append([]Option{WithSeed(17), WithReplicas(3), WithTransportWrapper(fn.Wrap)}, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	// Seed through a non-requester node so the requester's caches start
+	// cold: every hit measured below was earned by the workload itself.
+	key := func(i int) Key { return KeyFromFloat(float64(i)/items + 0.0007) }
+	val := []byte("zipf-hot-key-benchmark-value-64-bytes-of-payload-padding-xxxxxx")
+	for i := 0; i < items; i++ {
+		if _, err := c.Node(1).Put(ctx, key(i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// Crash two peers and heal: routing now works around corpses and
+	// promoted replicas — the regime the caches must stay correct in.
+	_ = c.Node(5).Close()
+	_ = c.Node(11).Close()
+	for round := 0; round < 6; round++ {
+		c.StabilizeAll(ctx)
+	}
+
+	// Boot and seed on a perfect fabric, then turn the weather on: from
+	// here every message pays a fixed 150µs link delay, so the hop counts
+	// below are also the latency story.
+	fn.SetDefault(faultnet.Faults{Latency: 150 * time.Microsecond})
+
+	req := c.Node(0)
+	// Warm the requester's caches with one read per key: the measured loop
+	// is the steady state, not the one-time cold walk every variant pays.
+	for i := 0; i < items; i++ {
+		if _, err := req.Get(ctx, key(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	zr := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(zr, 1.3, 1, items-1)
+	before, err := req.Info(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	lat := make([]time.Duration, 0, b.N)
+	totalCost := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := key(int(zipf.Uint64()))
+		start := time.Now()
+		res, err := req.Get(ctx, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(start))
+		totalCost += res.Cost
+	}
+	b.StopTimer()
+	after, err := req.Info(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportMetric(float64(totalCost)/float64(b.N), "hops/op")
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) float64 {
+		idx := int(float64(len(lat)) * p)
+		if idx >= len(lat) {
+			idx = len(lat) - 1
+		}
+		return float64(lat[idx].Nanoseconds()) / 1e6
+	}
+	b.ReportMetric(pct(0.50), "p50_ms")
+	b.ReportMetric(pct(0.95), "p95_ms")
+	served := float64(after.HotKeyCacheHits - before.HotKeyCacheHits)
+	b.ReportMetric(served/float64(b.N), "cache_serve_ratio")
+}

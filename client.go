@@ -279,6 +279,15 @@ type InfoResponse struct {
 	// LastSnapshot is when the serving peer last wrote a compacted
 	// snapshot (zero if never, or not durable).
 	LastSnapshot time.Time
+	// RouteCacheHits counts data operations that reached the key's owner
+	// through the serving peer's route cache; RouteCacheMisses counts the
+	// ones that paid the full routing walk (including invalidated stale
+	// hits). Both zero when the cache is disabled.
+	RouteCacheHits, RouteCacheMisses uint64
+	// HotKeyCacheHits counts reads served from the local hot-key value
+	// cache after the owner (or chain) confirmed the copy's digest;
+	// HotKeyCacheMisses counts reads that fetched the value in full.
+	HotKeyCacheHits, HotKeyCacheMisses uint64
 }
 
 // options collects the functional construction options shared by NewClient
@@ -301,6 +310,10 @@ type options struct {
 	dataDir           string
 	fsync             string
 	transportWrapper  func(transport.Transport) transport.Transport
+	alpha             int
+	routeCacheSize    int
+	routeCacheTTL     time.Duration
+	hotKeyCache       int
 }
 
 // Option customises client construction. The zero configuration builds a
@@ -406,6 +419,39 @@ func WithAntiEntropy(interval time.Duration) Option {
 	return func(o *options) { o.antiEntropy = interval }
 }
 
+// WithAlpha sets the lookup parallelism α (default 1): each routing hop
+// probes the current peer plus up to α-1 backtrack candidates
+// concurrently, so a dead or slow hop is recovered from answers already
+// in hand instead of a serial ping round. Higher α spends α-1 extra
+// messages per hop to cut the lookup tail under churn. Both live
+// fabrics honour it; the simulator's synchronous router has no tail to
+// cut and treats every α alike.
+func WithAlpha(alpha int) Option { return func(o *options) { o.alpha = alpha } }
+
+// WithRouteCache configures the per-node route cache: an LRU of key →
+// owner+chain resolutions that lets data operations skip the routing
+// walk on a hit. Entries are TTL-aged, flushed on every membership
+// change the node observes, and — decisively — every hit is
+// re-validated against the ring (the write ops' ownership gate, one
+// direct find_owner for reads) before being trusted, so a stale entry
+// costs one wasted RPC, never a wrong answer. size 0 keeps the default
+// (128 entries); size < 0 disables the cache. ttl 0 keeps the default
+// (2s); ttl < 0 disables aging.
+func WithRouteCache(size int, ttl time.Duration) Option {
+	return func(o *options) { o.routeCacheSize, o.routeCacheTTL = size, ttl }
+}
+
+// WithHotKeyCache configures the requester-side hot-key value cache: an
+// LRU of recently read values served only after a cheap digest check
+// against the key's owner (or its chain, when the owner is dead)
+// confirms the copy — so a Zipf-hot key costs its owner one hash
+// comparison instead of a value transfer, stale copies always lose to
+// the ring, and tombstones are honoured. size 0 keeps the default (128
+// entries); size < 0 disables the cache.
+func WithHotKeyCache(size int) Option {
+	return func(o *options) { o.hotKeyCache = size }
+}
+
 func buildOptions(opts []Option) options {
 	var o options
 	for _, f := range opts {
@@ -434,5 +480,9 @@ func NewClient(opts ...Option) (Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ov.clientWith(o.replicas, o.writeConcern), nil
+	cl := ov.clientWith(o.replicas, o.writeConcern)
+	// The simulator routes synchronously, so WithAlpha has nothing to
+	// parallelise there; the cache options map directly.
+	cl.setCaches(o.routeCacheSize, o.routeCacheTTL, o.hotKeyCache)
+	return cl, nil
 }

@@ -66,6 +66,10 @@ func StartCluster(ctx context.Context, size int, opts ...Option) (*Cluster, erro
 			WriteConcern:      o.writeConcern,
 			AutoMaintenance:   o.autoMaintenance,
 			AntiEntropy:       o.antiEntropy,
+			Alpha:             o.alpha,
+			RouteCacheSize:    o.routeCacheSize,
+			RouteCacheTTL:     o.routeCacheTTL,
+			HotKeyCache:       o.hotKeyCache,
 			Seed:              o.seed + int64(i),
 			WrapTransport:     o.transportWrapper,
 		}

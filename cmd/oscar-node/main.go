@@ -114,6 +114,10 @@ func main() {
 		writeCon    = flag.Int("write-concern", 1, "owner+chain acks a put/delete must collect (1 = owner only; clamped to -replicas)")
 		antiEntropy = flag.Duration("anti-entropy", time.Minute, "digest-sync the replica chain this often (0 = manual `sync` only; needs -replicas > 1 and a running maintenance loop)")
 		tombTTL     = flag.Duration("tombstone-ttl", 10*time.Minute, "remember deletes this long for anti-entropy repair")
+		alpha       = flag.Int("alpha", 1, "routing parallelism: probe up to α candidates per lookup hop (1 = classic single-probe walk)")
+		routeCache  = flag.Int("route-cache", 0, "route-cache entries (0 = default 128, negative = disabled); hits are always re-validated against the ring")
+		routeTTL    = flag.Duration("route-cache-ttl", 0, "route-cache entry TTL (0 = default 2s, negative = no aging); the hot-key cache shares it")
+		hotCache    = flag.Int("hot-key-cache", 0, "hot-key value-cache entries (0 = default 128, negative = disabled); served only after a digest check at the owner")
 		interval    = flag.Duration("stabilize", 2*time.Second, "stabilisation interval (0 = manual)")
 		rewireEvery = flag.Int("rewire-every", 5, "rebuild long links every N stabilisations (0 = manual)")
 		poolSize    = flag.Int("pool", 2, "persistent connections per peer")
@@ -164,24 +168,28 @@ func main() {
 	}
 
 	node, err := oscar.StartNode(oscar.NodeConfig{
-		Listen:        *listen,
-		Key:           key,
-		MaxIn:         *maxIn,
-		MaxOut:        *maxOut,
-		Replicas:      *replicas,
-		WriteConcern:  *writeCon,
-		AntiEntropy:   *antiEntropy,
-		TombstoneTTL:  *tombTTL,
-		Seed:          time.Now().UnixNano(),
-		PoolSize:      *poolSize,
-		CallTimeout:   *callTimeout,
-		IdleTimeout:   *idleTimeout,
-		MaxInflight:   *maxInflight,
-		TLS:           tlsConf,
-		Codec:         *codec,
-		DataDir:       *dataDir,
-		Fsync:         *fsync,
-		WrapTransport: wrap,
+		Listen:         *listen,
+		Key:            key,
+		MaxIn:          *maxIn,
+		MaxOut:         *maxOut,
+		Replicas:       *replicas,
+		WriteConcern:   *writeCon,
+		AntiEntropy:    *antiEntropy,
+		TombstoneTTL:   *tombTTL,
+		Alpha:          *alpha,
+		RouteCacheSize: *routeCache,
+		RouteCacheTTL:  *routeTTL,
+		HotKeyCache:    *hotCache,
+		Seed:           time.Now().UnixNano(),
+		PoolSize:       *poolSize,
+		CallTimeout:    *callTimeout,
+		IdleTimeout:    *idleTimeout,
+		MaxInflight:    *maxInflight,
+		TLS:            tlsConf,
+		Codec:          *codec,
+		DataDir:        *dataDir,
+		Fsync:          *fsync,
+		WrapTransport:  wrap,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -338,6 +346,10 @@ func execute(ctx context.Context, node *oscar.Node, args []string) error {
 		if ae.Rounds > 0 {
 			fmt.Printf("anti-entropy: %d rounds, %d keys pushed, %d tombstones, %d dropped\n",
 				ae.Rounds, ae.KeysPushed, ae.TombstonesPushed, ae.Dropped)
+		}
+		if info.RouteCacheHits+info.RouteCacheMisses+info.HotKeyCacheHits+info.HotKeyCacheMisses > 0 {
+			fmt.Printf("caches: route %d hits / %d misses, hot-key %d hits / %d misses\n",
+				info.RouteCacheHits, info.RouteCacheMisses, info.HotKeyCacheHits, info.HotKeyCacheMisses)
 		}
 		if info.Durable {
 			fmt.Printf("durable: wal=%dB frames=%d last-snapshot=%s\n",

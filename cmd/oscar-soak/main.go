@@ -14,11 +14,14 @@
 //     legitimately unknown);
 //
 //   - a fault plan: baseline loss+jitter with one deliberately slow node,
-//     a flash crowd of joiners, a correlated crash of two key-adjacent arc
-//     owners, a full partition of one node (which dies for good at heal
-//     time — a cut-off node is declared failed and replaced, never
-//     readmitted with stale state), a heal plus rolling restarts that
-//     recover from the write-ahead log, and a drain.
+//     a hot-key crowd (every worker narrows to the head of its stripe, so
+//     the route and hot-key caches — on by default — carry a flash of
+//     popularity under a concurrent write mix), a flash crowd of joiners,
+//     a correlated crash of two key-adjacent arc owners, a full partition
+//     of one node (which dies for good at heal time — a cut-off node is
+//     declared failed and replaced, never readmitted with stale state), a
+//     heal plus rolling restarts that recover from the write-ahead log,
+//     and a drain.
 //
 // When the plan completes the load stops, and the harness polls the
 // cluster until every tracked key reads back a ledger-allowed value:
@@ -61,6 +64,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -218,32 +222,44 @@ type workerStats struct {
 	ackedWrites, shortfalls           int64
 	transients, unexpected, anomalies int64
 	scanItems                         int64
+	hotOps                            int64
 	latencies                         []int64 // ns, one per completed op
 }
 
 type worker struct {
-	id     int
-	total  int // keyspace size across all workers
-	stride int // number of workers
-	client oscar.Client
-	rnd    *rand.Rand
-	zipf   *rand.Zipf
-	seq    int64
-	keys   map[int]*keyState
-	stats  workerStats
+	id      int
+	total   int // keyspace size across all workers
+	stride  int // number of workers
+	client  oscar.Client
+	rnd     *rand.Rand
+	zipf    *rand.Zipf
+	hotZipf *rand.Zipf   // near-flat draw over the head of the stripe
+	hot     *atomic.Bool // hot-key phase flag, shared with the plan
+	seq     int64
+	keys    map[int]*keyState
+	stats   workerStats
 }
 
-func newWorker(id int, cfg soakConfig, client oscar.Client) *worker {
+func newWorker(id int, cfg soakConfig, client oscar.Client, hot *atomic.Bool) *worker {
 	r := rng.DeriveN(cfg.seed, "soak-worker", id)
 	per := cfg.keys / cfg.workers
+	// The hot crowd is the head of the stripe: a low-s (near-flat) Zipf
+	// over a slice ~1/16th the size of the full keyspace, so during the
+	// hot phase every key drawn is genuinely popular across all workers.
+	hotSpan := per / 16
+	if hotSpan < 2 {
+		hotSpan = 2
+	}
 	return &worker{
-		id:     id,
-		total:  per * cfg.workers,
-		stride: cfg.workers,
-		client: client,
-		rnd:    r,
-		zipf:   rand.NewZipf(r, cfg.zipfS, 1, uint64(per-1)),
-		keys:   make(map[int]*keyState),
+		id:      id,
+		total:   per * cfg.workers,
+		stride:  cfg.workers,
+		client:  client,
+		rnd:     r,
+		zipf:    rand.NewZipf(r, cfg.zipfS, 1, uint64(per-1)),
+		hotZipf: rand.NewZipf(r, 1.05, 1, uint64(hotSpan-1)),
+		hot:     hot,
+		keys:    make(map[int]*keyState),
 	}
 }
 
@@ -287,6 +303,10 @@ func (w *worker) run(ctx context.Context, stop <-chan struct{}, interval time.Du
 
 func (w *worker) step(ctx context.Context) {
 	idx := int(w.zipf.Uint64())*w.stride + w.id
+	if w.hot.Load() {
+		idx = int(w.hotZipf.Uint64())*w.stride + w.id
+		w.stats.hotOps++
+	}
 	key := keyFor(idx, w.total)
 	st := w.state(idx)
 
@@ -373,20 +393,21 @@ func (w *worker) step(ctx context.Context) {
 	w.stats.latencies = append(w.stats.latencies, time.Since(t0).Nanoseconds())
 }
 
-func startWorkers(ctx context.Context, cfg soakConfig, client oscar.Client) ([]*worker, chan struct{}, *sync.WaitGroup) {
+func startWorkers(ctx context.Context, cfg soakConfig, client oscar.Client) ([]*worker, chan struct{}, *sync.WaitGroup, *atomic.Bool) {
 	interval := time.Duration(float64(time.Second) * float64(cfg.workers) / cfg.rate)
 	stop := make(chan struct{})
+	hot := &atomic.Bool{}
 	var wg sync.WaitGroup
 	ws := make([]*worker, cfg.workers)
 	for i := range ws {
-		ws[i] = newWorker(i, cfg, client)
+		ws[i] = newWorker(i, cfg, client, hot)
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
 			w.run(ctx, stop, interval)
 		}(ws[i])
 	}
-	return ws, stop, &wg
+	return ws, stop, &wg, hot
 }
 
 // ---------------------------------------------------------------------------
@@ -451,10 +472,10 @@ func runMem(ctx context.Context, cfg soakConfig) error {
 
 	churn := &churnState{closed: make(map[string]bool)}
 	client := c.Node(0)
-	ws, stopLoad, wg := startWorkers(ctx, cfg, client)
+	ws, stopLoad, wg, hot := startWorkers(ctx, cfg, client)
 
 	start := time.Now()
-	plan := buildMemPlan(ctx, cfg, c, fn, churn, dir, start,
+	plan := buildMemPlan(ctx, cfg, c, fn, churn, dir, start, hot,
 		killA, killB, partVictim, restartA, restartB, slowNode)
 	planErr := plan.Run(ctx, fn)
 	close(stopLoad)
@@ -491,7 +512,7 @@ func runMem(ctx context.Context, cfg soakConfig) error {
 	verdict := verifyConverged(ctx, cfg, client, ws)
 	fs := fn.Stats()
 
-	res := buildReport(cfg, "mem", ws, loadDur, verdict, &fs, churn)
+	res := buildReport(cfg, "mem", ws, loadDur, verdict, &fs, churn, cacheCounters(ctx, client))
 	if err := writeReport(cfg.out, res); err != nil {
 		return err
 	}
@@ -499,7 +520,7 @@ func runMem(ctx context.Context, cfg soakConfig) error {
 }
 
 func buildMemPlan(ctx context.Context, cfg soakConfig, c *oscar.Cluster, fn *faultnet.Network,
-	churn *churnState, dir string, start time.Time,
+	churn *churnState, dir string, start time.Time, hot *atomic.Bool,
 	killA, killB, partVictim, restartA, restartB, slowNode int) faultnet.Plan {
 
 	d := cfg.duration
@@ -537,10 +558,22 @@ func buildMemPlan(ctx context.Context, cfg soakConfig, c *oscar.Cluster, fn *fau
 				// conversation it is part of — the heterogeneity the
 				// overlay is designed around.
 				Name:     "baseline",
-				Duration: frac(0.15),
+				Duration: frac(0.10),
 				Apply: func(n *faultnet.Network) {
 					n.SetDefault(baseFaults)
 					n.SlowNode(transport.Addr(c.Node(slowNode).Addr()), 2.5)
+				},
+			},
+			{
+				// A hot-key crowd: every worker narrows its draws to the
+				// head of its stripe while the put/delete mix keeps
+				// mutating the same keys — the route and hot-key caches
+				// (on by default) must absorb the read traffic without
+				// ever serving a value the ledger disallows.
+				Name:     "hot-key",
+				Duration: frac(0.10),
+				Apply: func(*faultnet.Network) {
+					hot.Store(true)
 				},
 			},
 			{
@@ -548,8 +581,9 @@ func buildMemPlan(ctx context.Context, cfg soakConfig, c *oscar.Cluster, fn *fau
 				// the load runs. Each join splices an arc out of a live
 				// owner (migrate) under loss.
 				Name:     "flash-crowd",
-				Duration: frac(0.15),
+				Duration: frac(0.10),
 				Apply: func(*faultnet.Network) {
+					hot.Store(false)
 					for j := 0; j < 3; j++ {
 						key := oscar.KeyFromFloat(joinRnd.Float64())
 						_, err := c.AddNode(ctx, nodeCfg(key, cfg.seed+1000+int64(j), ""))
@@ -683,7 +717,7 @@ func runTCP(ctx context.Context, cfg soakConfig) error {
 	}
 	log.Printf("joined ring via %s as %s", cfg.join, node.Addr())
 
-	ws, stopLoad, wg := startWorkers(ctx, cfg, node)
+	ws, stopLoad, wg, _ := startWorkers(ctx, cfg, node)
 	start := time.Now()
 	sleepCtx(ctx, cfg.duration)
 	close(stopLoad)
@@ -691,7 +725,7 @@ func runTCP(ctx context.Context, cfg soakConfig) error {
 	loadDur := time.Since(start)
 
 	verdict := verifyConverged(ctx, cfg, node, ws)
-	res := buildReport(cfg, "tcp", ws, loadDur, verdict, nil, nil)
+	res := buildReport(cfg, "tcp", ws, loadDur, verdict, nil, nil, cacheCounters(ctx, node))
 	if err := writeReport(cfg.out, res); err != nil {
 		return err
 	}
@@ -829,8 +863,25 @@ func finalGet(ctx context.Context, client oscar.Client, key oscar.Key) (val stri
 // ---------------------------------------------------------------------------
 // Report
 
+// cacheCounters reads the client's route/hot-key cache counters for the
+// report; nil if Info itself fails (the report then just omits them).
+func cacheCounters(ctx context.Context, client oscar.Client) map[string]float64 {
+	octx, cancel := context.WithTimeout(ctx, opTimeout)
+	defer cancel()
+	info, err := client.Info(octx)
+	if err != nil {
+		return nil
+	}
+	return map[string]float64{
+		"route_cache_hits":     float64(info.RouteCacheHits),
+		"route_cache_misses":   float64(info.RouteCacheMisses),
+		"hot_key_cache_hits":   float64(info.HotKeyCacheHits),
+		"hot_key_cache_misses": float64(info.HotKeyCacheMisses),
+	}
+}
+
 func buildReport(cfg soakConfig, mode string, ws []*worker, loadDur time.Duration,
-	v soakVerdict, fs *faultnet.Stats, churn *churnState) benchResult {
+	v soakVerdict, fs *faultnet.Stats, churn *churnState, caches map[string]float64) benchResult {
 
 	var t workerStats
 	var lat []int64
@@ -846,6 +897,7 @@ func buildReport(cfg soakConfig, mode string, ws []*worker, loadDur time.Duratio
 		t.unexpected += w.stats.unexpected
 		t.anomalies += w.stats.anomalies
 		t.scanItems += w.stats.scanItems
+		t.hotOps += w.stats.hotOps
 		lat = append(lat, w.stats.latencies...)
 	}
 	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
@@ -874,6 +926,7 @@ func buildReport(cfg soakConfig, mode string, ws []*worker, loadDur time.Duratio
 		"deletes":                  float64(t.dels),
 		"scans":                    float64(t.scans),
 		"scan_items":               float64(t.scanItems),
+		"hot_ops":                  float64(t.hotOps),
 		"acked_writes":             float64(t.ackedWrites),
 		"write_concern_shortfalls": float64(t.shortfalls),
 		"transient_errors":         float64(t.transients),
@@ -898,6 +951,9 @@ func buildReport(cfg soakConfig, mode string, ws []*worker, loadDur time.Duratio
 		m["nodes_crashed"] = float64(churn.crashed)
 		m["nodes_restarted"] = float64(churn.restarted)
 		m["churn_failures"] = float64(churn.joinFailures + churn.restartFailures)
+	}
+	for k, val := range caches {
+		m[k] = val
 	}
 
 	return benchResult{
@@ -932,6 +988,12 @@ func printVerdict(cfg soakConfig, ws []*worker, v soakVerdict, res benchResult) 
 			int(m["nodes_added"]), int(m["nodes_crashed"]), int(m["nodes_restarted"]),
 			int(m["fault_calls"]), int(m["fault_dropped"]), int(m["fault_blocked"]))
 	}
+	if _, ok := m["route_cache_hits"]; ok {
+		fmt.Printf("caches: %d hot ops; route %d hits / %d misses, hot-key %d hits / %d misses\n",
+			int(m["hot_ops"]),
+			int(m["route_cache_hits"]), int(m["route_cache_misses"]),
+			int(m["hot_key_cache_hits"]), int(m["hot_key_cache_misses"]))
+	}
 	if v.converged {
 		fmt.Printf("converged: all %d tracked keys (%d indeterminate) read ledger-allowed values after %v\n",
 			v.tracked, v.indeterminate, v.convergence.Round(time.Millisecond))
@@ -942,6 +1004,20 @@ func printVerdict(cfg soakConfig, ws []*worker, v soakVerdict, res benchResult) 
 	}
 	if int(m["acked_writes"]) == 0 {
 		return fmt.Errorf("harness error: no write was ever acknowledged")
+	}
+	if cfg.mode == "mem" {
+		// The hot-key phase must have actually run its crowd through the
+		// caches — a zero here means the caching path went untested, not
+		// that the invariants held.
+		if int(m["hot_ops"]) == 0 {
+			return fmt.Errorf("harness error: the hot-key phase drove no ops")
+		}
+		if m["route_cache_hits"]+m["route_cache_misses"] == 0 {
+			return fmt.Errorf("harness error: the route cache never saw traffic")
+		}
+		if m["hot_key_cache_hits"]+m["hot_key_cache_misses"] == 0 {
+			return fmt.Errorf("harness error: the hot-key cache never saw traffic")
+		}
 	}
 	if !v.converged {
 		for _, line := range v.violations {

@@ -1,0 +1,279 @@
+package p2p
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+	"github.com/oscar-overlay/oscar/internal/transport"
+)
+
+// pickRemoteKey returns a key whose owner is not the given requester, so
+// cache tests can crash or displace the owner without taking the
+// requester down with it.
+func pickRemoteKey(t *testing.T, c *Cluster, requester *Node) (keyspace.Key, transport.PeerRef) {
+	t.Helper()
+	for i := 0; i < 64; i++ {
+		k := keyspace.FromFloat(float64(i) / 64)
+		owner := expectedOwner(c.Nodes, k)
+		if owner.Addr != requester.Self().Addr {
+			return k, owner
+		}
+	}
+	t.Fatal("test setup: every key is owned by the requester")
+	return 0, transport.PeerRef{}
+}
+
+// TestRouteCacheServesWrites pins the cache's happy path: a second write
+// to the same key reuses the cached route (counted as a hit) and spends
+// no more messages than the first, which paid for the full walk.
+func TestRouteCacheServesWrites(t *testing.T) {
+	c := newTestCluster(t, 16)
+	n := c.Nodes[0]
+	k, _ := pickRemoteKey(t, c, n)
+
+	first, err := n.Put(bg, k, []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := n.Put(bg, k, []byte("v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cost > first.Cost {
+		t.Errorf("cached write cost %d exceeds uncached cost %d", second.Cost, first.Cost)
+	}
+	if st := n.CacheStats(); st.RouteHits == 0 {
+		t.Errorf("route cache recorded no hit: %+v", st)
+	}
+	got, err := n.Get(bg, k)
+	if err != nil || !got.Found || !bytes.Equal(got.Value, []byte("v2")) {
+		t.Fatalf("get after cached write: found=%v value=%q err=%v", got.Found, got.Value, err)
+	}
+}
+
+// TestRouteCacheStaleAfterJoin is the arc-moving stale-safety contract: a
+// node joins exactly at a cached key, taking over its arc, and the next
+// write through the stale cache must land on the new owner — the old
+// owner's ownership gate rejects it and the route is re-resolved.
+func TestRouteCacheStaleAfterJoin(t *testing.T) {
+	c := newTestCluster(t, 8)
+	n := c.Nodes[0]
+	k := keyspace.FromFloat(0.5)
+	if expectedOwner(c.Nodes, k).Addr == n.Self().Addr {
+		n = c.Nodes[1] // requester must observe the arc move remotely
+	}
+	if _, err := n.Put(bg, k, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The newbie's key equals k, so it owns k the moment it splices in.
+	newbie := mustNode(t, c.Fabric.Endpoint(), Config{Key: k, MaxIn: 16, MaxOut: 16, Seed: 99})
+	defer newbie.Close()
+	if err := newbie.Join(bg, c.Nodes[0].Self().Addr); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		c.StabilizeAll(bg)
+		newbie.Stabilize(bg)
+	}
+
+	res, err := n.Put(bg, k, []byte("after"))
+	if err != nil {
+		t.Fatalf("put through stale route: %v", err)
+	}
+	if res.Owner.Addr != newbie.Self().Addr {
+		t.Errorf("write landed on %s, want the joined owner %s", res.Owner.Addr, newbie.Self().Addr)
+	}
+	got, err := newbie.Get(bg, k)
+	if err != nil || !got.Found || !bytes.Equal(got.Value, []byte("after")) {
+		t.Fatalf("read after arc move: found=%v value=%q err=%v", got.Found, got.Value, err)
+	}
+}
+
+// TestRouteCacheStaleAfterOwnerCrash is the crash half of the stale-safety
+// contract: the cached owner dies, the ring heals, and the next write
+// through the stale cache re-resolves and succeeds with the fresh value
+// readable — no wrong answer, no routing dead end.
+func TestRouteCacheStaleAfterOwnerCrash(t *testing.T) {
+	c, err := NewCluster(bg, ClusterConfig{Size: 12, Seed: 21, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for round := 0; round < 6; round++ {
+		c.StabilizeAll(bg)
+	}
+	n := c.Nodes[0]
+	k, owner := pickRemoteKey(t, c, n)
+	if _, err := n.Put(bg, k, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, m := range c.Nodes {
+		if m.Self().Addr == owner.Addr {
+			_ = m.Close()
+		}
+	}
+	for round := 0; round < 6; round++ {
+		c.StabilizeAll(bg)
+	}
+
+	if _, err := n.Put(bg, k, []byte("v2")); err != nil {
+		t.Fatalf("put through dead cached owner: %v", err)
+	}
+	got, err := n.Get(bg, k)
+	if err != nil || !got.Found || !bytes.Equal(got.Value, []byte("v2")) {
+		t.Fatalf("read after owner crash: found=%v value=%q err=%v", got.Found, got.Value, err)
+	}
+}
+
+// TestHotKeyCacheFreshness pins the digest-validation contract: a hot
+// read is served from cache only while the owner's hash confirms it, a
+// remote overwrite wins immediately, and a remote delete is honoured as
+// an authoritative not-found — never a resurrected stale value.
+func TestHotKeyCacheFreshness(t *testing.T) {
+	c := newTestCluster(t, 12)
+	reader := c.Nodes[0]
+	k, owner := pickRemoteKey(t, c, reader)
+	var writer *Node
+	for _, m := range c.Nodes[1:] {
+		if m.Self().Addr != owner.Addr && m.Self().Addr != reader.Self().Addr {
+			writer = m
+			break
+		}
+	}
+	if writer == nil {
+		t.Fatal("no third node to write through")
+	}
+
+	if _, err := writer.Put(bg, k, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := reader.Get(bg, k); err != nil || !got.Found {
+		t.Fatalf("prime read: %v", err)
+	}
+	// Second read: digest-validated cache hit, one message to the owner.
+	got, err := reader.Get(bg, k)
+	if err != nil || !got.Found || !bytes.Equal(got.Value, []byte("v1")) {
+		t.Fatalf("hot read: found=%v value=%q err=%v", got.Found, got.Value, err)
+	}
+	if got.Cost != 1 {
+		t.Errorf("hot read cost %d, want 1 (the digest check)", got.Cost)
+	}
+	if st := reader.CacheStats(); st.HotHits == 0 {
+		t.Errorf("hot-key cache recorded no hit: %+v", st)
+	}
+
+	// A remote overwrite: the reader's cached copy must lose the digest
+	// comparison and the fresh value be fetched.
+	if _, err := writer.Put(bg, k, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = reader.Get(bg, k)
+	if err != nil || !got.Found || !bytes.Equal(got.Value, []byte("v2")) {
+		t.Fatalf("read after remote overwrite: found=%v value=%q err=%v", got.Found, got.Value, err)
+	}
+
+	// A remote delete: the tombstone is authoritative — the cached copy
+	// must not resurrect the key.
+	if _, err := writer.Delete(bg, k); err != nil {
+		t.Fatal(err)
+	}
+	got, err = reader.Get(bg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Found {
+		t.Fatalf("deleted key resurrected from hot cache: %q", got.Value)
+	}
+}
+
+// TestHotKeyCacheOwnerCrashChainFallback: with the cached owner dead and
+// the ring not yet healed, a hot read validates its copy against the
+// cached replica chain instead — the read stays correct (and served)
+// through the crash window.
+func TestHotKeyCacheOwnerCrashChainFallback(t *testing.T) {
+	c, err := NewCluster(bg, ClusterConfig{Size: 12, Seed: 33, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for round := 0; round < 6; round++ {
+		c.StabilizeAll(bg)
+	}
+	reader := c.Nodes[0]
+	k, owner := pickRemoteKey(t, c, reader)
+	if _, err := reader.Put(bg, k, []byte("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := reader.Get(bg, k); err != nil || !got.Found {
+		t.Fatalf("prime read: %v", err)
+	}
+
+	for _, m := range c.Nodes {
+		if m.Self().Addr == owner.Addr {
+			_ = m.Close()
+		}
+	}
+	// No stabilisation: the reader's route cache still names the corpse.
+	got, err := reader.Get(bg, k)
+	if err != nil || !got.Found || !bytes.Equal(got.Value, []byte("survivor")) {
+		t.Fatalf("read during crash window: found=%v value=%q err=%v", got.Found, got.Value, err)
+	}
+
+	// And after the ring heals the key stays readable the ordinary way.
+	for round := 0; round < 6; round++ {
+		c.StabilizeAll(bg)
+	}
+	got, err = reader.Get(bg, k)
+	if err != nil || !got.Found || !bytes.Equal(got.Value, []byte("survivor")) {
+		t.Fatalf("read after heal: found=%v value=%q err=%v", got.Found, got.Value, err)
+	}
+}
+
+// TestAlphaLookupCorrectness runs the lookup correctness sweep with α=3:
+// parallel probing must change cost, never answers — including on a ring
+// that has just absorbed crashes.
+func TestAlphaLookupCorrectness(t *testing.T) {
+	c, err := NewCluster(bg, ClusterConfig{Size: 24, Seed: 5, Alpha: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 64; i++ {
+		key := keyspace.FromFloat(float64(i) / 64)
+		want := expectedOwner(c.Nodes, key)
+		got, _, err := c.Nodes[i%len(c.Nodes)].Lookup(bg, key)
+		if err != nil {
+			t.Fatalf("α=3 lookup %v: %v", key, err)
+		}
+		if got.Addr != want.Addr {
+			t.Errorf("α=3 lookup %v: owner %s, want %s", key, got.Addr, want.Addr)
+		}
+	}
+
+	// Crash a few peers and heal: α-probing must still terminate at the
+	// true owner, folding dead candidates into the exclude set.
+	for _, i := range []int{3, 11, 17} {
+		_ = c.Nodes[i].Close()
+	}
+	for round := 0; round < 6; round++ {
+		c.StabilizeAll(bg)
+	}
+	for i := 0; i < 64; i++ {
+		key := keyspace.FromFloat(float64(i) / 64)
+		want := expectedOwner(c.Nodes, key)
+		from := c.Nodes[i%len(c.Nodes)]
+		if from.isDown() {
+			continue
+		}
+		got, _, err := from.Lookup(bg, key)
+		if err != nil {
+			t.Fatalf("α=3 lookup after crashes %v: %v", key, err)
+		}
+		if got.Addr != want.Addr {
+			t.Errorf("α=3 lookup after crashes %v: owner %s, want %s", key, got.Addr, want.Addr)
+		}
+	}
+}

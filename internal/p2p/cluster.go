@@ -25,6 +25,8 @@ type ClusterConfig struct {
 	StabilizeRounds int
 	// Replicas is the per-node replication factor r (default 1).
 	Replicas int
+	// Alpha is the per-node routing parallelism (default 1).
+	Alpha int
 }
 
 // Cluster is an in-process overlay running on the in-memory fabric — the
@@ -61,6 +63,7 @@ func NewCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 			MaxIn:    caps,
 			MaxOut:   caps,
 			Replicas: cfg.Replicas,
+			Alpha:    cfg.Alpha,
 			Seed:     cfg.Seed + int64(i),
 		})
 		if err != nil {

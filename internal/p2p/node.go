@@ -13,10 +13,12 @@ package p2p
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/oscar-overlay/oscar/internal/antientropy"
 	"github.com/oscar-overlay/oscar/internal/keyspace"
+	"github.com/oscar-overlay/oscar/internal/routecache"
 	"github.com/oscar-overlay/oscar/internal/storage"
 	"github.com/oscar-overlay/oscar/internal/transport"
 	"github.com/oscar-overlay/oscar/internal/wal"
@@ -80,6 +82,28 @@ type Config struct {
 	// SnapshotEvery is the WAL frame count that triggers a compacting
 	// snapshot at the next stabilisation round (default 4096).
 	SnapshotEvery int
+	// Alpha is the lookup parallelism α: each routing hop probes the
+	// current peer plus up to α-1 backtrack candidates concurrently, so a
+	// dead or slow hop is recovered from answers already in hand instead
+	// of a serial ping round. α=1 (the default) is the classic one-probe
+	// walk; higher values spend more messages per hop to cut the tail.
+	Alpha int
+	// RouteCacheSize bounds the per-node LRU of key → owner+chain
+	// resolutions; a hit lets data ops skip the routing walk. Every hit
+	// is re-validated against the ring (ownership gates for writes, a
+	// direct find_owner for reads) before being trusted, so a stale entry
+	// costs one wasted RPC, never a wrong answer. 0 means the default
+	// (128); negative disables the cache.
+	RouteCacheSize int
+	// RouteCacheTTL ages route-cache entries (default 2s); <0 disables
+	// aging.
+	RouteCacheTTL time.Duration
+	// HotKeyCache bounds the requester-side LRU of hot-key value copies.
+	// A cached read is served only after the owner (or chain, when the
+	// owner is dead) confirms the copy's item hash, so stale copies lose
+	// to the ring and tombstones are honoured. 0 means the default (128);
+	// negative disables the cache.
+	HotKeyCache int
 }
 
 func (c *Config) fillDefaults() {
@@ -115,6 +139,18 @@ func (c *Config) fillDefaults() {
 	}
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 4096
+	}
+	if c.Alpha < 1 {
+		c.Alpha = 1
+	}
+	if c.RouteCacheSize == 0 {
+		c.RouteCacheSize = 128
+	}
+	if c.RouteCacheTTL == 0 {
+		c.RouteCacheTTL = 2 * time.Second
+	}
+	if c.HotKeyCache == 0 {
+		c.HotKeyCache = 128
 	}
 }
 
@@ -230,7 +266,46 @@ type Node struct {
 	eng      *wal.Engine
 	recovery RecoveryInfo
 
+	// routes caches key → owner+chain resolutions so data ops skip the
+	// routing walk; hot caches value copies of read-heavy keys. Both are
+	// freshness caches only — every use is validated against the ring
+	// (see resolveRead / dataOp / hotGet) — and both are flushed on
+	// membership change. nil when disabled; routecache methods are
+	// nil-safe.
+	routes *routecache.Cache[routeEntry]
+	hot    *routecache.Cache[[]byte]
+	// Cache effectiveness counters, surfaced through CacheStats. Atomics:
+	// they are bumped on the read path without n.mu.
+	routeHits, routeMisses, hotHits, hotMisses atomic.Uint64
+
 	rnd *lockedRand
+}
+
+// routeEntry is one cached owner resolution: the peer that owned the
+// key's arc when it was cached, plus its replica chain for read
+// fallback.
+type routeEntry struct {
+	owner transport.PeerRef
+	chain []transport.PeerRef
+}
+
+// CacheStats is a snapshot of the node's cache effectiveness counters:
+// route hits are data ops that reached the owner through a cached
+// resolution, hot hits are reads served from the local value cache after
+// a digest check; misses are the ops that paid the full path.
+type CacheStats struct {
+	RouteHits, RouteMisses uint64
+	HotHits, HotMisses     uint64
+}
+
+// CacheStats returns the accumulated cache hit/miss counters.
+func (n *Node) CacheStats() CacheStats {
+	return CacheStats{
+		RouteHits:   n.routeHits.Load(),
+		RouteMisses: n.routeMisses.Load(),
+		HotHits:     n.hotHits.Load(),
+		HotMisses:   n.hotMisses.Load(),
+	}
 }
 
 // NewNode creates a node on the given transport and starts serving its
@@ -247,6 +322,8 @@ func NewNode(tr transport.Transport, cfg Config) (*Node, error) {
 		in:   make(map[transport.Addr]keyspace.Key),
 		rnd:  &lockedRand{r: rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.Key)))},
 	}
+	n.routes = routecache.New[routeEntry](cfg.RouteCacheSize, cfg.RouteCacheTTL)
+	n.hot = routecache.New[[]byte](cfg.HotKeyCache, cfg.RouteCacheTTL)
 	n.pred = n.self
 	if cfg.DataDir != "" {
 		// Recovery runs before anything serves: the stores NewNode
@@ -296,6 +373,12 @@ func (n *Node) succLocked() transport.PeerRef {
 // new closer successor precedes the old one) until the next Stabilize
 // refreshes the list from p itself.
 func (n *Node) setSuccLocked(p transport.PeerRef) {
+	if n.succLocked().Addr != p.Addr {
+		// The clockwise neighbourhood changed: every cached resolution —
+		// ours or an arc downstream — is suspect. Flushing is cheap and
+		// only costs freshness; validation covers correctness either way.
+		n.routes.Flush()
+	}
 	n.succsWrapped = false // provisional list: wrap knowledge is stale
 	n.succsFreshRounds = 0 // and its density must not feed the gossip
 	if p.Addr == "" || p.Addr == n.self.Addr {
@@ -483,6 +566,11 @@ func (n *Node) ownsLocked(key keyspace.Key) bool {
 // setPredLocked installs p as the predecessor and, when p is a real
 // distinct peer, records its key as the arc floor (see ownsLocked).
 func (n *Node) setPredLocked(p transport.PeerRef) {
+	if n.pred.Addr != p.Addr {
+		// The arc boundary moved (a joiner spliced in, or a crash widened
+		// the arc): cached resolutions may now point past the true owner.
+		n.routes.Flush()
+	}
 	n.pred = p
 	if p.Addr != "" && p.Addr != n.self.Addr {
 		n.arcFloor, n.haveArcFloor = p.Key, true
@@ -683,6 +771,26 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 		}
 		return resp
 
+	case transport.OpKeyHash:
+		// Hot-key cache validation at the owner. The ownership gate makes
+		// the answer authoritative the same way OpPut's does: a node whose
+		// arc no longer covers the key rejects with errNotOwner instead of
+		// confirming a hash for state it no longer answers for — the typed
+		// rejection doubles as the requester's route-cache invalidation
+		// signal. Peers carries the replica chain for owner-death fallback.
+		if !n.ownsLocked(req.Key) {
+			return &transport.Response{OK: false, Err: errNotOwner, Peer: n.succLocked()}
+		}
+		resp := n.keyHashLocked(req.Key)
+		resp.Peers = n.replicaTargetsLocked()
+		return resp
+
+	case transport.OpKeyHashChain:
+		// Chain fallback of OpKeyHash: like OpGet, chain members answer
+		// ungated over their merged view — the requester only asks them
+		// after the owner proved unreachable.
+		return n.keyHashLocked(req.Key)
+
 	case transport.OpDelete:
 		// Same ownership gate as OpPut: a delete acked by a node that
 		// already handed the key's arc to a joiner would tombstone a store
@@ -845,6 +953,25 @@ func (n *Node) handle(req *transport.Request) *transport.Response {
 	default:
 		return &transport.Response{OK: false, Err: "unknown op"}
 	}
+}
+
+// keyHashLocked answers one hot-key digest check over the same merged
+// view OpGet reads (primary first, then replica copies; tombstones
+// reported as Deleted): Found plus the item hash when the key is held,
+// Deleted for an authoritative tombstone, a bare OK for no record.
+func (n *Node) keyHashLocked(key keyspace.Key) *transport.Response {
+	v, found := n.store.Get(key)
+	if !found {
+		v, found = n.replStore.Get(key)
+	}
+	if found {
+		return &transport.Response{OK: true, Found: true, Digest: []uint64{antientropy.ItemHash(key, v)}}
+	}
+	_, dead := n.store.Tombstone(key)
+	if !dead {
+		_, dead = n.replStore.Tombstone(key)
+	}
+	return &transport.Response{OK: true, Deleted: dead}
 }
 
 // neighborsLocked lists this node's neighbours (ring pointers, out-links,

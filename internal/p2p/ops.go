@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/oscar-overlay/oscar/internal/antientropy"
 	"github.com/oscar-overlay/oscar/internal/keyspace"
 	"github.com/oscar-overlay/oscar/internal/sampling"
 	"github.com/oscar-overlay/oscar/internal/storage"
@@ -544,6 +545,10 @@ func (n *Node) syncReplicas(ctx context.Context) {
 			chain[i] = p.Addr
 		}
 		n.lastChain = chain
+		// The first-r chain this node replicates to changed: cached
+		// resolutions carry chains for read fallback, so the membership
+		// shift makes all of them suspect.
+		n.routes.Flush()
 	}
 	n.mu.Unlock()
 
@@ -605,6 +610,18 @@ func (n *Node) lookupVia(ctx context.Context, start transport.Addr, key keyspace
 // liveness-probed in parallel, so a run of dead peers costs one overlapped
 // timeout instead of a serial timeout each.
 //
+// With Config.Alpha > 1 each hop is an α-way step: the current peer and
+// up to α-1 backtrack candidates are probed concurrently with the same
+// find_owner query (over fanoutReadRetry, so every leg rides the
+// overload/read-retry contracts). The primary's answer drives the walk
+// exactly as at α=1 — same cost accounting, same ctx-cancel points, same
+// typed ErrOverloaded surface — and the extra answers are folded in: a
+// Found is a terminal answer held in reserve, a next-hop suggestion is an
+// instant detour if the primary turns out dead (skipping the backtrack
+// ping round entirely), dead extras move to the exclude set, and live
+// ones return to the stack. α buys a shorter tail under churn for α-1
+// extra messages per hop.
+//
 // Alongside the owner it returns the owner's replica chain (the successor
 // list entries holding copies of its arc), piggybacked on the terminal
 // find_owner response; reads fall back through it when the owner dies
@@ -622,7 +639,49 @@ func (n *Node) lookupChain(ctx context.Context, start transport.Addr, key keyspa
 		if err := ctx.Err(); err != nil {
 			return transport.PeerRef{}, nil, cost, err
 		}
-		resp, err := n.readRetry(ctx, cur, &transport.Request{Op: transport.OpFindOwner, Key: key, Exclude: bad})
+		req := &transport.Request{Op: transport.OpFindOwner, Key: key, Exclude: bad}
+		var resp *transport.Response
+		var err error
+		// Knowledge folded from the α-1 extra probes of this hop.
+		var foundPeer transport.PeerRef // a Found answer held in reserve
+		var foundChain []transport.PeerRef
+		haveFound := false
+		var detour transport.Addr // a live extra's next-hop suggestion
+		if k := n.cfg.Alpha - 1; k > 0 && len(stack) > 0 {
+			if k > len(stack) {
+				k = len(stack)
+			}
+			extras := append([]transport.Addr(nil), stack[len(stack)-k:]...)
+			stack = stack[:len(stack)-k]
+			probes := append([]transport.Addr{cur}, extras...)
+			results := n.fanoutReadRetry(ctx, probes, req)
+			resp, err = results[0].Resp, results[0].Err
+			cost += k // the extra probes are messages too
+			if cerr := ctx.Err(); cerr != nil {
+				return transport.PeerRef{}, nil, cost, cerr
+			}
+			// Fold shallowest→deepest so the deepest (closest to the
+			// target) wins conflicts, and stack order is preserved on
+			// re-push.
+			for i, r := range results[1:] {
+				switch {
+				case r.OK() && r.Resp.Found:
+					foundPeer, foundChain, haveFound = r.Resp.Peer, r.Resp.Peers, true
+					stack = append(stack, extras[i]) // still a live waypoint
+				case r.OK():
+					if s := r.Resp.Peer.Addr; s != "" && s != cur && !addrIn(bad, s) {
+						detour = s
+					}
+					stack = append(stack, extras[i])
+				case errors.Is(r.Err, transport.ErrOverloaded):
+					stack = append(stack, extras[i]) // alive, just shedding
+				default:
+					bad = append(bad, extras[i]) // dead or routeless
+				}
+			}
+		} else {
+			resp, err = n.readRetry(ctx, cur, req)
+		}
 		if err != nil || !resp.OK {
 			if cerr := ctx.Err(); cerr != nil {
 				return transport.PeerRef{}, nil, cost, cerr
@@ -631,11 +690,26 @@ func (n *Node) lookupChain(ctx context.Context, start transport.Addr, key keyspa
 				// The hop shed both the call and its retry. The peer is
 				// alive — excluding it would route every later query around
 				// a functioning node — so surface the backpressure and let
-				// the caller decide to retry the whole operation.
+				// the caller decide to retry the whole operation. An extra's
+				// Found still completes the lookup: the owner answered, the
+				// congested waypoint no longer matters.
+				if haveFound {
+					return foundPeer, foundChain, cost, nil
+				}
 				return transport.PeerRef{}, nil, cost, fmt.Errorf("p2p: lookup via %s: %w", cur, err)
 			}
 			cost++ // wasted message (dead probe) or exhausted peer
 			bad = append(bad, cur)
+			if haveFound {
+				return foundPeer, foundChain, cost, nil
+			}
+			if detour != "" {
+				// An α sibling already told us where it would go next:
+				// take that hop instead of a backtrack ping round. The
+				// message was paid for above.
+				cur = detour
+				continue
+			}
 			next, probeCost := n.backtrack(ctx, &stack, &bad)
 			cost += probeCost
 			if cerr := ctx.Err(); cerr != nil {
@@ -650,11 +724,26 @@ func (n *Node) lookupChain(ctx context.Context, start transport.Addr, key keyspa
 		if resp.Found {
 			return resp.Peer, resp.Peers, cost, nil
 		}
+		if haveFound {
+			// A deeper sibling already reached the owner; the primary only
+			// offered another hop. Terminal beats progress.
+			return foundPeer, foundChain, cost, nil
+		}
 		stack = append(stack, cur)
 		cur = resp.Peer.Addr
 		cost++
 	}
 	return transport.PeerRef{}, nil, cost, fmt.Errorf("%w to %v: hop budget exhausted", ErrNoRoute, key)
+}
+
+// addrIn reports whether a is in the set.
+func addrIn(set []transport.Addr, a transport.Addr) bool {
+	for _, x := range set {
+		if x == a {
+			return true
+		}
+	}
+	return false
 }
 
 // backtrack returns the deepest live peer on the stack, probing up to
@@ -702,6 +791,42 @@ func (n *Node) backtrack(ctx context.Context, stack *[]transport.Addr, bad *[]tr
 	return "", cost
 }
 
+// resolveRead resolves key → owner + replica chain for a read path,
+// consulting the route cache first. A hit is validated with one direct
+// find_owner to the cached owner: Found from the gate that terminates
+// every real walk confirms the resolution and refreshes the chain in
+// the same RPC, so a multi-hop walk collapses to one message. Anything
+// else falls back to the full walk — an overloaded owner keeps its
+// entry (alive, just shedding), any other answer invalidates it. A
+// successful resolve (either path) re-primes the cache.
+func (n *Node) resolveRead(ctx context.Context, key keyspace.Key) (transport.PeerRef, []transport.PeerRef, int, error) {
+	cost := 0
+	if ent, ok := n.routes.Get(key); ok {
+		cost++
+		resp, err := n.readRetry(ctx, ent.owner.Addr, &transport.Request{Op: transport.OpFindOwner, Key: key})
+		if cerr := ctx.Err(); cerr != nil {
+			return transport.PeerRef{}, nil, cost, cerr
+		}
+		if err == nil && resp.OK && resp.Found && resp.Peer.Addr == ent.owner.Addr {
+			n.routeHits.Add(1)
+			n.routes.Put(key, routeEntry{owner: resp.Peer, chain: resp.Peers})
+			return resp.Peer, resp.Peers, cost, nil
+		}
+		if !errors.Is(err, transport.ErrOverloaded) {
+			n.routes.Invalidate(key)
+		}
+	}
+	if n.routes != nil {
+		n.routeMisses.Add(1)
+	}
+	owner, chain, c, err := n.lookupChain(ctx, n.self.Addr, key)
+	cost += c
+	if err == nil {
+		n.routes.Put(key, routeEntry{owner: owner, chain: chain})
+	}
+	return owner, chain, cost, err
+}
+
 // OpResult reports one data-layer operation executed at the key's owner.
 type OpResult struct {
 	// Owner is the peer that served the operation.
@@ -725,6 +850,13 @@ type OpResult struct {
 // raw response is returned alongside so write ops can read the replica
 // chain the owner piggybacks on it.
 //
+// The route cache short-circuits the walk: a cached owner is tried
+// directly, with no validation RPC — the write ops' own ownership gate
+// is the validation. A stale entry earns a typed errNotOwner (or an
+// unreachable peer), which invalidates the entry and falls back to the
+// full walk without consuming one of the owner-moved attempts: cache
+// staleness is the cache's fault, not ring churn.
+//
 // A "not owner" rejection means the arc moved between the routing step
 // and the data RPC (a joiner spliced in): the op was definitely not
 // executed, so re-routing and retrying is safe for writes. The retry is
@@ -732,17 +864,39 @@ type OpResult struct {
 func (n *Node) dataOp(ctx context.Context, key keyspace.Key, req *transport.Request) (OpResult, *transport.Response, error) {
 	const ownerMoves = 3
 	var res OpResult
-	for attempt := 0; ; attempt++ {
-		owner, _, cost, err := n.lookupChain(ctx, n.self.Addr, key)
-		res.Cost += cost
-		if err != nil {
-			return res, nil, err
+	cacheTried := false
+	for attempt := 0; ; {
+		var owner transport.PeerRef
+		fromCache := false
+		if !cacheTried && attempt == 0 {
+			cacheTried = true
+			if ent, ok := n.routes.Get(key); ok {
+				owner, fromCache = ent.owner, true
+			} else if n.routes != nil {
+				n.routeMisses.Add(1)
+			}
+		}
+		if owner.Addr == "" {
+			o, _, cost, err := n.lookupChain(ctx, n.self.Addr, key)
+			res.Cost += cost
+			if err != nil {
+				return res, nil, err
+			}
+			owner = o
 		}
 		res.Owner = owner
 		res.Cost++
 		resp, err := n.callRetry(ctx, owner.Addr, req)
 		if err == nil && resp != nil && !resp.OK && resp.Err == errNotOwner {
+			n.routes.Invalidate(key)
+			if fromCache {
+				// Stale cache entry, not a mid-op arc move: re-resolve for
+				// free via the full walk.
+				n.routeMisses.Add(1)
+				continue
+			}
 			if attempt < ownerMoves {
+				attempt++
 				select {
 				case <-ctx.Done():
 					return res, nil, ctx.Err()
@@ -756,11 +910,26 @@ func (n *Node) dataOp(ctx context.Context, key keyspace.Key, req *transport.Requ
 			if cerr := ctx.Err(); cerr != nil {
 				return res, nil, cerr
 			}
+			if fromCache && !errors.Is(err, transport.ErrOverloaded) {
+				// The cached owner is gone. Drop every resolution pointing
+				// at it and re-resolve via the full walk, which will route
+				// around the corpse.
+				n.routeMisses.Add(1)
+				dead := owner.Addr
+				n.routes.InvalidateMatching(func(_ keyspace.Key, e routeEntry) bool {
+					return e.owner.Addr == dead
+				})
+				continue
+			}
 			if errors.Is(err, transport.ErrOverloaded) {
 				return res, nil, fmt.Errorf("p2p: %s: owner overloaded: %w", req.Op, err)
 			}
 			return res, nil, fmt.Errorf("p2p: %s: owner unreachable: %w", req.Op, err)
 		}
+		if fromCache {
+			n.routeHits.Add(1)
+		}
+		n.routes.Put(key, routeEntry{owner: owner, chain: resp.Peers})
 		res.Replaced, res.Found, res.Value = resp.Found, resp.Found, resp.Value
 		return res, resp, nil
 	}
@@ -831,6 +1000,101 @@ func (n *Node) PutW(ctx context.Context, key keyspace.Key, value []byte, w int) 
 	return res, nil
 }
 
+// hotGet tries to serve a read from the requester-side hot-key cache.
+// The cached copy is never trusted on its own: one OpKeyHash to the
+// cached owner fetches the key's current item hash, and only a matching
+// digest serves the copy — one small RPC instead of a routing walk plus
+// a value transfer. The check needs a cached route as well as a cached
+// value; lacking either, the full path runs (and repopulates both).
+//
+// served reports the read was answered here: with the value on a hash
+// match (from the owner, or from a chain member once the owner proved
+// unreachable), or as an authoritative not-found when the validator
+// reports a tombstone. Any disagreement — hash mismatch, no record,
+// moved arc — drops the stale state and lets the full path decide, so
+// the cache can shed load but never change an answer.
+func (n *Node) hotGet(ctx context.Context, key keyspace.Key) (OpResult, bool, error) {
+	if n.hot == nil {
+		return OpResult{}, false, nil
+	}
+	val, ok := n.hot.Get(key)
+	if !ok {
+		n.hotMisses.Add(1)
+		return OpResult{}, false, nil
+	}
+	ent, ok := n.routes.Get(key)
+	if !ok {
+		n.hotMisses.Add(1)
+		return OpResult{}, false, nil
+	}
+	res := OpResult{Owner: ent.owner, Cost: 1}
+	resp, err := n.readRetry(ctx, ent.owner.Addr, &transport.Request{Op: transport.OpKeyHash, Key: key})
+	if cerr := ctx.Err(); cerr != nil {
+		return res, true, cerr
+	}
+	switch {
+	case err == nil && resp.OK && resp.Found:
+		if len(resp.Digest) == 1 && resp.Digest[0] == antientropy.ItemHash(key, val) {
+			n.hotHits.Add(1)
+			n.routes.Put(key, routeEntry{owner: ent.owner, chain: resp.Peers})
+			res.Found, res.Value = true, val
+			return res, true, nil
+		}
+		// The owner holds a different value: our copy lost. Evict and
+		// take the full path to fetch the fresh one.
+		n.hot.Invalidate(key)
+
+	case err == nil && resp.OK && resp.Deleted:
+		// Authoritative tombstone behind the ownership gate: the read is
+		// answered — not-found — and the stale copy dies.
+		n.hot.Invalidate(key)
+		n.hotMisses.Add(1)
+		return res, true, nil
+
+	case err == nil && !resp.OK && resp.Err == errNotOwner:
+		// The arc moved: the cached route is stale (the copy may still be
+		// good — the next full read revalidates it against the new owner).
+		n.routes.Invalidate(key)
+
+	case err != nil && !errors.Is(err, transport.ErrOverloaded):
+		// Owner unreachable: ask the cached replica chain for the hash —
+		// the same authority order the full read's fallback walk uses.
+		for _, t := range ent.chain {
+			res.Cost++
+			r2, e2 := n.callRetry(ctx, t.Addr, &transport.Request{Op: transport.OpKeyHashChain, Key: key})
+			if cerr := ctx.Err(); cerr != nil {
+				return res, true, cerr
+			}
+			if e2 != nil || !r2.OK {
+				continue
+			}
+			if r2.Found {
+				if len(r2.Digest) == 1 && r2.Digest[0] == antientropy.ItemHash(key, val) {
+					n.hotHits.Add(1)
+					res.Owner, res.Found, res.Value = t, true, val
+					return res, true, nil
+				}
+				break // a fresher value exists: full path fetches it
+			}
+			if r2.Deleted {
+				n.hot.Invalidate(key)
+				n.hotMisses.Add(1)
+				return res, true, nil
+			}
+			// No record here: try the next chain member.
+		}
+		// Nothing confirmed the copy; the cached owner is likely dead.
+		dead := ent.owner.Addr
+		n.routes.InvalidateMatching(func(_ keyspace.Key, e routeEntry) bool {
+			return e.owner.Addr == dead
+		})
+	}
+	// Overloaded owner falls through here too: caches kept, full path
+	// (with its own overload surface) decides.
+	n.hotMisses.Add(1)
+	return OpResult{}, false, nil
+}
+
 // Get fetches the value under key from the key's owner. A missing item is
 // not an error: Found reports existence. When the owner is unreachable
 // (it crashed between routing and the data RPC) the read falls back
@@ -848,7 +1112,10 @@ func (n *Node) PutW(ctx context.Context, key keyspace.Key, value []byte, w int) 
 // replica and re-syncs its trailing chain, asynchronously and counted in
 // its anti-entropy stats — fallback reads heal the data path they expose.
 func (n *Node) Get(ctx context.Context, key keyspace.Key) (OpResult, error) {
-	owner, chain, cost, err := n.lookupChain(ctx, n.self.Addr, key)
+	if res, served, err := n.hotGet(ctx, key); served {
+		return res, err
+	}
+	owner, chain, cost, err := n.resolveRead(ctx, key)
 	if err != nil {
 		return OpResult{Cost: cost}, err
 	}
@@ -883,6 +1150,7 @@ func (n *Node) Get(ctx context.Context, key keyspace.Key) (OpResult, error) {
 		}
 		if resp.Found {
 			res.Owner, res.Found, res.Value = t, true, resp.Value
+			n.hot.Put(key, resp.Value)
 			if i > 0 && ownerStale {
 				// A replica holds state the live owner has no record of:
 				// one cheap nudge makes the owner pull the divergence.
@@ -895,6 +1163,7 @@ func (n *Node) Get(ctx context.Context, key keyspace.Key) (OpResult, error) {
 			if resp.Deleted {
 				// Tombstoned at the owner: authoritatively deleted, no
 				// chain walk — a replica's stale copy must not resurrect.
+				n.hot.Invalidate(key)
 				return res, nil
 			}
 			ownerStale = true
@@ -905,6 +1174,7 @@ func (n *Node) Get(ctx context.Context, key keyspace.Key) (OpResult, error) {
 			// dead or recordless it ends the read, or a staler copy
 			// further down the chain would resurrect the key. A stale
 			// owner is nudged so it adopts the tombstone as well.
+			n.hot.Invalidate(key)
 			if ownerStale {
 				res.Cost++
 				_, _ = n.tr.CallCtx(ctx, owner.Addr, &transport.Request{Op: transport.OpReadRepair, From: t})

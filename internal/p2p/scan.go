@@ -80,7 +80,7 @@ func (s *ScanSession) NextPage(ctx context.Context, cursor keyspace.Key, want in
 			return out, err
 		}
 		if !s.have {
-			owner, chain, cost, err := s.n.lookupChain(ctx, s.n.self.Addr, cursor)
+			owner, chain, cost, err := s.n.resolveRead(ctx, cursor)
 			out.Cost += cost
 			if err != nil {
 				// Routing itself fails transiently while the ring digests a

@@ -1,0 +1,180 @@
+// Package routecache provides the small bounded caches that sit on the
+// hot lookup/read path: a per-node LRU of key → owner-resolution results
+// and a requester-side LRU of hot-key value copies. Both are freshness
+// caches, never authority — every consumer validates an entry against
+// the ring (ownership gates, digest checks) before trusting it, so the
+// cache is allowed to be stale without ever being wrong.
+//
+// The cache is safe for concurrent use and takes only its own lock, so
+// callers may invoke it while holding node locks without ordering
+// concerns.
+package routecache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+)
+
+// Stats is a point-in-time hit/miss snapshot.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+type entry[V any] struct {
+	key keyspace.Key
+	val V
+	// expires is the wall-clock instant the entry stops being served;
+	// the zero time means the entry never ages out.
+	expires time.Time
+}
+
+// Cache is a bounded LRU of key → V with an optional TTL. A nil *Cache
+// is a valid, permanently-empty cache: every method is nil-safe, so a
+// disabled cache needs no call-site guards.
+type Cache[V any] struct {
+	mu    sync.Mutex
+	cap   int
+	ttl   time.Duration
+	ll    *list.List // front = most recently used
+	byKey map[keyspace.Key]*list.Element
+	hits  uint64
+	miss  uint64
+	now   func() time.Time // test seam
+}
+
+// New builds a cache holding at most capacity entries, each served for
+// at most ttl after insertion (ttl <= 0 disables aging). A capacity of
+// zero or less returns nil — the disabled cache.
+func New[V any](capacity int, ttl time.Duration) *Cache[V] {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Cache[V]{
+		cap:   capacity,
+		ttl:   ttl,
+		ll:    list.New(),
+		byKey: make(map[keyspace.Key]*list.Element, capacity),
+		now:   time.Now,
+	}
+}
+
+// Get returns the live entry for k, marking it most recently used. An
+// expired entry is removed and reported as a miss.
+func (c *Cache[V]) Get(k keyspace.Key) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[k]
+	if !ok {
+		c.miss++
+		return zero, false
+	}
+	e := el.Value.(*entry[V])
+	if !e.expires.IsZero() && c.now().After(e.expires) {
+		c.removeLocked(el)
+		c.miss++
+		return zero, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return e.val, true
+}
+
+// Put inserts or refreshes the entry for k, restarting its TTL and
+// evicting the least recently used entry on overflow.
+func (c *Cache[V]) Put(k keyspace.Key, v V) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	if el, ok := c.byKey[k]; ok {
+		e := el.Value.(*entry[V])
+		e.val, e.expires = v, expires
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&entry[V]{key: k, val: v, expires: expires})
+	c.byKey[k] = el
+	if c.ll.Len() > c.cap {
+		c.removeLocked(c.ll.Back())
+	}
+}
+
+// Invalidate drops the entry for k, if present.
+func (c *Cache[V]) Invalidate(k keyspace.Key) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		c.removeLocked(el)
+	}
+}
+
+// InvalidateMatching drops every entry the predicate selects — e.g. all
+// resolutions pointing at a peer that just proved unreachable.
+func (c *Cache[V]) InvalidateMatching(pred func(k keyspace.Key, v V) bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*entry[V])
+		if pred(e.key, e.val) {
+			c.removeLocked(el)
+		}
+	}
+}
+
+// Flush empties the cache — the membership-change hammer: any ring
+// topology shift makes every cached resolution suspect at once.
+func (c *Cache[V]) Flush() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.byKey)
+}
+
+// Len reports the current entry count.
+func (c *Cache[V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the accumulated hit/miss counters.
+func (c *Cache[V]) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.miss}
+}
+
+func (c *Cache[V]) removeLocked(el *list.Element) {
+	c.ll.Remove(el)
+	delete(c.byKey, el.Value.(*entry[V]).key)
+}

@@ -1,0 +1,120 @@
+package routecache
+
+import (
+	"testing"
+	"time"
+
+	"github.com/oscar-overlay/oscar/internal/keyspace"
+)
+
+func k(i int) keyspace.Key { return keyspace.Key(i) }
+
+func TestPutGet(t *testing.T) {
+	c := New[string](4, 0)
+	c.Put(k(1), "a")
+	c.Put(k(2), "b")
+	if v, ok := c.Get(k(1)); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	if _, ok := c.Get(k(3)); ok {
+		t.Fatal("Get(3) hit on absent key")
+	}
+	c.Put(k(1), "a2")
+	if v, _ := c.Get(k(1)); v != "a2" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](3, 0)
+	for i := 1; i <= 3; i++ {
+		c.Put(k(i), i)
+	}
+	// Touch 1 so 2 becomes the LRU victim.
+	if _, ok := c.Get(k(1)); !ok {
+		t.Fatal("warm entry missing")
+	}
+	c.Put(k(4), 4)
+	if _, ok := c.Get(k(2)); ok {
+		t.Fatal("LRU entry 2 survived past capacity")
+	}
+	for _, want := range []int{1, 3, 4} {
+		if _, ok := c.Get(k(want)); !ok {
+			t.Fatalf("entry %d evicted wrongly", want)
+		}
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := New[string](4, time.Second)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	c.Put(k(1), "a")
+	if _, ok := c.Get(k(1)); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := c.Get(k(1)); ok {
+		t.Fatal("expired entry served")
+	}
+	if c.Len() != 0 {
+		t.Fatal("expired entry not removed")
+	}
+	// A refresh restarts the TTL.
+	c.Put(k(1), "b")
+	now = now.Add(900 * time.Millisecond)
+	c.Put(k(1), "c")
+	now = now.Add(900 * time.Millisecond)
+	if v, ok := c.Get(k(1)); !ok || v != "c" {
+		t.Fatalf("refreshed entry = %q, %v; want live \"c\"", v, ok)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New[int](8, 0)
+	for i := 0; i < 6; i++ {
+		c.Put(k(i), i)
+	}
+	c.Invalidate(k(2))
+	if _, ok := c.Get(k(2)); ok {
+		t.Fatal("invalidated entry served")
+	}
+	c.InvalidateMatching(func(_ keyspace.Key, v int) bool { return v%2 == 1 })
+	// Evens 0 and 4 survive (2 was invalidated above); odds 1,3,5 matched.
+	if c.Len() != 2 {
+		t.Fatalf("Len after InvalidateMatching = %d, want 2", c.Len())
+	}
+	for _, want := range []int{0, 4} {
+		if _, ok := c.Get(k(want)); !ok {
+			t.Fatalf("entry %d wrongly dropped", want)
+		}
+	}
+	c.Flush()
+	if c.Len() != 0 {
+		t.Fatal("Flush left entries behind")
+	}
+}
+
+func TestNilCache(t *testing.T) {
+	var c *Cache[string]
+	if c != New[string](0, 0) || c != New[string](-1, 0) {
+		t.Fatal("non-positive capacity must return the nil cache")
+	}
+	c.Put(k(1), "a")
+	if _, ok := c.Get(k(1)); ok {
+		t.Fatal("nil cache served a value")
+	}
+	c.Invalidate(k(1))
+	c.InvalidateMatching(func(keyspace.Key, string) bool { return true })
+	c.Flush()
+	if c.Len() != 0 || c.Stats() != (Stats{}) {
+		t.Fatal("nil cache reports non-empty state")
+	}
+}

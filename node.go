@@ -66,6 +66,26 @@ type NodeConfig struct {
 	// interval: a tombstone must survive until every replica has applied
 	// it, or a stale copy could resurrect the key.
 	TombstoneTTL time.Duration
+	// Alpha is the routing parallelism: each lookup hop probes up to Alpha
+	// candidates concurrently and takes the first useful answer, trading
+	// extra messages for lower tail latency on lossy or overloaded rings.
+	// 0 or 1 keeps the classic single-probe walk.
+	Alpha int
+	// RouteCacheSize bounds the node's key→owner route cache (0 = default
+	// 128 entries, negative = disabled). Cached routes are always validated
+	// against the ring before use — the cache can only save hops, never
+	// serve a stale owner.
+	RouteCacheSize int
+	// RouteCacheTTL ages route-cache entries (0 = default 2s, negative =
+	// no aging). The hot-key value cache shares this TTL.
+	RouteCacheTTL time.Duration
+	// HotKeyCache bounds the requester-side hot-key value cache (0 =
+	// default 128 entries, negative = disabled). A cached value is served
+	// only after a one-message digest check against the owner (or its
+	// replica chain when the owner is unreachable), so reads stay as fresh
+	// as an uncached read while skipping the routing walk and the value
+	// transfer.
+	HotKeyCache int
 	// PoolSize is the number of persistent connections per peer (0 =
 	// transport default).
 	PoolSize int
@@ -192,6 +212,10 @@ func startNodeOn(tr transport.Transport, cfg NodeConfig) (*Node, error) {
 		WriteConcern:      cfg.WriteConcern,
 		AntiEntropy:       cfg.AntiEntropy,
 		TombstoneTTL:      cfg.TombstoneTTL,
+		Alpha:             cfg.Alpha,
+		RouteCacheSize:    cfg.RouteCacheSize,
+		RouteCacheTTL:     cfg.RouteCacheTTL,
+		HotKeyCache:       cfg.HotKeyCache,
 		Seed:              cfg.Seed,
 		DataDir:           cfg.DataDir,
 		Fsync:             policy,
@@ -567,6 +591,7 @@ func (n *Node) Info(ctx context.Context) (InfoResponse, error) {
 		peers = int(est + 0.5)
 	}
 	sync := n.inner.SyncTotals()
+	caches := n.inner.CacheStats()
 	resp := InfoResponse{
 		Backend:      "p2p",
 		Peers:        peers,
@@ -587,6 +612,10 @@ func (n *Node) Info(ctx context.Context) (InfoResponse, error) {
 			TombstonesPushed: sync.TombsPushed,
 			Dropped:          sync.Dropped,
 		},
+		RouteCacheHits:    caches.RouteHits,
+		RouteCacheMisses:  caches.RouteMisses,
+		HotKeyCacheHits:   caches.HotHits,
+		HotKeyCacheMisses: caches.HotMisses,
 	}
 	if st, ok := n.inner.PersistStats(); ok {
 		resp.Durable = true

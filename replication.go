@@ -28,19 +28,26 @@ func (o *Overlay) PutReplicated(key Key, value []byte, replicas int) (PutResult,
 }
 
 func (o *Overlay) putReplicatedLocked(key Key, value []byte, replicas int) (PutResult, error) {
-	if replicas < 1 {
-		replicas = 1
-	}
 	route := o.lookupLocked(key)
 	if !route.Found {
 		return PutResult{}, fmt.Errorf("oscar: put %v: routing failed", key)
 	}
-	res := PutResult{Owner: route.Owner, Cost: route.Cost(), Acks: 1}
-	res.Replaced = o.storeFor(route.Owner).Put(key, value)
-	cur := route.Owner
+	return o.putAtLocked(route.Owner, route.Cost(), key, value, replicas), nil
+}
+
+// putAtLocked applies a replicated put rooted at an already-resolved owner,
+// with the routing cost spent to reach it. The cached-route fast path of
+// the Client facade enters here directly, skipping the lookup.
+func (o *Overlay) putAtLocked(owner NodeID, cost int, key Key, value []byte, replicas int) PutResult {
+	if replicas < 1 {
+		replicas = 1
+	}
+	res := PutResult{Owner: owner, Cost: cost, Acks: 1}
+	res.Replaced = o.storeFor(owner).Put(key, value)
+	cur := owner
 	for i := 1; i < replicas; i++ {
 		next := o.sim.Net().Node(cur).Succ
-		if next == cur || next == route.Owner {
+		if next == cur || next == owner {
 			break // wrapped around a tiny overlay
 		}
 		cur = next
@@ -48,7 +55,7 @@ func (o *Overlay) putReplicatedLocked(key Key, value []byte, replicas int) (PutR
 		res.Cost++ // one hop along the successor chain per copy
 		res.Acks++ // every placed copy is an acknowledged copy
 	}
-	return res, nil
+	return res
 }
 
 // GetReplicated fetches the value for key, falling back along up to
@@ -68,29 +75,35 @@ func (o *Overlay) GetReplicated(key Key, replicas int) (value []byte, found bool
 }
 
 func (o *Overlay) getReplicatedLocked(key Key, replicas int) (servedBy NodeID, value []byte, found bool, cost int, err error) {
-	if replicas < 1 {
-		replicas = 1
-	}
 	route := o.lookupLocked(key)
 	if !route.Found {
 		return 0, nil, false, route.Cost(), fmt.Errorf("oscar: get %v: routing failed", key)
 	}
-	cost = route.Cost()
-	cur := route.Owner
+	servedBy, value, found, cost = o.getAtLocked(route.Owner, route.Cost(), key, replicas)
+	return servedBy, value, found, cost, nil
+}
+
+// getAtLocked applies a replicated read rooted at an already-resolved
+// owner, with the routing cost spent to reach it.
+func (o *Overlay) getAtLocked(owner NodeID, cost int, key Key, replicas int) (servedBy NodeID, value []byte, found bool, outCost int) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	cur := owner
 	ownerStale := false // the owner has no copy and no tombstone
 	for i := 0; i < replicas; i++ {
 		v, ok, deleted := o.peekLocked(cur, key)
 		if ok {
 			if i > 0 && ownerStale {
-				o.readRepairLocked(route.Owner, cur, replicas)
+				o.readRepairLocked(owner, cur, replicas)
 			}
-			return cur, v, true, cost, nil
+			return cur, v, true, cost
 		}
 		if i == 0 {
 			if deleted {
 				// Tombstoned at the owner: authoritatively deleted — a
 				// replica's stale copy must not resurrect it.
-				return route.Owner, nil, false, cost, nil
+				return owner, nil, false, cost
 			}
 			ownerStale = true
 		} else if deleted {
@@ -98,18 +111,18 @@ func (o *Overlay) getReplicatedLocked(key Key, replicas int) (servedBy NodeID, v
 			// before a staler copy further down can resurrect the key,
 			// and a recordless owner adopts it via read-repair.
 			if ownerStale {
-				o.readRepairLocked(route.Owner, cur, replicas)
+				o.readRepairLocked(owner, cur, replicas)
 			}
-			return route.Owner, nil, false, cost, nil
+			return owner, nil, false, cost
 		}
 		next := o.sim.Net().Node(cur).Succ
-		if next == cur || next == route.Owner {
+		if next == cur || next == owner {
 			break
 		}
 		cur = next
 		cost++
 	}
-	return route.Owner, nil, false, cost, nil
+	return owner, nil, false, cost
 }
 
 // peekLocked checks one peer for key — primary shard first, replica copy
@@ -144,15 +157,21 @@ func (o *Overlay) DeleteReplicated(key Key, replicas int) (DeleteResult, error) 
 }
 
 func (o *Overlay) deleteReplicatedLocked(key Key, replicas int) (DeleteResult, error) {
-	if replicas < 1 {
-		replicas = 1
-	}
 	route := o.lookupLocked(key)
 	if !route.Found {
 		return DeleteResult{}, fmt.Errorf("oscar: delete %v: routing failed", key)
 	}
-	res := DeleteResult{Owner: route.Owner, Cost: route.Cost()}
-	cur := route.Owner
+	return o.deleteAtLocked(route.Owner, route.Cost(), key, replicas), nil
+}
+
+// deleteAtLocked applies a replicated delete rooted at an already-resolved
+// owner, with the routing cost spent to reach it.
+func (o *Overlay) deleteAtLocked(owner NodeID, cost int, key Key, replicas int) DeleteResult {
+	if replicas < 1 {
+		replicas = 1
+	}
+	res := DeleteResult{Owner: owner, Cost: cost}
+	cur := owner
 	for i := 0; i < replicas; i++ {
 		if st := o.stores[cur]; st != nil && st.Delete(key) {
 			res.Existed = true
@@ -162,11 +181,11 @@ func (o *Overlay) deleteReplicatedLocked(key Key, replicas int) (DeleteResult, e
 		}
 		res.Acks++ // each visited chain member applied the delete
 		next := o.sim.Net().Node(cur).Succ
-		if next == cur || next == route.Owner {
+		if next == cur || next == owner {
 			break
 		}
 		cur = next
 		res.Cost++
 	}
-	return res, nil
+	return res
 }

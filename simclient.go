@@ -5,7 +5,11 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
+	"github.com/oscar-overlay/oscar/internal/antientropy"
+	"github.com/oscar-overlay/oscar/internal/graph"
+	"github.com/oscar-overlay/oscar/internal/routecache"
 	"github.com/oscar-overlay/oscar/internal/storage"
 )
 
@@ -31,7 +35,7 @@ func (o *Overlay) ReplicatedClient(replicas int) Client {
 // clientWith builds the facade with a replication factor and a default
 // write concern (the same normalisation NodeConfig applies: at least 1,
 // at most replicas).
-func (o *Overlay) clientWith(replicas, writeConcern int) Client {
+func (o *Overlay) clientWith(replicas, writeConcern int) *simClient {
 	if replicas < 1 {
 		replicas = 1
 	}
@@ -41,7 +45,27 @@ func (o *Overlay) clientWith(replicas, writeConcern int) Client {
 	if writeConcern > replicas {
 		writeConcern = replicas
 	}
-	return &simClient{ov: o, replicas: replicas, writeConcern: writeConcern}
+	c := &simClient{ov: o, replicas: replicas, writeConcern: writeConcern}
+	c.setCaches(0, 0, 0)
+	return c
+}
+
+// setCaches (re)builds the client's route and hot-key caches with the same
+// normalisation the live runtime applies: size 0 means the 128-entry
+// default and negative disables; TTL 0 means the 2-second default and
+// negative disables aging. The hot-key cache shares the route cache's TTL.
+func (c *simClient) setCaches(routeSize int, ttl time.Duration, hotSize int) {
+	if routeSize == 0 {
+		routeSize = 128
+	}
+	if hotSize == 0 {
+		hotSize = 128
+	}
+	if ttl == 0 {
+		ttl = 2 * time.Second
+	}
+	c.routes = routecache.New[NodeID](routeSize, ttl)
+	c.hot = routecache.New[[]byte](hotSize, ttl)
 }
 
 // simClient adapts the simulator Overlay to the Client interface. Each
@@ -53,6 +77,17 @@ type simClient struct {
 	replicas     int
 	writeConcern int
 	closed       atomic.Bool
+
+	// routes caches key → owner resolutions and hot caches recently read
+	// values — the simulator mirror of the live runtime's caching layer,
+	// so the three-backend conformance table exercises one contract. Both
+	// are validated against the sim graph on every hit (ownership for
+	// routes, a digest comparison for values), never trusted blind.
+	routes *routecache.Cache[NodeID]
+	hot    *routecache.Cache[[]byte]
+
+	routeHits, routeMisses atomic.Uint64
+	hotHits, hotMisses     atomic.Uint64
 }
 
 // concern resolves the write concern for one call: the context override
@@ -81,6 +116,94 @@ func (c *simClient) ownerLocked(id NodeID) OwnerRef {
 	return OwnerRef{ID: id, Key: c.ov.sim.Net().Node(id).Key}
 }
 
+// simOwnsLocked reports whether peer id currently owns key on the sim
+// graph: alive, with a defined predecessor, and key on the clockwise arc
+// (pred, id]. This is the validation gate every route-cache hit passes —
+// the sim analogue of the live runtime's ownership check at the owner.
+// Callers hold o.mu.
+func (o *Overlay) simOwnsLocked(id NodeID, key Key) bool {
+	net := o.sim.Net()
+	node := net.Node(id)
+	if !node.Alive {
+		return false
+	}
+	if node.Pred == id {
+		return true // one-peer ring owns the whole circle
+	}
+	if node.Pred == graph.NoNode {
+		return false // arc undefined: force a fresh lookup
+	}
+	return key.BetweenIncl(net.Node(node.Pred).Key, node.Key)
+}
+
+// resolveLocked finds the owner of key, preferring a validated route-cache
+// hit: a cached owner is trusted only while the sim graph still shows it
+// alive and owning the key's arc (cost 1, the validation probe). Anything
+// else falls back to a routed lookup and refreshes the cache, so a stale
+// entry costs one wasted check, never a wrong answer. Callers hold o.mu.
+func (c *simClient) resolveLocked(key Key) (NodeID, int, error) {
+	o := c.ov
+	if id, ok := c.routes.Get(key); ok {
+		if o.simOwnsLocked(id, key) {
+			c.routeHits.Add(1)
+			return id, 1, nil
+		}
+		c.routes.Invalidate(key)
+	}
+	if c.routes != nil {
+		c.routeMisses.Add(1)
+	}
+	route := o.lookupLocked(key)
+	if !route.Found {
+		return 0, route.Cost(), fmt.Errorf("routing failed")
+	}
+	c.routes.Put(key, route.Owner)
+	return route.Owner, route.Cost(), nil
+}
+
+// hotGetLocked tries to serve a read from the hot-key cache: the cached
+// value counts only if a digest comparison against the validated owner's
+// own copy confirms it — the sim analogue of the live OpKeyHash check.
+// served=true means the response is final (a confirmed value, or an
+// authoritative not-found from an owner tombstone); served=false falls
+// through to the regular replicated read. Callers hold o.mu.
+func (c *simClient) hotGetLocked(key Key) (GetResponse, bool, error) {
+	if c.hot == nil {
+		return GetResponse{}, false, nil
+	}
+	val, ok := c.hot.Get(key)
+	if !ok {
+		c.hotMisses.Add(1)
+		return GetResponse{}, false, nil
+	}
+	o := c.ov
+	id, cached := c.routes.Get(key)
+	if !cached || !o.simOwnsLocked(id, key) {
+		if cached {
+			c.routes.Invalidate(key)
+		}
+		c.hotMisses.Add(1)
+		return GetResponse{}, false, nil
+	}
+	v, found, deleted := o.peekLocked(id, key)
+	switch {
+	case found && antientropy.ItemHash(key, v) == antientropy.ItemHash(key, val):
+		c.hotHits.Add(1)
+		return GetResponse{Owner: c.ownerLocked(id), Cost: 1, Value: val}, true, nil
+	case found:
+		// The owner holds a newer value: the cached copy lost.
+		c.hot.Invalidate(key)
+	case deleted:
+		// An owner tombstone is authoritative: the read ends as not-found
+		// and the stale cached value is evicted.
+		c.hot.Invalidate(key)
+		c.hotMisses.Add(1)
+		return GetResponse{Owner: c.ownerLocked(id), Cost: 1}, true, fmt.Errorf("%w: %v", ErrNotFound, key)
+	}
+	c.hotMisses.Add(1)
+	return GetResponse{}, false, nil
+}
+
 func (c *simClient) Put(ctx context.Context, key Key, value []byte) (PutResponse, error) {
 	if err := c.begin(ctx); err != nil {
 		return PutResponse{}, err
@@ -88,10 +211,12 @@ func (c *simClient) Put(ctx context.Context, key Key, value []byte) (PutResponse
 	o := c.ov
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	res, err := o.putReplicatedLocked(key, value, c.replicas)
+	owner, cost, err := c.resolveLocked(key)
 	if err != nil {
-		return PutResponse{Cost: res.Cost}, fmt.Errorf("%w: put %v", ErrRoutingFailed, key)
+		return PutResponse{Cost: cost}, fmt.Errorf("%w: put %v", ErrRoutingFailed, key)
 	}
+	res := o.putAtLocked(owner, cost, key, value, c.replicas)
+	c.hot.Invalidate(key)
 	out := PutResponse{Owner: c.ownerLocked(res.Owner), Cost: res.Cost, Replaced: res.Replaced, Acks: res.Acks}
 	if w := c.concern(ctx); res.Acks < w {
 		// The write holds wherever it was placed; the shortfall is
@@ -108,14 +233,20 @@ func (c *simClient) Get(ctx context.Context, key Key) (GetResponse, error) {
 	o := c.ov
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	servedBy, value, found, cost, err := o.getReplicatedLocked(key, c.replicas)
+	if res, served, err := c.hotGetLocked(key); served {
+		return res, err
+	}
+	owner, cost, err := c.resolveLocked(key)
 	if err != nil {
 		return GetResponse{Cost: cost}, fmt.Errorf("%w: get %v", ErrRoutingFailed, key)
 	}
+	servedBy, value, found, cost := o.getAtLocked(owner, cost, key, c.replicas)
 	out := GetResponse{Owner: c.ownerLocked(servedBy), Cost: cost}
 	if !found {
+		c.hot.Invalidate(key)
 		return out, fmt.Errorf("%w: %v", ErrNotFound, key)
 	}
+	c.hot.Put(key, value)
 	out.Value = value
 	return out, nil
 }
@@ -127,10 +258,12 @@ func (c *simClient) Delete(ctx context.Context, key Key) (DeleteResponse, error)
 	o := c.ov
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	res, err := o.deleteReplicatedLocked(key, c.replicas)
+	owner, cost, err := c.resolveLocked(key)
 	if err != nil {
-		return DeleteResponse{Cost: res.Cost}, fmt.Errorf("%w: delete %v", ErrRoutingFailed, key)
+		return DeleteResponse{Cost: cost}, fmt.Errorf("%w: delete %v", ErrRoutingFailed, key)
 	}
+	res := o.deleteAtLocked(owner, cost, key, c.replicas)
+	c.hot.Invalidate(key)
 	out := DeleteResponse{Owner: c.ownerLocked(res.Owner), Cost: res.Cost, Acks: res.Acks}
 	if w := c.concern(ctx); res.Acks < w {
 		return out, &WriteConcernError{Acks: res.Acks, Want: w}
@@ -172,12 +305,12 @@ func (s *simScanSession) nextPage(cursor Key, want int) (scanChunk, error) {
 			s.have = false
 		}
 		if !s.have {
-			route := o.lookupLocked(cursor)
-			out.cost += route.Cost()
-			if !route.Found {
+			owner, cost, err := s.c.resolveLocked(cursor)
+			out.cost += cost
+			if err != nil {
 				return out, fmt.Errorf("%w: scan at %v", ErrRoutingFailed, cursor)
 			}
-			s.cur, s.have, s.counted = route.Owner, true, false
+			s.cur, s.have, s.counted = owner, true, false
 		}
 		node := net.Node(s.cur)
 		// Clip the merged view to the arc this peer serves
@@ -293,6 +426,11 @@ func (c *simClient) Info(ctx context.Context) (InfoResponse, error) {
 		StoredItems:  o.StoredItems(),
 		Tombstones:   o.Tombstones(),
 		AntiEntropy:  sync,
+
+		RouteCacheHits:    c.routeHits.Load(),
+		RouteCacheMisses:  c.routeMisses.Load(),
+		HotKeyCacheHits:   c.hotHits.Load(),
+		HotKeyCacheMisses: c.hotMisses.Load(),
 	}, nil
 }
 
